@@ -1,0 +1,74 @@
+"""Ablation A1 — candidate-extraction strategies (§3.3).
+
+The paper names three ways to compress a Pareto front into a decision-
+ready candidate set: threshold budgets, k-means clustering, and greedy
+diversity maximization.  This bench runs all three on the Houston front
+and compares (a) runtime and (b) how well each 5-candidate set spans the
+front (objective-space dispersion and hypervolume retention).
+"""
+
+import numpy as np
+import pytest
+
+from repro.blackbox.multiobjective import hypervolume_2d
+from repro.core.candidates import (
+    greedy_diversity_candidates,
+    kmeans_candidates,
+    threshold_candidates,
+)
+from repro.core.pareto import pareto_front, pareto_points
+
+K = 5
+OBJECTIVES = ("embodied", "operational")
+
+
+def _dispersion(points: np.ndarray) -> float:
+    """Min pairwise distance in normalized objective space (larger=better)."""
+    span = points.max(axis=0) - points.min(axis=0)
+    span[span <= 0] = 1.0
+    normalized = (points - points.min(axis=0)) / span
+    dists = [
+        np.linalg.norm(normalized[i] - normalized[j])
+        for i in range(len(points))
+        for j in range(i + 1, len(points))
+    ]
+    return float(min(dists)) if dists else 0.0
+
+
+@pytest.mark.benchmark(group="ablation-extraction")
+@pytest.mark.parametrize("strategy", ["threshold", "kmeans", "greedy"])
+def test_extraction_strategies(benchmark, strategy, houston_exhaustive, output_dir):
+    front = pareto_front(houston_exhaustive.evaluated, OBJECTIVES)
+
+    if strategy == "threshold":
+        fn = lambda: threshold_candidates(front)
+    elif strategy == "kmeans":
+        fn = lambda: kmeans_candidates(front, k=K, objectives=OBJECTIVES, seed=7)
+    else:
+        fn = lambda: greedy_diversity_candidates(front, k=K, objectives=OBJECTIVES)
+
+    candidates = benchmark.pedantic(fn, rounds=5)
+
+    points = pareto_points(candidates, OBJECTIVES)
+    full = pareto_points(front, OBJECTIVES)
+    ref = full.max(axis=0) * 1.1 + 1.0
+    hv_retention = hypervolume_2d(points, ref) / hypervolume_2d(full, ref)
+    dispersion = _dispersion(points)
+
+    line = (
+        f"{strategy:>9}: k={len(candidates)}  hv-retention {hv_retention:.3f}"
+        f"  min-dispersion {dispersion:.3f}"
+    )
+    print("\n" + line)
+    with (output_dir / "ablation_extraction.txt").open("a") as fh:
+        fh.write(line + "\n")
+
+    # Every strategy must return candidates drawn from the front…
+    front_ids = {e.composition for e in front}
+    assert all(c.composition in front_ids for c in candidates)
+    assert 2 <= len(candidates) <= K + 1
+    # …and retain the large majority of the front's hypervolume.
+    assert hv_retention > 0.80
+    # Diversity-seeking strategies must actually spread their picks.
+    if strategy in ("greedy", "kmeans"):
+        assert dispersion > 0.02

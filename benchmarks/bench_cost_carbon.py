@@ -1,0 +1,71 @@
+"""Extension bench — cost-vs-carbon trade-off (§4.3 "electricity cost
+reduction" objective + SAM's financial layer).
+
+Evaluates the full Houston space, prices every composition (CAPEX +
+discounted O&M + discounted net grid bill) and extracts the
+cost-vs-operational-carbon Pareto front: what decarbonization costs in
+dollars, and whether any build is cheaper *and* cleaner than grid-only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import write_csv
+from repro.blackbox.multiobjective import pareto_front_indices
+from repro.core.finance import (
+    CostParameters,
+    cost_carbon_points,
+    levelized_cost_usd_per_mwh,
+    net_present_cost_usd,
+)
+
+
+@pytest.mark.benchmark(group="cost-carbon")
+def test_cost_carbon_front(benchmark, houston_exhaustive, output_dir):
+    evaluated = houston_exhaustive.evaluated
+    params = CostParameters()
+
+    points = benchmark.pedantic(
+        cost_carbon_points, args=(evaluated,), kwargs={"params": params}, rounds=2
+    )
+
+    front_idx = pareto_front_indices(points)
+    order = np.argsort(points[front_idx, 0])
+    front_idx = front_idx[order]
+
+    rows = [
+        {
+            "composition": evaluated[i].composition.label(),
+            "npc_musd": round(points[i, 0] / 1e6, 2),
+            "operational_tco2_day": round(points[i, 1], 3),
+            "lcoe_usd_mwh": round(levelized_cost_usd_per_mwh(evaluated[i], params), 1),
+        }
+        for i in front_idx
+    ]
+    write_csv(rows, output_dir / "cost_carbon_front_houston.csv")
+    print("\ncost-vs-carbon front (Houston):")
+    for row in rows[:12]:
+        print(
+            f"  {row['composition']:>16}: NPC {row['npc_musd']:>7.1f} M$, "
+            f"{row['operational_tco2_day']:>7.3f} tCO2/d, "
+            f"LCOE {row['lcoe_usd_mwh']:>6.1f} $/MWh"
+        )
+
+    # Shape assertions:
+    baseline_i = next(i for i, e in enumerate(evaluated) if e.composition.is_grid_only)
+    baseline_cost = points[baseline_i, 0]
+    front_costs = points[front_idx, 0]
+    front_ops = points[front_idx, 1]
+    # A real trade-off: the cost-front spans cheap-dirty → expensive-clean.
+    assert len(front_idx) >= 5
+    assert np.all(np.diff(front_costs) > 0)
+    assert np.all(np.diff(front_ops) <= 1e-12)
+    # With Houston's excellent wind and an ERCOT-priced bill, at least one
+    # composition beats grid-only on cost while being cleaner.
+    cheaper_and_cleaner = (points[:, 0] < baseline_cost) & (
+        points[:, 1] < points[baseline_i, 1]
+    )
+    assert cheaper_and_cleaner.any()
+    # But the near-zero-carbon tail costs a multiple of the baseline.
+    cleanest = front_idx[-1]
+    assert points[cleanest, 0] > 1.5 * baseline_cost

@@ -1,0 +1,52 @@
+"""Figure 2 — Pareto fronts (embodied vs operational) for both sites.
+
+Regenerates the figure's data series (red dots = non-dominated set, red
+triangles = extracted candidates) and an ASCII rendering; the benchmark
+measures the non-dominated sort over the full 1 089-point evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import ascii_scatter, pareto_front_series, write_csv
+from repro.core.candidates import paper_candidates
+from repro.core.pareto import pareto_front
+
+
+@pytest.mark.benchmark(group="fig2")
+@pytest.mark.parametrize("site", ["houston", "berkeley"])
+def test_fig2_pareto_front(benchmark, site, request, output_dir):
+    result = request.getfixturevalue(f"{site}_exhaustive")
+
+    front = benchmark.pedantic(
+        pareto_front, args=(result.evaluated,), rounds=3, iterations=1
+    )
+
+    candidates = paper_candidates(result.evaluated)
+    rows = pareto_front_series(front, candidates)
+    write_csv(rows, output_dir / f"fig2_pareto_{site}.csv")
+
+    art = ascii_scatter(
+        [r["embodied_tco2"] for r in rows],
+        [r["operational_tco2_day"] for r in rows],
+        highlight=[r["is_candidate"] for r in rows],
+        x_label="embodied tCO2",
+        y_label="operational tCO2/day",
+    )
+    print(f"\nFigure 2 ({site}):\n{art}")
+
+    # Shape assertions (paper §4.1 / Figure 2):
+    embodied = np.array([r["embodied_tco2"] for r in rows])
+    operational = np.array([r["operational_tco2_day"] for r in rows])
+    # A proper trade-off curve…
+    assert len(rows) >= 15
+    assert np.all(np.diff(embodied) > 0)
+    assert np.all(np.diff(operational) <= 1e-12)
+    # …anchored at the grid-only baseline and a near-zero, expensive tail.
+    assert embodied[0] == 0.0
+    assert operational[-1] < 0.15
+    assert embodied[-1] > 20_000.0
+    # Steep-then-flat: the first half of the embodied range removes the
+    # bulk of operational emissions ("diminishing returns", §4.1/Fig 2).
+    mid = operational[np.searchsorted(embodied, embodied[-1] / 2.0)]
+    assert mid < 0.1 * operational[0]

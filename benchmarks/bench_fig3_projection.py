@@ -1,0 +1,50 @@
+"""Figure 3 — naive 20-year projection of total emissions per candidate.
+
+Regenerates both panels (Houston, Berkeley): cumulative embodied +
+operational emissions of the five Table-1/2 candidates, and checks the
+paper's crossover findings (§4.2): the grid-only baseline becomes the
+worst configuration after ≈7 years in Houston and ≈12 years in Berkeley.
+"""
+
+import pytest
+
+from repro.analysis.figures import projection_series, write_csv
+from repro.core.candidates import paper_candidates
+from repro.core.projection import crossover_year, project_many
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize(
+    "site,crossover_band",
+    [("houston", (5.0, 9.5)), ("berkeley", (9.0, 15.0))],
+)
+def test_fig3_projection(benchmark, site, crossover_band, request, output_dir):
+    result = request.getfixturevalue(f"{site}_exhaustive")
+    candidates = paper_candidates(result.evaluated)
+
+    projections = benchmark.pedantic(
+        project_many, args=(candidates,), kwargs={"horizon_years": 20.0}, rounds=5
+    )
+
+    rows = projection_series(projections)
+    write_csv(rows, output_dir / f"fig3_projection_{site}.csv")
+    print(f"\nFigure 3 ({site}): cumulative tCO2")
+    for proj in projections:
+        print(
+            f"  {proj.label:>16}: year0 {proj.total_tco2[0]:>9,.0f}"
+            f"  year10 {proj.at_year(10.0):>10,.0f}"
+            f"  year20 {proj.total_tco2[-1]:>10,.0f}"
+        )
+
+    # Paper claims:
+    baseline, largest = projections[0], projections[-1]
+    # 1. every line starts at its embodied cost,
+    assert baseline.total_tco2[0] == 0.0
+    assert largest.total_tco2[0] == pytest.approx(39_380.0, rel=0.01)
+    # 2. the baseline overtakes the full build-out inside the site's band,
+    year = crossover_year(baseline, largest)
+    lo, hi = crossover_band
+    assert year is not None and lo <= year <= hi, f"crossover at {year}"
+    # 3. the full build-out is NOT the 20-year optimum (mid candidates win).
+    mid_totals = [p.total_tco2[-1] for p in projections[1:-1]]
+    assert min(mid_totals) < largest.total_tco2[-1]

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one of the paper's tables/figures; the expensive
+shared inputs (scenarios, exhaustive sweeps) are session-scoped.  Bench
+artifacts (CSV series, rendered tables) land in ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.scenario import Scenario, build_scenario
+from repro.core.study_runner import OptimizationRunner, SearchResult
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def houston() -> Scenario:
+    return build_scenario("houston")
+
+
+@pytest.fixture(scope="session")
+def berkeley() -> Scenario:
+    return build_scenario("berkeley")
+
+
+@pytest.fixture(scope="session")
+def houston_exhaustive(houston) -> SearchResult:
+    return OptimizationRunner(houston).run_exhaustive()
+
+
+@pytest.fixture(scope="session")
+def berkeley_exhaustive(berkeley) -> SearchResult:
+    return OptimizationRunner(berkeley).run_exhaustive()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Battery degradation analysis (paper §4.3: "battery degradation
+minimization" as an optimization objective; §4.2: "batteries may require
+replacement within 10–15 years").
+
+For several Houston compositions this example:
+
+1. extracts the battery's one-year SoC trajectory,
+2. rainflow-counts it and applies the cycle+calendar aging model,
+3. estimates years to end-of-life (80 % remaining capacity),
+4. re-runs the 20-year projection *with* battery reinvestment at the
+   estimated replacement interval — the refinement the paper's naive
+   projection omits.
+"""
+
+from repro import MicrogridComposition, BatchEvaluator, build_scenario
+from repro.core.projection import project_emissions
+from repro.sam.batterymodels.degradation import DegradationModel
+from repro.sam.batterymodels.rainflow import rainflow_cycles
+
+COMPOSITIONS = [
+    MicrogridComposition.from_mw(12.0, 0.0, 7.5),    # small, hard-working battery
+    MicrogridComposition.from_mw(9.0, 8.0, 22.5),    # mid-size
+    MicrogridComposition.from_mw(12.0, 12.0, 52.5),  # large, gently cycled
+]
+
+
+def main() -> None:
+    scenario = build_scenario("houston")
+    evaluator = BatchEvaluator(scenario)
+    aging = DegradationModel()
+
+    print(f"{'composition':>18} {'EFC/yr':>7} {'rainflow':>9} {'fade/yr':>8} "
+          f"{'EOL yrs':>8} {'20y tCO2 (naive)':>17} {'20y tCO2 (+repl.)':>18}")
+    for comp in COMPOSITIONS:
+        evaluated = evaluator.evaluate_one(comp)
+        soc = evaluator.soc_history(comp)
+        cycles = rainflow_cycles(soc)
+        annual_fade = aging.total_fade(soc, years=1.0)
+        lifetime = aging.expected_lifetime_years(soc)
+
+        naive = project_emissions(evaluated, horizon_years=20.0)
+        with_repl = project_emissions(
+            evaluated, horizon_years=20.0, battery_replacement_years=lifetime
+        )
+        print(
+            f"{comp.label():>18} "
+            f"{evaluated.metrics.battery_cycles:>7.0f} "
+            f"{sum(c.count for c in cycles):>9.0f} "
+            f"{annual_fade * 100:>7.2f}% "
+            f"{lifetime:>8.1f} "
+            f"{naive.total_tco2[-1]:>17,.0f} "
+            f"{with_repl.total_tco2[-1]:>18,.0f}"
+        )
+
+    print(
+        "\nSmaller batteries cycle deeper and more often, aging out sooner; "
+        "reinvestment closes part of the gap the naive projection hides."
+    )
+
+
+if __name__ == "__main__":
+    main()

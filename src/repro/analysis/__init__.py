@@ -1,0 +1,30 @@
+"""Analysis and reporting: the paper's tables and figures as data.
+
+matplotlib is unavailable in the offline environment, so "figures" are
+emitted as CSV data series plus ASCII renderings — everything needed to
+recreate the plots, produced by the same benchmark harness that prints
+the tables.
+"""
+
+from .tables import candidate_table, format_table
+from .figures import (
+    ascii_heatmap,
+    ascii_scatter,
+    coverage_heatmap_series,
+    pareto_front_series,
+    projection_series,
+    write_csv,
+)
+from .report import experiment_report
+
+__all__ = [
+    "candidate_table",
+    "format_table",
+    "pareto_front_series",
+    "projection_series",
+    "coverage_heatmap_series",
+    "ascii_scatter",
+    "ascii_heatmap",
+    "write_csv",
+    "experiment_report",
+]

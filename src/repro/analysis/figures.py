@@ -1,0 +1,151 @@
+"""Figure data series and ASCII renderings (Figures 2–4 of the paper)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..core.metrics import EvaluatedComposition
+from ..core.projection import CumulativeProjection
+
+
+# ---------------------------------------------------------------------------
+# Data series
+# ---------------------------------------------------------------------------
+
+
+def pareto_front_series(
+    front: Sequence[EvaluatedComposition],
+    candidates: Sequence[EvaluatedComposition] = (),
+) -> list[dict]:
+    """Figure 2 series: (embodied, operational) per front point, with the
+    extracted candidates flagged (the red triangles)."""
+    candidate_set = {c.composition for c in candidates}
+    rows = []
+    for e in sorted(front, key=lambda e: e.embodied_tonnes):
+        rows.append(
+            {
+                "wind_mw": e.composition.wind_mw,
+                "solar_mw": e.composition.solar_mw,
+                "battery_mwh": e.composition.battery_mwh,
+                "embodied_tco2": round(e.embodied_tonnes, 1),
+                "operational_tco2_day": round(e.operational_tco2_per_day, 4),
+                "is_candidate": e.composition in candidate_set,
+            }
+        )
+    return rows
+
+
+def projection_series(projections: Sequence[CumulativeProjection]) -> list[dict]:
+    """Figure 3 series: cumulative tCO2 per candidate per year sample."""
+    rows = []
+    for proj in projections:
+        for year, total in zip(proj.years, proj.total_tco2):
+            rows.append(
+                {
+                    "composition": proj.label,
+                    "year": round(float(year), 3),
+                    "total_tco2": round(float(total), 1),
+                }
+            )
+    return rows
+
+
+def coverage_heatmap_series(
+    solar_kw_levels: Sequence[float],
+    n_turbine_levels: Sequence[int],
+    coverage: np.ndarray,
+) -> list[dict]:
+    """Figure 4 series: coverage per (solar, wind) grid cell."""
+    rows = []
+    for i, s in enumerate(solar_kw_levels):
+        for j, k in enumerate(n_turbine_levels):
+            rows.append(
+                {
+                    "solar_kw": float(s),
+                    "wind_kw": float(k) * 3_000.0,
+                    "coverage_pct": round(float(coverage[i, j]) * 100.0, 2),
+                }
+            )
+    return rows
+
+
+def write_csv(rows: Sequence[dict], path: "str | Path") -> Path:
+    """Write dict rows to CSV (stable header from the first row)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        p.write_text("")
+        return p
+    with p.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    return p
+
+
+# ---------------------------------------------------------------------------
+# ASCII renderings
+# ---------------------------------------------------------------------------
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 64,
+    height: int = 18,
+    marker: str = "*",
+    highlight: "Sequence[bool] | None" = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A terminal scatter plot (highlighted points use '^', Figure 2 style)."""
+    xs = np.asarray(list(x), dtype=np.float64)
+    ys = np.asarray(list(y), dtype=np.float64)
+    if xs.size == 0:
+        return "(no data)"
+    x0, x1 = xs.min(), xs.max()
+    y0, y1 = ys.min(), ys.max()
+    xspan = x1 - x0 or 1.0
+    yspan = y1 - y0 or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    flags = list(highlight) if highlight is not None else [False] * xs.size
+    for xi, yi, hot in zip(xs, ys, flags):
+        col = int((xi - x0) / xspan * (width - 1))
+        row = height - 1 - int((yi - y0) / yspan * (height - 1))
+        grid[row][col] = "^" if hot else marker
+    lines = [f"{y_label} (top={y1:.3g}, bottom={y0:.3g})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x0:.3g} .. {x1:.3g}")
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str = "",
+) -> str:
+    """A character heat map (Figure 4 style): '.' low → '#' high → '@' max."""
+    ramp = " .:-=+*#%@"
+    m = np.asarray(matrix, dtype=np.float64)
+    lo, hi = m.min(), m.max()
+    span = hi - lo or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = max((len(str(r)) for r in row_labels), default=4)
+    header = " " * (label_w + 1) + " ".join(f"{c:>4}" for c in col_labels)
+    lines.append(header)
+    for i, row_label in enumerate(row_labels):
+        cells = []
+        for j in range(m.shape[1]):
+            level = int((m[i, j] - lo) / span * (len(ramp) - 1))
+            cells.append(f"{ramp[level] * 3:>4}")
+        lines.append(f"{str(row_label):>{label_w}} " + " ".join(cells))
+    lines.append(f"scale: '{ramp[0]}'={lo:.3g} .. '{ramp[-1]}'={hi:.3g}")
+    return "\n".join(lines)

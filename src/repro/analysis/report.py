@@ -1,0 +1,47 @@
+"""Combined experiment reports: tables + front + projections for one site."""
+
+from __future__ import annotations
+
+from ..core.candidates import paper_candidates
+from ..core.projection import crossover_year, project_many
+from ..core.study_runner import SearchResult
+from .figures import ascii_scatter
+from .tables import candidate_table, format_table
+
+
+def experiment_report(site_name: str, result: SearchResult, horizon_years: float = 20.0) -> str:
+    """A textual report reproducing the paper's §4.1–4.2 analyses."""
+    candidates = paper_candidates(result.evaluated)
+    front = result.front()
+
+    sections = [
+        f"=== {site_name} ===",
+        format_table(candidate_table(candidates), title=f"Candidate solutions ({site_name})"),
+        "",
+        "Pareto front (embodied vs operational; '^' = extracted candidates):",
+        ascii_scatter(
+            [e.embodied_tonnes for e in front],
+            [e.operational_tco2_per_day for e in front],
+            highlight=[e.composition in {c.composition for c in candidates} for e in front],
+            x_label="embodied tCO2",
+            y_label="operational tCO2/day",
+        ),
+        "",
+        f"{horizon_years:.0f}-year projection (total tCO2 at horizon):",
+    ]
+
+    projections = project_many(candidates, horizon_years=horizon_years)
+    for proj in projections:
+        sections.append(
+            f"  {proj.label:>20}: start {proj.total_tco2[0]:>9,.0f}  "
+            f"end {proj.total_tco2[-1]:>10,.0f}"
+        )
+
+    if len(projections) >= 2:
+        baseline, largest = projections[0], projections[-1]
+        year = crossover_year(baseline, largest)
+        if year is not None:
+            sections.append(
+                f"  baseline overtakes the largest build-out after ~{year:.1f} years"
+            )
+    return "\n".join(sections)

@@ -1,0 +1,50 @@
+"""Candidate tables (Tables 1–2 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.metrics import EvaluatedComposition
+
+#: column order and headers matching the paper's tables
+TABLE_COLUMNS = (
+    ("wind_mw", "Wind (MW)"),
+    ("solar_mw", "Solar (MW)"),
+    ("battery_mwh", "Battery (MWh)"),
+    ("embodied_tco2", "Embodied (tCO2)"),
+    ("operational_tco2_day", "Operat. (tCO2/d)"),
+    ("coverage_pct", "Cov. (%)"),
+    ("battery_cycles", "Battery cycles"),
+)
+
+
+def candidate_table(candidates: Sequence[EvaluatedComposition]) -> list[dict]:
+    """Rows of a paper-style candidate table."""
+    return [c.table_row() for c in candidates]
+
+
+def format_table(rows: Sequence[dict], title: str = "") -> str:
+    """Render rows as an aligned plain-text table."""
+    headers = [header for _key, header in TABLE_COLUMNS]
+    keys = [key for key, _header in TABLE_COLUMNS]
+    str_rows = [[_fmt(row.get(key, "")) for key in keys] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}".rstrip("0").rstrip(".") if value % 1 else f"{value:,.0f}"
+    if isinstance(value, int):
+        return f"{value:,d}"
+    return str(value)

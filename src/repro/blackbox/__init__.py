@@ -1,0 +1,59 @@
+"""Black-box optimization framework (Optuna stand-in).
+
+The paper uses Optuna for multi-objective black-box search over microgrid
+compositions (NSGA-II, 350 trials, population 50).  This package
+reimplements the subset of Optuna's API the paper exercises:
+
+* define-by-run parameter suggestion (``trial.suggest_int`` etc.),
+* single- and multi-objective studies with ask/tell and ``optimize``,
+* samplers: Random, Grid (the exhaustive baseline), **NSGA-II**
+  (non-dominated sorting genetic algorithm — the paper's search engine),
+  and a simplified TPE for the sampler-ablation bench,
+* Pareto utilities (non-dominated sorting, crowding distance,
+  hypervolume) shared with :mod:`repro.core.pareto`,
+* a median pruner for the "dynamic pruning / early stopping" future-work
+  hook (§4.4).
+"""
+
+from .distributions import (
+    CategoricalDistribution,
+    Distribution,
+    FloatDistribution,
+    IntDistribution,
+)
+from .multiobjective import (
+    crowding_distance,
+    dominates,
+    hypervolume_2d,
+    non_dominated_sort,
+    pareto_front_indices,
+)
+from .pruners import MedianPruner, NopPruner
+from .samplers import GridSampler, NSGA2Sampler, RandomSampler, ScalarizationSampler, TPESampler
+from .study import Study, StudyDirection, create_study
+from .trial import FrozenTrial, Trial, TrialState
+
+__all__ = [
+    "Distribution",
+    "FloatDistribution",
+    "IntDistribution",
+    "CategoricalDistribution",
+    "dominates",
+    "non_dominated_sort",
+    "pareto_front_indices",
+    "crowding_distance",
+    "hypervolume_2d",
+    "MedianPruner",
+    "NopPruner",
+    "RandomSampler",
+    "GridSampler",
+    "NSGA2Sampler",
+    "ScalarizationSampler",
+    "TPESampler",
+    "Study",
+    "StudyDirection",
+    "create_study",
+    "Trial",
+    "FrozenTrial",
+    "TrialState",
+]

@@ -1,0 +1,156 @@
+"""Parameter distributions for define-by-run search spaces.
+
+Mirrors ``optuna.distributions``: each distribution knows its domain, can
+sample uniformly, validate/clip values, and enumerate a grid (for the
+exhaustive baseline).  Distributions compare equal by domain, which the
+samplers rely on when inferring the joint search space from past trials.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Hashable, Sequence
+
+import numpy as np
+
+from ..exceptions import OptimizationError
+
+
+class Distribution(ABC):
+    """Abstract parameter domain."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> Any:
+        """Draw a uniform sample from the domain."""
+
+    @abstractmethod
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` lies in the domain."""
+
+    @abstractmethod
+    def grid(self) -> list[Any]:
+        """All values for grid search (raises for continuous domains)."""
+
+    @abstractmethod
+    def mutate(self, value: Any, rng: np.random.Generator, scale: float = 0.2) -> Any:
+        """A mutated copy of ``value`` (for genetic samplers)."""
+
+
+@dataclass(frozen=True)
+class FloatDistribution(Distribution):
+    """Uniform (optionally log-scaled or discretized) float domain."""
+
+    low: float
+    high: float
+    step: float | None = None
+    log: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.high:
+            raise OptimizationError(f"need low <= high, got [{self.low}, {self.high}]")
+        if self.log and self.low <= 0:
+            raise OptimizationError("log domain requires low > 0")
+        if self.step is not None and self.step <= 0:
+            raise OptimizationError("step must be positive")
+        if self.log and self.step is not None:
+            raise OptimizationError("log and step are mutually exclusive")
+
+    def _snap(self, value: float) -> float:
+        if self.step is None:
+            return float(np.clip(value, self.low, self.high))
+        k = round((value - self.low) / self.step)
+        return float(np.clip(self.low + k * self.step, self.low, self.high))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.log:
+            return float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
+        return self._snap(rng.uniform(self.low, self.high))
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, (int, float, np.floating, np.integer)):
+            return False
+        return self.low - 1e-12 <= float(value) <= self.high + 1e-12
+
+    def grid(self) -> list[float]:
+        if self.step is None:
+            raise OptimizationError("continuous FloatDistribution has no grid; set step")
+        n = int(round((self.high - self.low) / self.step)) + 1
+        return [self._snap(self.low + i * self.step) for i in range(n)]
+
+    def mutate(self, value: Any, rng: np.random.Generator, scale: float = 0.2) -> float:
+        span = self.high - self.low
+        if span <= 0:
+            return self.low
+        if self.log:
+            log_v = np.log(float(value)) + rng.normal(0.0, scale) * (
+                np.log(self.high) - np.log(self.low)
+            )
+            return float(np.exp(np.clip(log_v, np.log(self.low), np.log(self.high))))
+        return self._snap(float(value) + rng.normal(0.0, scale * span))
+
+
+@dataclass(frozen=True)
+class IntDistribution(Distribution):
+    """Uniform integer domain with step."""
+
+    low: int
+    high: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise OptimizationError(f"need low <= high, got [{self.low}, {self.high}]")
+        if self.step <= 0:
+            raise OptimizationError("step must be positive")
+
+    def _snap(self, value: float) -> int:
+        k = round((value - self.low) / self.step)
+        n_steps = (self.high - self.low) // self.step
+        k = int(np.clip(k, 0, n_steps))
+        return self.low + k * self.step
+
+    def sample(self, rng: np.random.Generator) -> int:
+        n_steps = (self.high - self.low) // self.step
+        return self.low + int(rng.integers(0, n_steps + 1)) * self.step
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, (int, np.integer)):
+            return False
+        v = int(value)
+        return self.low <= v <= self.high and (v - self.low) % self.step == 0
+
+    def grid(self) -> list[int]:
+        return list(range(self.low, self.high + 1, self.step))
+
+    def mutate(self, value: Any, rng: np.random.Generator, scale: float = 0.2) -> int:
+        span = max((self.high - self.low) / self.step, 1)
+        jump = rng.normal(0.0, max(scale * span, 0.6)) * self.step
+        return self._snap(float(value) + jump)
+
+
+@dataclass(frozen=True)
+class CategoricalDistribution(Distribution):
+    """Finite unordered set of choices."""
+
+    choices: tuple[Hashable, ...]
+
+    def __init__(self, choices: Sequence[Hashable]) -> None:
+        if not choices:
+            raise OptimizationError("categorical domain needs at least one choice")
+        object.__setattr__(self, "choices", tuple(choices))
+
+    def sample(self, rng: np.random.Generator) -> Hashable:
+        return self.choices[int(rng.integers(0, len(self.choices)))]
+
+    def contains(self, value: Any) -> bool:
+        return value in self.choices
+
+    def grid(self) -> list[Hashable]:
+        return list(self.choices)
+
+    def mutate(self, value: Any, rng: np.random.Generator, scale: float = 0.2) -> Hashable:
+        if len(self.choices) == 1:
+            return self.choices[0]
+        others = [c for c in self.choices if c != value]
+        return others[int(rng.integers(0, len(others)))]

@@ -1,0 +1,133 @@
+"""Multi-objective utilities: dominance, sorting, crowding, hypervolume.
+
+All objective vectors are treated as **minimization** internally; studies
+convert maximize-direction values by negation before calling in here.
+Vectorized where the algorithm allows (dominance checks are pairwise
+matrix operations, not Python loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import OptimizationError
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """Pareto dominance for minimization: a ⪯ b and a ≠ b."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def _domination_matrix(values: np.ndarray) -> np.ndarray:
+    """Boolean matrix D where D[i, j] = row i dominates row j (vectorized)."""
+    v = values[:, None, :]  # (n, 1, m)
+    w = values[None, :, :]  # (1, n, m)
+    le = np.all(v <= w, axis=2)
+    lt = np.any(v < w, axis=2)
+    return le & lt
+
+
+def pareto_front_indices(values: np.ndarray) -> np.ndarray:
+    """Indices of non-dominated rows (minimization)."""
+    values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+    if values.size == 0:
+        return np.array([], dtype=np.int64)
+    dominated = _domination_matrix(values).any(axis=0)
+    return np.nonzero(~dominated)[0]
+
+
+def non_dominated_sort(values: np.ndarray) -> list[np.ndarray]:
+    """Fast non-dominated sorting (Deb et al. 2002) into Pareto ranks.
+
+    Returns a list of index arrays: front 0 (best), front 1, …
+    """
+    values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+    n = values.shape[0]
+    if n == 0:
+        return []
+    dom = _domination_matrix(values)
+    n_dominators = dom.sum(axis=0).astype(np.int64)  # how many dominate i
+
+    fronts: list[np.ndarray] = []
+    remaining = np.ones(n, dtype=bool)
+    while remaining.any():
+        current = remaining & (n_dominators == 0)
+        if not current.any():
+            raise OptimizationError("non-dominated sort failed to make progress")
+        idx = np.nonzero(current)[0]
+        fronts.append(idx)
+        remaining[idx] = False
+        # Removing this front decrements the domination counts of the
+        # points it dominates.
+        n_dominators -= dom[idx].sum(axis=0)
+    return fronts
+
+
+def crowding_distance(values: np.ndarray) -> np.ndarray:
+    """NSGA-II crowding distance within one front (larger = less crowded).
+
+    Boundary points get +inf, interior points the normalized side-length
+    sum of the surrounding hyper-box.
+    """
+    values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+    n, m = values.shape
+    if n <= 2:
+        return np.full(n, np.inf)
+    distance = np.zeros(n)
+    for j in range(m):
+        order = np.argsort(values[:, j], kind="stable")
+        col = values[order, j]
+        span = col[-1] - col[0]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span > 0:
+            distance[order[1:-1]] += (col[2:] - col[:-2]) / span
+    return distance
+
+
+def hypervolume_2d(values: np.ndarray, reference: np.ndarray) -> float:
+    """Exact 2-D hypervolume (minimization) wrt a reference point.
+
+    Points not strictly dominating the reference contribute nothing.
+    """
+    values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+    reference = np.asarray(reference, dtype=np.float64)
+    if values.shape[1] != 2 or reference.shape != (2,):
+        raise OptimizationError("hypervolume_2d requires 2-D objective vectors")
+    mask = np.all(values < reference, axis=1)
+    pts = values[mask]
+    if pts.size == 0:
+        return 0.0
+    front = pts[pareto_front_indices(pts)]
+    front = front[np.argsort(front[:, 0])]
+    hv = 0.0
+    prev_y = reference[1]
+    for x, y in front:
+        hv += (reference[0] - x) * (prev_y - y)
+        prev_y = y
+    return float(hv)
+
+
+def pareto_recovery_rate(
+    found: np.ndarray, true_front: np.ndarray, tol: float = 1e-9
+) -> float:
+    """Fraction of the true Pareto set recovered by ``found`` (§4.4 metric).
+
+    A true point counts as recovered if some found point matches it within
+    ``tol`` in every objective (relative to the objective's scale).
+    """
+    true_front = np.atleast_2d(np.asarray(true_front, dtype=np.float64))
+    found = np.atleast_2d(np.asarray(found, dtype=np.float64))
+    if true_front.shape[0] == 0:
+        return 1.0
+    if found.size == 0:
+        return 0.0
+    scale = np.maximum(np.abs(true_front).max(axis=0), 1.0)
+    hits = 0
+    for point in true_front:
+        diff = np.abs(found - point) / scale
+        if np.any(np.all(diff <= tol + 1e-12, axis=1)):
+            hits += 1
+    return hits / true_front.shape[0]

@@ -1,0 +1,59 @@
+"""Pruners: early stopping of unpromising trials.
+
+The paper names "dynamic pruning or early stopping for non-promising
+simulation runs" as future work (§4.4); the framework supports it through
+Optuna-style intermediate reports + pruners.  For year-long simulations a
+natural intermediate value is the running operational-emission rate after
+each simulated month.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import OptimizationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .study import Study
+    from .trial import FrozenTrial
+
+
+class NopPruner:
+    """Never prunes (default)."""
+
+    def should_prune(self, study: "Study", trial: "FrozenTrial") -> bool:
+        return False
+
+
+class MedianPruner:
+    """Prune when the latest intermediate value is worse than the median of
+    completed trials' values at the same step (minimization assumed on the
+    first objective direction).
+    """
+
+    def __init__(self, n_startup_trials: int = 5, n_warmup_steps: int = 0) -> None:
+        if n_startup_trials < 0 or n_warmup_steps < 0:
+            raise OptimizationError("pruner thresholds must be non-negative")
+        self.n_startup_trials = n_startup_trials
+        self.n_warmup_steps = n_warmup_steps
+
+    def should_prune(self, study: "Study", trial: "FrozenTrial") -> bool:
+        from .trial import TrialState
+
+        if not trial.intermediate:
+            return False
+        step = max(trial.intermediate)
+        if step < self.n_warmup_steps:
+            return False
+        value = trial.intermediate[step]
+
+        sign = 1.0 if study.directions[0].is_minimize() else -1.0
+        completed = [t for t in study.trials if t.state == TrialState.COMPLETE]
+        if len(completed) < self.n_startup_trials:
+            return False
+        peers = [t.intermediate[step] for t in completed if step in t.intermediate]
+        if not peers:
+            return False
+        return sign * value > sign * float(np.median(peers))

@@ -1,0 +1,10 @@
+"""Samplers: strategies for proposing the next trial's parameters."""
+
+from .base import Sampler
+from .random import RandomSampler
+from .grid import GridSampler
+from .nsga2 import NSGA2Sampler
+from .scalarization import ScalarizationSampler
+from .tpe import TPESampler
+
+__all__ = ["Sampler", "RandomSampler", "GridSampler", "NSGA2Sampler", "ScalarizationSampler", "TPESampler"]

@@ -1,0 +1,63 @@
+"""Sampler interface.
+
+A sampler is asked for one parameter at a time (define-by-run), but may
+plan a whole candidate jointly: implementations can stash a genome in the
+trial's ``system_attrs`` on the first suggestion and serve subsequent
+parameters from it (how :class:`~repro.blackbox.samplers.nsga2.NSGA2Sampler`
+does crossover over the full search space).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ...rng import seed_for
+from ..distributions import Distribution
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..study import Study
+    from ..trial import FrozenTrial
+
+
+class Sampler(ABC):
+    """Strategy for proposing parameter values."""
+
+    def __init__(self, seed: int | None = None) -> None:
+        if seed is None:
+            seed = seed_for("sampler", type(self).__name__)
+        self.rng = np.random.default_rng(seed)
+
+    @abstractmethod
+    def sample(
+        self,
+        study: "Study",
+        trial: "FrozenTrial",
+        name: str,
+        distribution: Distribution,
+    ) -> Any:
+        """Value for parameter ``name`` of ``trial``."""
+
+    def on_trial_complete(self, study: "Study", trial: "FrozenTrial") -> None:
+        """Hook invoked after a trial reaches a terminal state."""
+
+
+def observed_search_space(study: "Study") -> dict[str, Distribution]:
+    """Search space inferred from completed trials (Optuna-style).
+
+    Returns parameters present in *all* completed trials with identical
+    domains — the joint space genetic samplers evolve over.
+    """
+    from ..trial import TrialState
+
+    completed = [t for t in study.trials if t.state == TrialState.COMPLETE]
+    if not completed:
+        return {}
+    space: dict[str, Distribution] = dict(completed[0].distributions)
+    for t in completed[1:]:
+        for name in list(space):
+            if t.distributions.get(name) != space[name]:
+                del space[name]
+    return space

@@ -1,0 +1,25 @@
+"""Independent uniform random sampling."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..distributions import Distribution
+from .base import Sampler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..study import Study
+    from ..trial import FrozenTrial
+
+
+class RandomSampler(Sampler):
+    """Samples every parameter independently and uniformly."""
+
+    def sample(
+        self,
+        study: "Study",
+        trial: "FrozenTrial",
+        name: str,
+        distribution: Distribution,
+    ) -> Any:
+        return distribution.sample(self.rng)

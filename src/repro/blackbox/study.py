@@ -1,0 +1,198 @@
+"""Studies: the optimization driver (Optuna's ``Study`` equivalent).
+
+Supports single- and multi-objective optimization with the ask/tell
+protocol and the higher-level ``optimize`` loop, trial bookkeeping,
+Pareto-front extraction (``best_trials``), and pluggable samplers/pruners.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import OptimizationError, TrialPruned
+from .multiobjective import pareto_front_indices
+from .pruners import NopPruner
+from .samplers.base import Sampler
+from .samplers.random import RandomSampler
+from .trial import FrozenTrial, Trial, TrialState
+
+ObjectiveFn = Callable[[Trial], "float | Sequence[float]"]
+
+
+class StudyDirection(enum.Enum):
+    """Optimization direction of one objective."""
+
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+    def is_minimize(self) -> bool:
+        return self is StudyDirection.MINIMIZE
+
+    @classmethod
+    def parse(cls, value: "str | StudyDirection") -> "StudyDirection":
+        if isinstance(value, StudyDirection):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise OptimizationError(
+                f"unknown direction '{value}' (use 'minimize' or 'maximize')"
+            ) from None
+
+
+class Study:
+    """A collection of trials optimizing one or more objectives."""
+
+    def __init__(
+        self,
+        directions: Sequence["str | StudyDirection"] = ("minimize",),
+        sampler: Sampler | None = None,
+        pruner=None,
+        study_name: str = "study",
+    ) -> None:
+        if not directions:
+            raise OptimizationError("need at least one direction")
+        self.directions = [StudyDirection.parse(d) for d in directions]
+        self.sampler = sampler or RandomSampler()
+        self.pruner = pruner or NopPruner()
+        self.study_name = study_name
+        self.trials: list[FrozenTrial] = []
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def n_objectives(self) -> int:
+        return len(self.directions)
+
+    @property
+    def direction(self) -> StudyDirection:
+        if self.n_objectives != 1:
+            raise OptimizationError("multi-objective study; use .directions")
+        return self.directions[0]
+
+    # -- ask / tell -------------------------------------------------------------
+
+    def ask(self) -> Trial:
+        """Create a new running trial."""
+        frozen = FrozenTrial(number=len(self.trials))
+        self.trials.append(frozen)
+        return Trial(self, frozen)
+
+    def tell(
+        self,
+        trial: "Trial | int",
+        values: "float | Sequence[float] | None" = None,
+        state: TrialState = TrialState.COMPLETE,
+    ) -> FrozenTrial:
+        """Finish a trial with its objective value(s) or a terminal state."""
+        number = trial if isinstance(trial, int) else trial.number
+        if not 0 <= number < len(self.trials):
+            raise OptimizationError(f"unknown trial number {number}")
+        frozen = self.trials[number]
+        if frozen.state.is_finished():
+            raise OptimizationError(f"trial {number} already finished ({frozen.state})")
+
+        if state == TrialState.COMPLETE:
+            if values is None:
+                raise OptimizationError("COMPLETE trials need objective values")
+            vals = (values,) if np.isscalar(values) else tuple(values)
+            if len(vals) != self.n_objectives:
+                raise OptimizationError(
+                    f"objective returned {len(vals)} values, study has "
+                    f"{self.n_objectives} directions"
+                )
+            if not all(np.isfinite(v) for v in vals):
+                raise OptimizationError(f"non-finite objective values: {vals}")
+            frozen.values = tuple(float(v) for v in vals)
+        frozen.state = state
+        self.sampler.on_trial_complete(self, frozen)
+        return frozen
+
+    # -- optimize loop ------------------------------------------------------------
+
+    def optimize(
+        self,
+        objective: ObjectiveFn,
+        n_trials: int,
+        catch: tuple[type[Exception], ...] = (),
+        callbacks: Sequence[Callable[["Study", FrozenTrial], None]] = (),
+    ) -> None:
+        """Run the classic optimize loop for ``n_trials`` trials."""
+        if n_trials <= 0:
+            raise OptimizationError(f"n_trials must be positive, got {n_trials}")
+        for _ in range(n_trials):
+            trial = self.ask()
+            try:
+                values = objective(trial)
+            except TrialPruned:
+                frozen = self.tell(trial, state=TrialState.PRUNED)
+            except catch:
+                frozen = self.tell(trial, state=TrialState.FAILED)
+            else:
+                frozen = self.tell(trial, values=values)
+            for callback in callbacks:
+                callback(self, frozen)
+
+    # -- results --------------------------------------------------------------------
+
+    def minimized_values(self, values_list: Sequence[Sequence[float]]) -> np.ndarray:
+        """Objective matrix with maximize-directions negated (→ minimize)."""
+        arr = np.asarray(values_list, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        signs = np.array(
+            [1.0 if d.is_minimize() else -1.0 for d in self.directions]
+        )
+        return arr * signs
+
+    def completed_trials(self) -> list[FrozenTrial]:
+        return [t for t in self.trials if t.state == TrialState.COMPLETE]
+
+    @property
+    def best_trial(self) -> FrozenTrial:
+        """Best completed trial (single-objective only)."""
+        if self.n_objectives != 1:
+            raise OptimizationError("multi-objective study; use .best_trials")
+        completed = self.completed_trials()
+        if not completed:
+            raise OptimizationError("no completed trials")
+        sign = 1.0 if self.directions[0].is_minimize() else -1.0
+        return min(completed, key=lambda t: sign * t.values[0])
+
+    @property
+    def best_value(self) -> float:
+        return self.best_trial.values[0]
+
+    @property
+    def best_params(self) -> dict[str, Any]:
+        return dict(self.best_trial.params)
+
+    @property
+    def best_trials(self) -> list[FrozenTrial]:
+        """Pareto-optimal completed trials (multi-objective result)."""
+        completed = self.completed_trials()
+        if not completed:
+            return []
+        values = self.minimized_values([t.values for t in completed])
+        idx = pareto_front_indices(values)
+        return [completed[i] for i in idx]
+
+
+def create_study(
+    directions: "Sequence[str | StudyDirection] | None" = None,
+    direction: "str | StudyDirection | None" = None,
+    sampler: Sampler | None = None,
+    pruner=None,
+    study_name: str = "study",
+) -> Study:
+    """Factory mirroring ``optuna.create_study``."""
+    if direction is not None and directions is not None:
+        raise OptimizationError("pass either direction or directions, not both")
+    if direction is not None:
+        directions = [direction]
+    if directions is None:
+        directions = ["minimize"]
+    return Study(directions=directions, sampler=sampler, pruner=pruner, study_name=study_name)

@@ -1,0 +1,245 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Usage (also ``python -m repro.cli``)::
+
+    python -m repro.cli table --site houston
+    python -m repro.cli pareto --site berkeley --csv front.csv
+    python -m repro.cli projection --site houston --years 20
+    python -m repro.cli coverage --site houston
+    python -m repro.cli search --site houston --trials 350 --population 50
+    python -m repro.cli report --site berkeley
+
+Mirrors the Hydra-style entry point of the paper's implementation:
+every command accepts ``--set key=value`` overrides applied to the
+scenario config (e.g. ``--set scenario.mean_power_mw=3.0``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.figures import (
+    ascii_heatmap,
+    ascii_scatter,
+    coverage_heatmap_series,
+    pareto_front_series,
+    projection_series,
+    write_csv,
+)
+from .analysis.report import experiment_report
+from .analysis.tables import candidate_table, format_table
+from .blackbox import NSGA2Sampler
+from .blackbox.multiobjective import pareto_recovery_rate
+from .confsys import Config, apply_overrides
+from .core.candidates import paper_candidates
+from .core.fastsim import coverage_grid
+from .core.pareto import pareto_front, pareto_points
+from .core.projection import crossover_year, project_many
+from .core.scenario import build_scenario
+from .core.study_runner import OptimizationRunner
+from .units import PERLMUTTER_MEAN_POWER_W
+
+DEFAULT_CONFIG = {
+    "scenario": {
+        "location": "houston",
+        "year": 2024,
+        "n_hours": 8_760,
+        "mean_power_mw": PERLMUTTER_MEAN_POWER_W / 1e6,
+    }
+}
+
+
+def _scenario_from(cfg: Config):
+    return build_scenario(
+        cfg.scenario.location,
+        year_label=cfg.scenario.year,
+        n_hours=cfg.scenario.n_hours,
+        mean_power_w=cfg.scenario.mean_power_mw * 1e6,
+    )
+
+
+def _exhaustive(cfg: Config):
+    scenario = _scenario_from(cfg)
+    return scenario, OptimizationRunner(scenario).run_exhaustive()
+
+
+def cmd_table(cfg: Config, args) -> int:
+    _, result = _exhaustive(cfg)
+    rows = candidate_table(paper_candidates(result.evaluated))
+    print(format_table(rows, title=f"Candidate solutions ({cfg.scenario.location})"))
+    return 0
+
+
+def cmd_pareto(cfg: Config, args) -> int:
+    _, result = _exhaustive(cfg)
+    front = pareto_front(result.evaluated)
+    candidates = paper_candidates(result.evaluated)
+    rows = pareto_front_series(front, candidates)
+    if args.csv:
+        path = write_csv(rows, args.csv)
+        print(f"wrote {len(rows)} front points to {path}")
+    print(
+        ascii_scatter(
+            [r["embodied_tco2"] for r in rows],
+            [r["operational_tco2_day"] for r in rows],
+            highlight=[r["is_candidate"] for r in rows],
+            x_label="embodied tCO2",
+            y_label="operational tCO2/day",
+        )
+    )
+    return 0
+
+
+def cmd_projection(cfg: Config, args) -> int:
+    _, result = _exhaustive(cfg)
+    candidates = paper_candidates(result.evaluated)
+    projections = project_many(candidates, horizon_years=args.years)
+    if args.csv:
+        write_csv(projection_series(projections), args.csv)
+    for proj in projections:
+        print(
+            f"{proj.label:>18}: start {proj.total_tco2[0]:>9,.0f} tCO2, "
+            f"year {args.years:.0f}: {proj.total_tco2[-1]:>10,.0f} tCO2"
+        )
+    year = crossover_year(projections[0], projections[-1])
+    if year is not None:
+        print(f"baseline overtakes the largest build-out after {year:.1f} years")
+    return 0
+
+
+def cmd_coverage(cfg: Config, args) -> int:
+    scenario = _scenario_from(cfg)
+    solar_levels = [i * 4_000.0 for i in range(11)]
+    wind_levels = list(range(11))
+    grid = coverage_grid(scenario, solar_levels, wind_levels)
+    if args.csv:
+        write_csv(coverage_heatmap_series(solar_levels, wind_levels, grid), args.csv)
+    print(
+        ascii_heatmap(
+            grid * 100.0,
+            row_labels=[f"{s/1000:.0f}MW" for s in solar_levels],
+            col_labels=[str(3 * k) for k in wind_levels],
+            title=f"coverage [%] ({cfg.scenario.location}, no storage)",
+        )
+    )
+    return 0
+
+
+def cmd_search(cfg: Config, args) -> int:
+    scenario = _scenario_from(cfg)
+    runner = OptimizationRunner(scenario)
+    exhaustive = runner.run_exhaustive()
+    found = OptimizationRunner(scenario).run_blackbox(
+        n_trials=args.trials,
+        sampler=NSGA2Sampler(population_size=args.population, seed=args.seed),
+    )
+    objectives = ("operational", "embodied")
+    true_front = pareto_points(exhaustive.front(objectives), objectives)
+    found_points = pareto_points(found.evaluated, objectives)
+    print(
+        f"trials {args.trials}, unique simulations {found.n_simulations}, "
+        f"recovery strict {pareto_recovery_rate(found_points, true_front):.2f}, "
+        f"recovery@1% {pareto_recovery_rate(found_points, true_front, tol=0.01):.2f}, "
+        f"speed-up {len(exhaustive.evaluated) / found.n_simulations:.1f}x"
+    )
+    return 0
+
+
+def cmd_report(cfg: Config, args) -> int:
+    _, result = _exhaustive(cfg)
+    print(experiment_report(cfg.scenario.location, result, horizon_years=args.years))
+    return 0
+
+
+def cmd_all(cfg: Config, args) -> int:
+    """Regenerate every artifact for both sites into ``--output-dir``."""
+    from pathlib import Path
+
+    out = Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for site in ("houston", "berkeley"):
+        site_cfg = cfg.updated("scenario.location", site)
+        scenario = _scenario_from(site_cfg)
+        result = OptimizationRunner(scenario).run_exhaustive()
+        candidates = paper_candidates(result.evaluated)
+        front = pareto_front(result.evaluated)
+
+        table = format_table(
+            candidate_table(candidates), title=f"Candidate solutions ({site})"
+        )
+        (out / f"table_{site}.txt").write_text(table + "\n")
+        write_csv(pareto_front_series(front, candidates), out / f"fig2_pareto_{site}.csv")
+        write_csv(
+            projection_series(project_many(candidates, horizon_years=20.0)),
+            out / f"fig3_projection_{site}.csv",
+        )
+        solar_levels = [i * 4_000.0 for i in range(11)]
+        wind_levels = list(range(11))
+        grid = coverage_grid(scenario, solar_levels, wind_levels)
+        write_csv(
+            coverage_heatmap_series(solar_levels, wind_levels, grid),
+            out / f"fig4_coverage_{site}.csv",
+        )
+        print(f"{site}: wrote table + fig2/fig3/fig4 series to {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Microgrid-composition optimization (paper reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--site", default="houston", choices=["houston", "berkeley"])
+        p.add_argument(
+            "--set",
+            dest="overrides",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="config override, e.g. scenario.mean_power_mw=3.0",
+        )
+        return p
+
+    common(sub.add_parser("table", help="candidate table (Tables 1-2)"))
+    p = common(sub.add_parser("pareto", help="Pareto front (Figure 2)"))
+    p.add_argument("--csv", default=None)
+    p = common(sub.add_parser("projection", help="multi-year projection (Figure 3)"))
+    p.add_argument("--years", type=float, default=20.0)
+    p.add_argument("--csv", default=None)
+    p = common(sub.add_parser("coverage", help="coverage surface (Figure 4)"))
+    p.add_argument("--csv", default=None)
+    p = common(sub.add_parser("search", help="NSGA-II vs exhaustive (section 4.4)"))
+    p.add_argument("--trials", type=int, default=350)
+    p.add_argument("--population", type=int, default=50)
+    p.add_argument("--seed", type=int, default=42)
+    p = common(sub.add_parser("report", help="full site report"))
+    p.add_argument("--years", type=float, default=20.0)
+    p = common(sub.add_parser("all", help="write every artifact for both sites"))
+    p.add_argument("--output-dir", default="artifacts")
+    return parser
+
+
+COMMANDS = {
+    "table": cmd_table,
+    "pareto": cmd_pareto,
+    "projection": cmd_projection,
+    "coverage": cmd_coverage,
+    "search": cmd_search,
+    "report": cmd_report,
+    "all": cmd_all,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    cfg = Config(DEFAULT_CONFIG).updated("scenario.location", args.site)
+    cfg = apply_overrides(cfg, args.overrides)
+    return COMMANDS[args.command](cfg, args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution
+    sys.exit(main())

@@ -1,0 +1,210 @@
+"""Hierarchical configuration objects with Hydra-style addressing.
+
+A :class:`Config` wraps a nested dict and supports
+
+* attribute and dot-path access (``cfg.scenario.location``,
+  ``cfg.get("scenario.location")``),
+* composition of layered defaults (later layers win, dicts merge deep),
+* Hydra-style command-line overrides (``scenario.location=houston``,
+  ``+new.key=3``, ``~removed.key``),
+* conversion back to plain dicts for serialization.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterator, Mapping
+
+from ..exceptions import ConfigurationError
+
+
+def _coerce(text: str) -> Any:
+    """Parse a scalar override value: bool/null/int/float/str."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("null", "none", "~"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if "," in text:
+        return [_coerce(part) for part in text.split(",") if part != ""]
+    return text
+
+
+class Config:
+    """An immutable-ish nested configuration."""
+
+    def __init__(self, data: Mapping[str, Any] | None = None) -> None:
+        object.__setattr__(self, "_data", copy.deepcopy(dict(data or {})))
+
+    # -- mapping protocol ------------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        value = self.get(key)
+        if value is None and not self.has(key):
+            raise KeyError(key)
+        return value
+
+    def __contains__(self, key: str) -> bool:
+        return self.has(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        if name not in self._data:
+            raise AttributeError(f"config has no key '{name}'")
+        value = self._data[name]
+        return Config(value) if isinstance(value, dict) else value
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise ConfigurationError("Config is read-only; use .updated()/apply_overrides()")
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Config):
+            return self._data == other._data
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Config({self._data!r})"
+
+    # -- dotted-path access ------------------------------------------------------
+
+    def get(self, path: str, default: Any = None) -> Any:
+        """Value at a dot path, or ``default``."""
+        node: Any = self._data
+        for part in path.split("."):
+            if not isinstance(node, dict) or part not in node:
+                return default
+            node = node[part]
+        return Config(node) if isinstance(node, dict) else node
+
+    def has(self, path: str) -> bool:
+        sentinel = object()
+        return self.get(path, sentinel) is not sentinel
+
+    def require(self, path: str) -> Any:
+        """Value at a dot path; raises ConfigurationError when missing."""
+        sentinel = object()
+        value = self.get(path, sentinel)
+        if value is sentinel:
+            raise ConfigurationError(f"missing required config key '{path}'")
+        return value
+
+    # -- functional updates --------------------------------------------------------
+
+    def updated(self, path: str, value: Any) -> "Config":
+        """A copy with ``path`` set to ``value`` (creating parents)."""
+        data = copy.deepcopy(self._data)
+        node = data
+        parts = path.split(".")
+        for part in parts[:-1]:
+            nxt = node.setdefault(part, {})
+            if not isinstance(nxt, dict):
+                raise ConfigurationError(
+                    f"cannot descend through non-dict at '{part}' in '{path}'"
+                )
+            node = nxt
+        node[parts[-1]] = copy.deepcopy(value)
+        return Config(data)
+
+    def removed(self, path: str) -> "Config":
+        """A copy with ``path`` deleted (no-op if missing)."""
+        data = copy.deepcopy(self._data)
+        node = data
+        parts = path.split(".")
+        for part in parts[:-1]:
+            if not isinstance(node, dict) or part not in node:
+                return Config(data)
+            node = node[part]
+        if isinstance(node, dict):
+            node.pop(parts[-1], None)
+        return Config(data)
+
+    def to_dict(self) -> dict[str, Any]:
+        return copy.deepcopy(self._data)
+
+    def flat(self, prefix: str = "") -> dict[str, Any]:
+        """Flattened ``{dot.path: leaf}`` view."""
+        out: dict[str, Any] = {}
+
+        def walk(node: Any, path: str) -> None:
+            if isinstance(node, dict):
+                for key, value in node.items():
+                    walk(value, f"{path}.{key}" if path else str(key))
+            else:
+                out[path] = node
+
+        walk(self._data, prefix)
+        return out
+
+
+def _deep_merge(base: dict, extra: Mapping) -> dict:
+    for key, value in extra.items():
+        if isinstance(value, Mapping) and isinstance(base.get(key), dict):
+            base[key] = _deep_merge(base[key], value)
+        else:
+            base[key] = copy.deepcopy(value)
+    return base
+
+
+def compose(*layers: "Mapping[str, Any] | Config") -> Config:
+    """Merge config layers left → right (later keys win, dicts merge deep).
+
+    Mirrors Hydra's defaults-list composition.
+    """
+    merged: dict[str, Any] = {}
+    for layer in layers:
+        data = layer.to_dict() if isinstance(layer, Config) else dict(layer)
+        merged = _deep_merge(merged, data)
+    return Config(merged)
+
+
+def parse_override(text: str) -> tuple[str, str, Any]:
+    """Parse one Hydra-style override.
+
+    Returns ``(op, path, value)`` with op in ``{"set", "add", "del"}``:
+    ``a.b=3`` → set, ``+a.b=3`` → add (must not exist), ``~a.b`` → delete.
+    """
+    text = text.strip()
+    if not text:
+        raise ConfigurationError("empty override")
+    if text.startswith("~"):
+        return ("del", text[1:], None)
+    op = "set"
+    if text.startswith("+"):
+        op = "add"
+        text = text[1:]
+    if "=" not in text:
+        raise ConfigurationError(f"override '{text}' must look like key=value")
+    path, raw = text.split("=", 1)
+    if not path:
+        raise ConfigurationError(f"override '{text}' has an empty key")
+    return (op, path, _coerce(raw))
+
+
+def apply_overrides(config: Config, overrides: list[str]) -> Config:
+    """Apply a list of Hydra-style override strings."""
+    for override in overrides:
+        op, path, value = parse_override(override)
+        if op == "del":
+            config = config.removed(path)
+        elif op == "add":
+            if config.has(path):
+                raise ConfigurationError(f"override '+{path}' but key already exists")
+            config = config.updated(path, value)
+        else:
+            config = config.updated(path, value)
+    return config

@@ -1,0 +1,104 @@
+"""Sweepers: expand a base config into a batch of parameterized jobs.
+
+Mirrors the Hydra sweeper / Optuna-sweeper-plugin split:
+
+* :class:`GridSweeper` — Cartesian product of per-key choice lists
+  (Hydra's basic sweeper; the paper's exhaustive baseline);
+* :class:`BlackboxSweeper` — asks a :class:`~repro.blackbox.study.Study`
+  for the next configurations and feeds results back, so any sampler
+  (NSGA-II in the paper) can drive config-space search.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..blackbox.distributions import Distribution
+from ..blackbox.study import Study
+from ..exceptions import ConfigurationError
+from .config import Config
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One job of a sweep: an index plus the fully resolved config."""
+
+    index: int
+    config: Config
+    overrides: dict[str, Any] = field(default_factory=dict)
+
+
+class GridSweeper:
+    """Cartesian-product sweeper over explicit choice lists."""
+
+    def __init__(self, base: Config, choices: dict[str, Sequence[Any]]) -> None:
+        if not choices:
+            raise ConfigurationError("grid sweep needs at least one swept key")
+        for key, values in choices.items():
+            if len(values) == 0:
+                raise ConfigurationError(f"swept key '{key}' has no values")
+        self.base = base
+        self.choices = {key: list(values) for key, values in choices.items()}
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.choices.values():
+            n *= len(values)
+        return n
+
+    def jobs(self) -> list[SweepJob]:
+        """All jobs in deterministic (row-major) order."""
+        keys = list(self.choices)
+        out: list[SweepJob] = []
+        for index, combo in enumerate(itertools.product(*(self.choices[k] for k in keys))):
+            config = self.base
+            overrides = dict(zip(keys, combo))
+            for key, value in overrides.items():
+                config = config.updated(key, value)
+            out.append(SweepJob(index=index, config=config, overrides=overrides))
+        return out
+
+
+class BlackboxSweeper:
+    """Study-driven sweeper: configs proposed by a black-box sampler.
+
+    Parameters
+    ----------
+    base:
+        Base config every proposal is overlaid on.
+    space:
+        Mapping of config dot-paths to blackbox distributions.
+    study:
+        The (possibly multi-objective) study that proposes and records.
+    """
+
+    def __init__(
+        self,
+        base: Config,
+        space: dict[str, Distribution],
+        study: Study,
+    ) -> None:
+        if not space:
+            raise ConfigurationError("black-box sweep needs a non-empty space")
+        self.base = base
+        self.space = dict(space)
+        self.study = study
+
+    def run(
+        self,
+        evaluate: Callable[[Config], "float | Sequence[float]"],
+        n_trials: int,
+    ) -> Study:
+        """Drive the study for ``n_trials`` config evaluations."""
+
+        def objective(trial):
+            config = self.base
+            for path, dist in self.space.items():
+                value = trial._suggest(path, dist)
+                config = config.updated(path, value)
+            return evaluate(config)
+
+        self.study.optimize(objective, n_trials=n_trials)
+        return self.study

@@ -1,0 +1,43 @@
+"""YAML persistence for configs (the paper's configs are YAML files)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+import yaml
+
+from ..exceptions import ConfigurationError
+from .config import Config
+
+
+def load_yaml(path: "str | Path") -> dict[str, Any]:
+    """Load a YAML file into a plain dict (empty file → empty dict)."""
+    p = Path(path)
+    if not p.exists():
+        raise ConfigurationError(f"config file not found: {p}")
+    with p.open("r", encoding="utf-8") as fh:
+        data = yaml.safe_load(fh)
+    if data is None:
+        return {}
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"top level of {p} must be a mapping, got {type(data).__name__}")
+    return data
+
+
+def dump_yaml(data: dict[str, Any], path: "str | Path") -> None:
+    """Write a dict to a YAML file (stable key order)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", encoding="utf-8") as fh:
+        yaml.safe_dump(data, fh, sort_keys=True, default_flow_style=False)
+
+
+def load_config(path: "str | Path") -> Config:
+    """Load a YAML file as a :class:`Config`."""
+    return Config(load_yaml(path))
+
+
+def save_config(config: Config, path: "str | Path") -> None:
+    """Persist a :class:`Config` as YAML."""
+    dump_yaml(config.to_dict(), path)

@@ -1,0 +1,84 @@
+"""The paper's primary contribution: the microgrid-composition
+optimization framework.
+
+Pipeline (Figure 1 of the paper):
+
+1. a :class:`~repro.core.scenario.Scenario` bundles a site's resource
+   year, the data-center workload, and the regional carbon intensity;
+2. a :class:`~repro.core.parameterspace.ParameterSpace` spans candidate
+   :class:`~repro.core.composition.MicrogridComposition`s (wind turbines ×
+   solar capacity × battery units);
+3. each candidate is evaluated — through the faithful co-simulation path
+   (:mod:`repro.core.evaluator`) or the vectorized batch path
+   (:mod:`repro.core.fastsim`) — yielding
+   :class:`~repro.core.metrics.SimulationMetrics`;
+4. multi-objective search (:mod:`repro.core.study_runner`) produces a
+   Pareto front over (embodied, operational) emissions;
+5. candidate extraction (:mod:`repro.core.candidates`) and long-term
+   projection (:mod:`repro.core.projection`) support the decision-making
+   analyses of §4.
+"""
+
+from .composition import MicrogridComposition
+from .parameterspace import PAPER_SPACE, ParameterSpace
+from .embodied import embodied_carbon_kg, embodied_carbon_tonnes
+from .metrics import EvaluatedComposition, SimulationMetrics
+from .scenario import Scenario, build_scenario
+from .evaluator import CompositionEvaluator
+from .fastsim import BatchEvaluator
+from .pareto import pareto_front, pareto_points
+from .candidates import (
+    greedy_diversity_candidates,
+    kmeans_candidates,
+    paper_candidates,
+    threshold_candidates,
+)
+from .projection import CumulativeProjection, project_emissions
+from .study_runner import OptimizationRunner, run_blackbox_search, run_exhaustive_search
+from .finance import (
+    CostParameters,
+    capex_usd,
+    levelized_cost_usd_per_mwh,
+    net_present_cost_usd,
+)
+from .multiyear import MultiYearOutcome, evaluate_across_years, robust_ranking
+from .sensitivity import (
+    best_under_budget_stability,
+    crossover_year_analytic,
+    tornado,
+)
+
+__all__ = [
+    "MicrogridComposition",
+    "ParameterSpace",
+    "PAPER_SPACE",
+    "embodied_carbon_kg",
+    "embodied_carbon_tonnes",
+    "SimulationMetrics",
+    "EvaluatedComposition",
+    "Scenario",
+    "build_scenario",
+    "CompositionEvaluator",
+    "BatchEvaluator",
+    "pareto_front",
+    "pareto_points",
+    "threshold_candidates",
+    "kmeans_candidates",
+    "greedy_diversity_candidates",
+    "paper_candidates",
+    "CumulativeProjection",
+    "project_emissions",
+    "OptimizationRunner",
+    "run_exhaustive_search",
+    "run_blackbox_search",
+    "CostParameters",
+    "capex_usd",
+    "net_present_cost_usd",
+    "levelized_cost_usd_per_mwh",
+    "MultiYearOutcome",
+    "evaluate_across_years",
+    "robust_ranking",
+    "tornado",
+    "crossover_year_analytic",
+    "best_under_budget_stability",
+]

@@ -1,0 +1,178 @@
+"""Candidate extraction: a small, decision-ready set from a Pareto front.
+
+§3.3 of the paper: "we further process the Pareto front to extract a
+smaller, representative set of candidate compositions ... through, for
+example, greedy diversity maximization, k-means clustering, or
+threshold-based approaches".  All three are implemented; the tables in §4
+use the threshold approach (best operational emissions under embodied
+budgets of 5 000 / 10 000 / 15 000 tCO₂, plus the baseline and the
+unconstrained best).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import OptimizationError
+from .metrics import EvaluatedComposition
+from .pareto import pareto_points
+
+#: The paper's embodied budgets (tCO2) for Tables 1–2.
+PAPER_BUDGETS_TCO2 = (5_000.0, 10_000.0, 15_000.0)
+
+
+def threshold_candidates(
+    evaluated: Sequence[EvaluatedComposition],
+    budgets_tco2: Sequence[float] = PAPER_BUDGETS_TCO2,
+    include_baseline: bool = True,
+    include_best: bool = True,
+) -> list[EvaluatedComposition]:
+    """The tables' candidate set: best-under-budget + baseline + best.
+
+    For each embodied budget, selects the composition with the lowest
+    operational emissions among those whose embodied emissions stay under
+    the budget (ties broken by lower embodied emissions).
+    """
+    if not evaluated:
+        raise OptimizationError("no evaluations to extract candidates from")
+    chosen: list[EvaluatedComposition] = []
+
+    if include_baseline:
+        baselines = [e for e in evaluated if e.composition.is_grid_only]
+        if baselines:
+            chosen.append(baselines[0])
+
+    for budget in sorted(budgets_tco2):
+        within = [e for e in evaluated if e.embodied_tonnes <= budget]
+        if not within:
+            continue
+        best = min(
+            within, key=lambda e: (e.operational_tco2_per_day, e.embodied_tonnes)
+        )
+        chosen.append(best)
+
+    if include_best:
+        best_overall = min(
+            evaluated, key=lambda e: (e.operational_tco2_per_day, e.embodied_tonnes)
+        )
+        chosen.append(best_overall)
+
+    # De-duplicate while preserving order (budgets can collapse).
+    seen: set = set()
+    unique: list[EvaluatedComposition] = []
+    for e in chosen:
+        key = e.composition
+        if key not in seen:
+            seen.add(key)
+            unique.append(e)
+    return unique
+
+
+def _normalized_points(
+    evaluated: Sequence[EvaluatedComposition], objectives: Sequence[str]
+) -> np.ndarray:
+    points = pareto_points(evaluated, objectives)
+    span = points.max(axis=0) - points.min(axis=0)
+    span[span <= 0] = 1.0
+    return (points - points.min(axis=0)) / span
+
+
+def greedy_diversity_candidates(
+    evaluated: Sequence[EvaluatedComposition],
+    k: int,
+    objectives: Sequence[str] = ("embodied", "operational"),
+) -> list[EvaluatedComposition]:
+    """Greedy max-min diversity: k solutions maximally spread in objective
+    space (farthest-point heuristic, 2-approximation of max-min dispersion).
+
+    Starts from the lowest-operational-emission solution, then repeatedly
+    adds the point farthest from the chosen set.
+    """
+    if k <= 0:
+        raise OptimizationError("k must be positive")
+    if not evaluated:
+        return []
+    k = min(k, len(evaluated))
+    normalized = _normalized_points(evaluated, objectives)
+
+    start = int(np.argmin(pareto_points(evaluated, ("operational",))[:, 0]))
+    chosen_idx = [start]
+    min_dist = np.linalg.norm(normalized - normalized[start], axis=1)
+    while len(chosen_idx) < k:
+        nxt = int(np.argmax(min_dist))
+        chosen_idx.append(nxt)
+        dist = np.linalg.norm(normalized - normalized[nxt], axis=1)
+        np.minimum(min_dist, dist, out=min_dist)
+    order = np.argsort(
+        [pareto_points([evaluated[i]], objectives)[0, 0] for i in chosen_idx]
+    )
+    return [evaluated[chosen_idx[i]] for i in order]
+
+
+def kmeans_candidates(
+    evaluated: Sequence[EvaluatedComposition],
+    k: int,
+    objectives: Sequence[str] = ("embodied", "operational"),
+    n_iterations: int = 50,
+    seed: int = 0,
+) -> list[EvaluatedComposition]:
+    """K-means in normalized objective space; the representative of each
+    cluster is the member closest to its centroid (medoid snap-back).
+    """
+    if k <= 0:
+        raise OptimizationError("k must be positive")
+    if not evaluated:
+        return []
+    k = min(k, len(evaluated))
+    points = _normalized_points(evaluated, objectives)
+    rng = np.random.default_rng(seed)
+
+    # k-means++ style init: spread initial centers.
+    centers = [points[int(rng.integers(0, len(points)))]]
+    for _ in range(1, k):
+        d2 = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centers], axis=0
+        )
+        total = d2.sum()
+        if total <= 0:
+            centers.append(points[int(rng.integers(0, len(points)))])
+            continue
+        probs = d2 / total
+        centers.append(points[int(rng.choice(len(points), p=probs))])
+    centers = np.asarray(centers)
+
+    assignment = np.zeros(len(points), dtype=np.int64)
+    for _ in range(n_iterations):
+        dists = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+        new_assignment = np.argmin(dists, axis=1)
+        if np.array_equal(new_assignment, assignment):
+            break
+        assignment = new_assignment
+        for j in range(k):
+            members = points[assignment == j]
+            if members.size:
+                centers[j] = members.mean(axis=0)
+
+    representatives: list[EvaluatedComposition] = []
+    for j in range(k):
+        member_idx = np.nonzero(assignment == j)[0]
+        if member_idx.size == 0:
+            continue
+        dists = np.linalg.norm(points[member_idx] - centers[j], axis=1)
+        representatives.append(evaluated[int(member_idx[np.argmin(dists)])])
+    representatives.sort(key=lambda e: e.embodied_tonnes)
+    return representatives
+
+
+def paper_candidates(
+    evaluated: Sequence[EvaluatedComposition],
+) -> list[EvaluatedComposition]:
+    """The exact 5-row candidate protocol of Tables 1–2."""
+    return threshold_candidates(
+        evaluated,
+        budgets_tco2=PAPER_BUDGETS_TCO2,
+        include_baseline=True,
+        include_best=True,
+    )

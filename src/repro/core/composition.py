@@ -1,0 +1,111 @@
+"""Microgrid compositions: the design points of the optimization.
+
+A composition is the paper's three design parameters (§3.3): number of
+wind turbines, installed solar capacity, battery storage capacity.  The
+canonical representation uses the paper's physical units — turbines are
+3 MW each, batteries come in 7.5 MWh Fluence-Smartstack units — with
+convenience constructors in MW/MWh matching the tables' notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from ..units import (
+    BATTERY_UNIT_KWH,
+    SOLAR_INCREMENT_KW,
+    WIND_TURBINE_RATED_KW,
+)
+
+
+@dataclass(frozen=True, order=True)
+class MicrogridComposition:
+    """One candidate microgrid design.
+
+    Attributes
+    ----------
+    n_turbines:
+        Number of 3 MW wind turbines (0–10 in the paper).
+    solar_kw:
+        Installed solar DC capacity in kW (0–40 000 in 4 000 steps).
+    battery_units:
+        Number of 7.5 MWh battery units (0–8).
+    """
+
+    n_turbines: int
+    solar_kw: float
+    battery_units: int
+
+    def __post_init__(self) -> None:
+        if self.n_turbines < 0:
+            raise ConfigurationError(f"n_turbines must be >= 0, got {self.n_turbines}")
+        if self.solar_kw < 0:
+            raise ConfigurationError(f"solar_kw must be >= 0, got {self.solar_kw}")
+        if self.battery_units < 0:
+            raise ConfigurationError(f"battery_units must be >= 0, got {self.battery_units}")
+
+    # -- derived quantities in the paper's table units -------------------------
+
+    @property
+    def wind_mw(self) -> float:
+        """Wind farm rated capacity (MW) — the tables' 'Wind' column."""
+        return self.n_turbines * WIND_TURBINE_RATED_KW / 1_000.0
+
+    @property
+    def solar_mw(self) -> float:
+        """Solar rated capacity (MW) — the tables' 'Solar' column."""
+        return self.solar_kw / 1_000.0
+
+    @property
+    def battery_mwh(self) -> float:
+        """Battery capacity (MWh) — the tables' 'Battery' column."""
+        return self.battery_units * BATTERY_UNIT_KWH / 1_000.0
+
+    @property
+    def battery_wh(self) -> float:
+        """Battery capacity in Wh (simulation unit)."""
+        return self.battery_units * BATTERY_UNIT_KWH * 1_000.0
+
+    @property
+    def is_grid_only(self) -> bool:
+        """True for the no-microgrid baseline (first rows of Tables 1–2)."""
+        return self.n_turbines == 0 and self.solar_kw == 0 and self.battery_units == 0
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_mw(
+        cls, wind_mw: float, solar_mw: float, battery_mwh: float
+    ) -> "MicrogridComposition":
+        """Build from the tables' (MW, MW, MWh) notation.
+
+        Values must align with the discrete increments (3 MW turbines,
+        7.5 MWh battery units).
+        """
+        turbine_mw = WIND_TURBINE_RATED_KW / 1_000.0
+        unit_mwh = BATTERY_UNIT_KWH / 1_000.0
+        n_turb = wind_mw / turbine_mw
+        n_units = battery_mwh / unit_mwh
+        if abs(n_turb - round(n_turb)) > 1e-9:
+            raise ConfigurationError(f"wind_mw={wind_mw} is not a multiple of {turbine_mw} MW")
+        if abs(n_units - round(n_units)) > 1e-9:
+            raise ConfigurationError(
+                f"battery_mwh={battery_mwh} is not a multiple of {unit_mwh} MWh"
+            )
+        return cls(
+            n_turbines=int(round(n_turb)),
+            solar_kw=solar_mw * 1_000.0,
+            battery_units=int(round(n_units)),
+        )
+
+    def label(self) -> str:
+        """Figure-3-style label: ``(wind MW, solar MW, battery MWh)``."""
+        return (
+            f"({self.wind_mw:g}, {self.solar_mw:g}, {self.battery_mwh:g})"
+        )
+
+    @property
+    def solar_increments(self) -> float:
+        """Number of 4 MW solar increments (may be fractional off-grid)."""
+        return self.solar_kw / SOLAR_INCREMENT_KW

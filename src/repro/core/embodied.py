@@ -1,0 +1,64 @@
+"""Embodied-carbon accounting (GHG Protocol Scope 3, §3.3).
+
+Per the GHG Protocol guidance the paper quotes, capital-good emissions
+are booked **in full at acquisition** — no amortization.  The footprints
+are the paper's exact constants:
+
+* solar: 630 kgCO₂/kW ("low carbon" modules, Global Electronics Council),
+* wind: 1 046 tCO₂ per 3 MW turbine (Smoucha et al. 2016),
+* battery: 62 kgCO₂/kWh LFP (Peiseler et al. 2024) → 465 tCO₂ per
+  7.5 MWh unit.
+
+These reproduce the tables' embodied column exactly, e.g. Houston's
+(12 MW wind, 12 MW solar, 52.5 MWh) → 4·1 046 + 3·2 520 + 7·465 =
+14 999 tCO₂.
+"""
+
+from __future__ import annotations
+
+from ..units import (
+    BATTERY_EMBODIED_KG_PER_KWH,
+    BATTERY_UNIT_KWH,
+    KG_PER_TONNE,
+    SOLAR_EMBODIED_KG_PER_KW,
+    WIND_EMBODIED_KG_PER_TURBINE,
+)
+from .composition import MicrogridComposition
+
+
+def solar_embodied_kg(solar_kw: float) -> float:
+    """Embodied footprint of the solar farm (kgCO2)."""
+    return solar_kw * SOLAR_EMBODIED_KG_PER_KW
+
+
+def wind_embodied_kg(n_turbines: int) -> float:
+    """Embodied footprint of the wind farm (kgCO2)."""
+    return n_turbines * WIND_EMBODIED_KG_PER_TURBINE
+
+
+def battery_embodied_kg(battery_units: int) -> float:
+    """Embodied footprint of the battery system (kgCO2)."""
+    return battery_units * BATTERY_UNIT_KWH * BATTERY_EMBODIED_KG_PER_KWH
+
+
+def embodied_carbon_kg(comp: MicrogridComposition) -> float:
+    """Total embodied footprint of a composition (kgCO2)."""
+    return (
+        solar_embodied_kg(comp.solar_kw)
+        + wind_embodied_kg(comp.n_turbines)
+        + battery_embodied_kg(comp.battery_units)
+    )
+
+
+def embodied_carbon_tonnes(comp: MicrogridComposition) -> float:
+    """Total embodied footprint (tCO2) — the tables' 'Embodied' column."""
+    return embodied_carbon_kg(comp) / KG_PER_TONNE
+
+
+def embodied_breakdown_tonnes(comp: MicrogridComposition) -> dict[str, float]:
+    """Per-technology embodied footprint (tCO2)."""
+    return {
+        "solar": solar_embodied_kg(comp.solar_kw) / KG_PER_TONNE,
+        "wind": wind_embodied_kg(comp.n_turbines) / KG_PER_TONNE,
+        "battery": battery_embodied_kg(comp.battery_units) / KG_PER_TONNE,
+    }

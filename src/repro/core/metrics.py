@@ -1,0 +1,171 @@
+"""Simulation metrics and evaluated compositions.
+
+The paper's tables report, per composition: embodied emissions (tCO₂),
+operational emissions (tCO₂/day), on-site coverage (%), and battery
+cycles.  §4.3 adds optional objectives (cost, curtailment, reliability,
+degradation) — all carried by :class:`SimulationMetrics` so any subset
+can be optimized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..exceptions import ConfigurationError
+from ..units import DAYS_PER_YEAR, KG_PER_TONNE, WH_PER_KWH, WH_PER_MWH
+from .composition import MicrogridComposition
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """Aggregate outcome of simulating one composition for one horizon.
+
+    All energies in Wh over the simulated horizon; emissions in kgCO2.
+    """
+
+    horizon_days: float
+    demand_energy_wh: float
+    onsite_generation_wh: float
+    grid_import_wh: float
+    grid_export_wh: float
+    battery_charge_wh: float
+    battery_discharge_wh: float
+    operational_emissions_kg: float
+    battery_usable_wh: float
+    unserved_energy_wh: float = 0.0
+    electricity_cost_usd: float = 0.0
+    #: fraction of steps with zero grid import (reliability metric, §4.3)
+    islanded_fraction: float = 0.0
+    #: battery capacity fade over the horizon (degradation extension)
+    battery_fade: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.horizon_days <= 0:
+            raise ConfigurationError("horizon must be positive")
+        for name in (
+            "demand_energy_wh",
+            "onsite_generation_wh",
+            "grid_import_wh",
+            "grid_export_wh",
+            "battery_charge_wh",
+            "battery_discharge_wh",
+        ):
+            if getattr(self, name) < -1e-6:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    # -- the tables' columns ------------------------------------------------
+
+    @property
+    def operational_tco2_per_day(self) -> float:
+        """Operational emissions rate — the tables' 'Operat.' column."""
+        return self.operational_emissions_kg / KG_PER_TONNE / self.horizon_days
+
+    @property
+    def coverage(self) -> float:
+        """On-site coverage: fraction of demand *not* met by grid import.
+
+        Matches the paper's 'Cov. (%)' column (0–1 here; format ×100).
+        """
+        if self.demand_energy_wh <= 0:
+            return 0.0
+        served = self.demand_energy_wh - self.grid_import_wh - self.unserved_energy_wh
+        return max(min(served / self.demand_energy_wh, 1.0), 0.0)
+
+    @property
+    def battery_cycles(self) -> float | None:
+        """Equivalent full cycles over the horizon ('Battery cycles').
+
+        ``None`` when there is no battery (the tables print '–').
+        """
+        if self.battery_usable_wh <= 0:
+            return None
+        return self.battery_discharge_wh / self.battery_usable_wh
+
+    # -- additional objectives (§4.3) -------------------------------------------
+
+    @property
+    def curtailed_energy_mwh(self) -> float:
+        """Exported/curtailed on-site energy (MWh)."""
+        return self.grid_export_wh / WH_PER_MWH
+
+    @property
+    def renewable_utilization(self) -> float:
+        """Fraction of on-site generation actually used (1 − curtailed)."""
+        if self.onsite_generation_wh <= 0:
+            return 0.0
+        return 1.0 - self.grid_export_wh / self.onsite_generation_wh
+
+    @property
+    def mean_import_intensity_g_per_kwh(self) -> float:
+        """Average CI of imported energy (diagnostic)."""
+        if self.grid_import_wh <= 0:
+            return 0.0
+        return self.operational_emissions_kg * 1_000.0 / (self.grid_import_wh / WH_PER_KWH)
+
+
+@dataclass(frozen=True)
+class EvaluatedComposition:
+    """A composition together with its embodied cost and simulated metrics."""
+
+    composition: MicrogridComposition
+    embodied_kg: float
+    metrics: SimulationMetrics
+
+    @property
+    def embodied_tonnes(self) -> float:
+        return self.embodied_kg / KG_PER_TONNE
+
+    @property
+    def operational_tco2_per_day(self) -> float:
+        return self.metrics.operational_tco2_per_day
+
+    def objectives(self, names: Sequence[str] = ("operational", "embodied")) -> tuple[float, ...]:
+        """Objective vector for the study layer (all minimized).
+
+        Supported names: ``operational`` (tCO2/day), ``embodied`` (tCO2),
+        ``cost`` ($), ``cycles`` (battery EFC), ``curtailment`` (MWh),
+        ``grid_dependence`` (1 − coverage), ``unreliability``
+        (1 − islanded fraction).
+        """
+        out: list[float] = []
+        for name in names:
+            if name == "operational":
+                out.append(self.metrics.operational_tco2_per_day)
+            elif name == "embodied":
+                out.append(self.embodied_tonnes)
+            elif name == "cost":
+                out.append(self.metrics.electricity_cost_usd)
+            elif name == "cycles":
+                cycles = self.metrics.battery_cycles
+                out.append(0.0 if cycles is None else cycles)
+            elif name == "curtailment":
+                out.append(self.metrics.curtailed_energy_mwh)
+            elif name == "grid_dependence":
+                out.append(1.0 - self.metrics.coverage)
+            elif name == "unreliability":
+                out.append(1.0 - self.metrics.islanded_fraction)
+            else:
+                raise ConfigurationError(f"unknown objective '{name}'")
+        return tuple(out)
+
+    def table_row(self) -> dict[str, float | str]:
+        """One row of the paper's candidate tables."""
+        cycles = self.metrics.battery_cycles
+        return {
+            "wind_mw": self.composition.wind_mw,
+            "solar_mw": self.composition.solar_mw,
+            "battery_mwh": self.composition.battery_mwh,
+            "embodied_tco2": round(self.embodied_tonnes),
+            "operational_tco2_day": round(self.operational_tco2_per_day, 2),
+            "coverage_pct": round(self.metrics.coverage * 100.0, 2),
+            "battery_cycles": "-" if cycles is None else round(cycles),
+        }
+
+
+def annualize_horizon_days(n_hours: int) -> float:
+    """Days represented by an hourly simulation horizon."""
+    return n_hours / 24.0
+
+
+DEFAULT_HORIZON_DAYS = DAYS_PER_YEAR

@@ -1,0 +1,107 @@
+"""Multi-year robustness analysis (beyond the paper's single year).
+
+The paper simulates one resource year per site; real sizing decisions
+must be robust to inter-annual weather variability.  This module
+evaluates compositions against an **ensemble of synthetic weather
+years** (different `year_label` seeds — same climatology, different
+realizations) and summarizes each composition's distribution of
+outcomes.  A composition that looks Pareto-optimal in one lucky year but
+degrades badly in a becalmed year is exactly what this analysis exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .composition import MicrogridComposition
+from .embodied import embodied_carbon_kg
+from .fastsim import BatchEvaluator
+from .metrics import EvaluatedComposition
+from .scenario import build_scenario
+
+
+@dataclass(frozen=True)
+class MultiYearOutcome:
+    """Distribution of annual outcomes for one composition."""
+
+    composition: MicrogridComposition
+    embodied_tonnes: float
+    operational_tco2_day_by_year: np.ndarray
+    coverage_by_year: np.ndarray
+
+    @property
+    def operational_mean(self) -> float:
+        return float(self.operational_tco2_day_by_year.mean())
+
+    @property
+    def operational_worst(self) -> float:
+        return float(self.operational_tco2_day_by_year.max())
+
+    @property
+    def operational_std(self) -> float:
+        return float(self.operational_tco2_day_by_year.std())
+
+    @property
+    def coverage_mean(self) -> float:
+        return float(self.coverage_by_year.mean())
+
+    @property
+    def coverage_worst(self) -> float:
+        return float(self.coverage_by_year.min())
+
+    def cvar_operational(self, alpha: float = 0.25) -> float:
+        """Mean of the worst ``alpha`` fraction of years (robust objective)."""
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        values = np.sort(self.operational_tco2_day_by_year)[::-1]
+        k = max(int(np.ceil(alpha * values.size)), 1)
+        return float(values[:k].mean())
+
+
+def evaluate_across_years(
+    location: str,
+    compositions: Sequence[MicrogridComposition],
+    year_labels: Sequence[int] = (2020, 2021, 2022, 2023, 2024),
+    n_hours: int = 8_760,
+) -> list[MultiYearOutcome]:
+    """Evaluate compositions against an ensemble of weather years.
+
+    Each year label seeds an independent realization of the site's
+    climatology (including its own dunkelflaute events); demand and the
+    carbon-intensity *profile* also re-randomize while their calibrated
+    means stay fixed.
+    """
+    if not year_labels:
+        raise ConfigurationError("need at least one year label")
+    if not compositions:
+        return []
+
+    operational = np.empty((len(compositions), len(year_labels)))
+    coverage = np.empty_like(operational)
+    for j, year in enumerate(year_labels):
+        scenario = build_scenario(location, year_label=int(year), n_hours=n_hours)
+        evaluated = BatchEvaluator(scenario).evaluate(list(compositions))
+        for i, e in enumerate(evaluated):
+            operational[i, j] = e.metrics.operational_tco2_per_day
+            coverage[i, j] = e.metrics.coverage
+
+    return [
+        MultiYearOutcome(
+            composition=comp,
+            embodied_tonnes=embodied_carbon_kg(comp) / 1_000.0,
+            operational_tco2_day_by_year=operational[i].copy(),
+            coverage_by_year=coverage[i].copy(),
+        )
+        for i, comp in enumerate(compositions)
+    ]
+
+
+def robust_ranking(
+    outcomes: Sequence[MultiYearOutcome], alpha: float = 0.25
+) -> list[MultiYearOutcome]:
+    """Rank by CVaR of operational emissions (ascending = most robust)."""
+    return sorted(outcomes, key=lambda o: o.cvar_operational(alpha))

@@ -1,0 +1,51 @@
+"""Pareto analysis over evaluated compositions.
+
+Thin composition-aware wrappers around the generic multi-objective
+utilities in :mod:`repro.blackbox.multiobjective` (one implementation of
+non-dominated sorting serves both layers).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..blackbox.multiobjective import hypervolume_2d, pareto_front_indices
+from .metrics import EvaluatedComposition
+
+
+def pareto_points(
+    evaluated: Sequence[EvaluatedComposition],
+    objectives: Sequence[str] = ("embodied", "operational"),
+) -> np.ndarray:
+    """Objective matrix (n × m, minimization) for a set of evaluations."""
+    return np.array([e.objectives(objectives) for e in evaluated], dtype=np.float64)
+
+
+def pareto_front(
+    evaluated: Sequence[EvaluatedComposition],
+    objectives: Sequence[str] = ("embodied", "operational"),
+) -> list[EvaluatedComposition]:
+    """Non-dominated subset under the given (minimized) objectives.
+
+    For Figure 2's axes use the default ``("embodied", "operational")``.
+    """
+    if not evaluated:
+        return []
+    points = pareto_points(evaluated, objectives)
+    idx = pareto_front_indices(points)
+    # Sort along the first objective for stable, plot-ready ordering.
+    idx = idx[np.argsort(points[idx, 0], kind="stable")]
+    return [evaluated[i] for i in idx]
+
+
+def front_hypervolume(
+    evaluated: Sequence[EvaluatedComposition],
+    reference: tuple[float, float],
+    objectives: Sequence[str] = ("embodied", "operational"),
+) -> float:
+    """2-D hypervolume of the front (search-quality indicator, §4.4)."""
+    if not evaluated:
+        return 0.0
+    return hypervolume_2d(pareto_points(evaluated, objectives), np.asarray(reference))

@@ -1,0 +1,106 @@
+"""Long-term emission projection (Figure 3, §4.2).
+
+"Each line begins at the respective composition's embodied emissions and
+accumulates operational emissions over time, assuming a constant daily
+emissions rate and no reinvestments."  The projection is deliberately
+naive (the paper calls it a conservative baseline); the degradation-aware
+extension adds battery-replacement reinvestment as an option.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..units import DAYS_PER_YEAR
+from .embodied import battery_embodied_kg
+from .metrics import EvaluatedComposition
+
+
+@dataclass(frozen=True)
+class CumulativeProjection:
+    """Cumulative total emissions (tCO2) of one composition over years."""
+
+    label: str
+    years: np.ndarray
+    total_tco2: np.ndarray
+
+    def at_year(self, year: float) -> float:
+        """Interpolated cumulative emissions at a (fractional) year."""
+        return float(np.interp(year, self.years, self.total_tco2))
+
+
+def project_emissions(
+    evaluated: EvaluatedComposition,
+    horizon_years: float = 20.0,
+    samples_per_year: int = 4,
+    battery_replacement_years: float | None = None,
+) -> CumulativeProjection:
+    """Project total (embodied + operational) emissions over a horizon.
+
+    Parameters
+    ----------
+    battery_replacement_years:
+        If set, re-book the battery's embodied carbon every this-many
+        years (the reinvestment scenario the paper's §4.2 excludes but
+        flags: "batteries may require replacement within 10–15 years").
+    """
+    if horizon_years <= 0:
+        raise ConfigurationError("horizon must be positive")
+    if samples_per_year < 1:
+        raise ConfigurationError("need at least one sample per year")
+    n = int(round(horizon_years * samples_per_year)) + 1
+    years = np.linspace(0.0, horizon_years, n)
+
+    daily_rate_t = evaluated.operational_tco2_per_day
+    total = evaluated.embodied_tonnes + daily_rate_t * DAYS_PER_YEAR * years
+
+    if battery_replacement_years is not None:
+        if battery_replacement_years <= 0:
+            raise ConfigurationError("replacement interval must be positive")
+        battery_t = battery_embodied_kg(evaluated.composition.battery_units) / 1_000.0
+        n_replacements = np.floor(years / battery_replacement_years)
+        # The initial install is already in embodied_tonnes; only count
+        # subsequent replacements.
+        total = total + battery_t * n_replacements
+
+    return CumulativeProjection(
+        label=evaluated.composition.label(), years=years, total_tco2=total
+    )
+
+
+def project_many(
+    evaluated: Sequence[EvaluatedComposition],
+    horizon_years: float = 20.0,
+    samples_per_year: int = 4,
+) -> list[CumulativeProjection]:
+    """Project a set of candidates (one Figure-3 panel)."""
+    return [project_emissions(e, horizon_years, samples_per_year) for e in evaluated]
+
+
+def crossover_year(
+    a: CumulativeProjection, b: CumulativeProjection
+) -> float | None:
+    """First year where projection ``a`` overtakes ``b`` (becomes worse).
+
+    Returns ``None`` if the curves never cross within the horizon.  Used
+    to reproduce the §4.2 observation that the grid-only baseline becomes
+    the worst option after ≈7 years (Houston) / ≈12 years (Berkeley).
+    """
+    years = a.years
+    if not np.array_equal(years, b.years):
+        raise ConfigurationError("projections must share the year grid")
+    diff = a.total_tco2 - b.total_tco2
+    sign_change = np.nonzero((diff[:-1] <= 0) & (diff[1:] > 0))[0]
+    if sign_change.size == 0:
+        return None
+    i = int(sign_change[0])
+    # Linear interpolation inside the crossing interval.
+    y0, y1 = years[i], years[i + 1]
+    d0, d1 = diff[i], diff[i + 1]
+    if d1 == d0:
+        return float(y1)
+    return float(y0 + (y1 - y0) * (0.0 - d0) / (d1 - d0))

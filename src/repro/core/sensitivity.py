@@ -1,0 +1,119 @@
+"""One-at-a-time sensitivity analysis of the sizing decision.
+
+The paper's conclusions rest on several exogenous constants — embodied
+footprints, grid carbon intensity, facility load.  This module perturbs
+each factor over a range and reports how the headline outputs (the
+best-under-budget composition's operational emissions, and the
+baseline-vs-buildout crossover year) move: a tornado analysis for the
+decision-maker the framework targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..units import DAYS_PER_YEAR
+from .composition import MicrogridComposition
+from .metrics import EvaluatedComposition
+from .scenario import Scenario
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Effect of sweeping one factor."""
+
+    factor: str
+    multipliers: np.ndarray
+    values: np.ndarray  # output per multiplier
+
+    @property
+    def swing(self) -> float:
+        """Output range across the sweep (the tornado bar length)."""
+        return float(self.values.max() - self.values.min())
+
+
+def scale_operational(
+    evaluated: EvaluatedComposition, ci_multiplier: float = 1.0
+) -> float:
+    """Operational tCO2/day under a uniformly scaled carbon intensity.
+
+    Because Scope-2 emissions are linear in CI, a uniform grid-mix shift
+    (e.g. projected decarbonization) rescales the operational axis without
+    re-simulation.
+    """
+    if ci_multiplier < 0:
+        raise ConfigurationError("CI multiplier must be non-negative")
+    return evaluated.operational_tco2_per_day * ci_multiplier
+
+
+def crossover_year_analytic(
+    baseline: EvaluatedComposition,
+    buildout: EvaluatedComposition,
+    ci_multiplier: float = 1.0,
+    embodied_multiplier: float = 1.0,
+) -> float | None:
+    """Baseline-overtakes-buildout year under scaled CI / embodied carbon.
+
+    Solves ``emb_b·m_e + op_b·m_c·365·t  =  emb_0 + op_0·m_c·365·t`` —
+    exact because the projection is linear (§4.2).
+    """
+    if ci_multiplier <= 0 or embodied_multiplier <= 0:
+        raise ConfigurationError("multipliers must be positive")
+    op_gap_per_year = (
+        (baseline.operational_tco2_per_day - buildout.operational_tco2_per_day)
+        * ci_multiplier
+        * DAYS_PER_YEAR
+    )
+    emb_gap = (buildout.embodied_tonnes - baseline.embodied_tonnes) * embodied_multiplier
+    if op_gap_per_year <= 0:
+        return None
+    return emb_gap / op_gap_per_year
+
+
+def tornado(
+    baseline: EvaluatedComposition,
+    buildout: EvaluatedComposition,
+    multipliers: Sequence[float] = (0.5, 0.75, 1.0, 1.25, 1.5),
+) -> list[SensitivityResult]:
+    """Tornado analysis of the crossover year wrt CI and embodied scaling."""
+    mults = np.asarray(list(multipliers), dtype=np.float64)
+    results = []
+    for factor, kwargs_fn in (
+        ("carbon_intensity", lambda m: {"ci_multiplier": m}),
+        ("embodied_carbon", lambda m: {"embodied_multiplier": m}),
+    ):
+        values = np.array(
+            [
+                crossover_year_analytic(baseline, buildout, **kwargs_fn(m)) or np.nan
+                for m in mults
+            ]
+        )
+        results.append(SensitivityResult(factor=factor, multipliers=mults, values=values))
+    return sorted(results, key=lambda r: -r.swing)
+
+
+def best_under_budget_stability(
+    evaluated: Sequence[EvaluatedComposition],
+    budget_tco2: float,
+    embodied_multipliers: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.25),
+) -> dict[float, MicrogridComposition]:
+    """How the best-under-budget pick shifts as embodied footprints scale.
+
+    Rising module/turbine footprints shrink what fits under a budget;
+    this maps multiplier → chosen composition, exposing decision
+    robustness (a pick that flips at ±10 % is fragile).
+    """
+    if budget_tco2 <= 0:
+        raise ConfigurationError("budget must be positive")
+    picks: dict[float, MicrogridComposition] = {}
+    for mult in embodied_multipliers:
+        within = [e for e in evaluated if e.embodied_tonnes * mult <= budget_tco2]
+        if not within:
+            continue
+        best = min(within, key=lambda e: (e.operational_tco2_per_day, e.embodied_tonnes))
+        picks[float(mult)] = best.composition
+    return picks

@@ -1,0 +1,66 @@
+"""Actors: the power-producing and power-consuming entities of a microgrid.
+
+Sign convention (Vessim's): an actor's power is **positive for
+production** (solar farm, wind farm) and **negative for consumption**
+(the data center).  The microgrid sums actor powers each step to obtain
+the local net balance.
+
+Actors can be individually enabled/disabled and scaled by controllers —
+the hooks used by the demand-response extension (§4.3).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+from .signal import Signal
+
+
+class Actor:
+    """A named power actor fed by a signal.
+
+    Parameters
+    ----------
+    name:
+        Unique name within a microgrid.
+    signal:
+        The power signal in watts.  Positive = production.
+    is_consumer:
+        If True, the signal is interpreted as a (positive) demand trace
+        and negated — so demand traces can be used without manual sign
+        flipping.
+    scale:
+        Multiplier applied to the signal (e.g. derate, curtailment).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        signal: Signal,
+        is_consumer: bool = False,
+        scale: float = 1.0,
+    ) -> None:
+        if not name:
+            raise ConfigurationError("actor needs a non-empty name")
+        if scale < 0:
+            raise ConfigurationError(f"actor scale must be >= 0, got {scale}")
+        self.name = name
+        self.signal = signal
+        self.is_consumer = is_consumer
+        self.scale = scale
+        self.enabled = True
+        #: additive power offset (W) applied by controllers (e.g. deferred
+        #: load being replayed); respects the actor's sign convention.
+        self.power_offset_w = 0.0
+
+    def power_at(self, t_s: float) -> float:
+        """Signed power (W) at time ``t_s`` (production +, consumption −)."""
+        if not self.enabled:
+            return 0.0
+        raw = self.signal.at(t_s) * self.scale
+        if self.is_consumer:
+            raw = -abs(raw)
+        return raw + self.power_offset_w
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "consumer" if self.is_consumer else "producer"
+        return f"<Actor '{self.name}' ({kind}, scale={self.scale})>"

@@ -1,0 +1,195 @@
+"""Storage implementations.
+
+:class:`CLCBattery` wraps the C/L/C model equations from
+:mod:`repro.sam.batterymodels.clc` — the same function the vectorized
+batch evaluator uses, so the co-simulated and batch paths share one
+physics implementation.  :class:`IdealBattery` is a lossless, unlimited-
+rate battery for analytic unit tests.  :class:`LongDurationStorage` is a
+hydrogen-like store demonstrating the framework extensibility the paper
+claims (§3.3: "additional technologies such as hydrogen production and
+storage, and long-duration storage systems").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..sam.batterymodels.clc import CLCParameters, clc_step
+from ..units import SECONDS_PER_HOUR
+from .storage import Storage
+
+
+class CLCBattery(Storage):
+    """The paper's battery: C/L/C model (Kazhamiaka et al. 2019).
+
+    Tracks total charge/discharge throughput and the SoC history needed
+    for the cycle metrics in Tables 1–2.
+    """
+
+    def __init__(
+        self,
+        capacity_wh: float,
+        initial_soc: float = 0.5,
+        params: CLCParameters | None = None,
+        track_history: bool = False,
+    ) -> None:
+        if params is not None and not np.isclose(params.capacity_wh, capacity_wh):
+            raise ConfigurationError("params.capacity_wh disagrees with capacity_wh")
+        self.params = params or CLCParameters(capacity_wh=capacity_wh)
+        if capacity_wh > 0:
+            initial_soc = float(np.clip(initial_soc, self.params.soc_min, self.params.soc_max))
+        self._initial_soc = initial_soc
+        self._energy_wh = capacity_wh * initial_soc
+        self.charge_energy_wh = 0.0
+        self.discharge_energy_wh = 0.0
+        self.track_history = track_history
+        self.soc_history: list[float] = [initial_soc] if track_history else []
+
+    # -- Storage interface ---------------------------------------------------
+
+    def update(self, power_w: float, duration_s: float) -> float:
+        if duration_s <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration_s}")
+        accepted, new_e = clc_step(self.params, self._energy_wh, power_w, duration_s)
+        self._energy_wh = new_e
+        dt_h = duration_s / SECONDS_PER_HOUR
+        if accepted > 0:
+            self.charge_energy_wh += accepted * dt_h
+        else:
+            self.discharge_energy_wh += -accepted * dt_h
+        if self.track_history:
+            self.soc_history.append(self.soc())
+        return accepted
+
+    def soc(self) -> float:
+        if self.params.capacity_wh <= 0:
+            return 0.0
+        return self._energy_wh / self.params.capacity_wh
+
+    @property
+    def capacity_wh(self) -> float:
+        return self.params.capacity_wh
+
+    @property
+    def usable_capacity_wh(self) -> float:
+        return self.params.usable_capacity_wh
+
+    @property
+    def energy_wh(self) -> float:
+        return self._energy_wh
+
+    def reset(self) -> None:
+        self._energy_wh = self.params.capacity_wh * self._initial_soc
+        self.charge_energy_wh = 0.0
+        self.discharge_energy_wh = 0.0
+        self.soc_history = [self._initial_soc] if self.track_history else []
+
+    def equivalent_full_cycles(self) -> float:
+        """Throughput-based EFC — the "Battery cycles" column of the tables."""
+        if self.usable_capacity_wh <= 0:
+            return 0.0
+        return self.discharge_energy_wh / self.usable_capacity_wh
+
+
+class IdealBattery(Storage):
+    """Lossless, rate-unlimited battery for analytic tests."""
+
+    def __init__(self, capacity_wh: float, initial_soc: float = 0.5) -> None:
+        if capacity_wh < 0:
+            raise ConfigurationError("capacity must be >= 0")
+        self._capacity = float(capacity_wh)
+        self._initial = float(np.clip(initial_soc, 0.0, 1.0)) * self._capacity
+        self._energy_wh = self._initial
+
+    def update(self, power_w: float, duration_s: float) -> float:
+        dt_h = duration_s / SECONDS_PER_HOUR
+        if power_w >= 0:
+            room = self._capacity - self._energy_wh
+            accepted = min(power_w, room / dt_h if dt_h > 0 else 0.0)
+            self._energy_wh += accepted * dt_h
+            return accepted
+        available = self._energy_wh
+        delivered = min(-power_w, available / dt_h if dt_h > 0 else 0.0)
+        self._energy_wh -= delivered * dt_h
+        return -delivered
+
+    def soc(self) -> float:
+        return self._energy_wh / self._capacity if self._capacity > 0 else 0.0
+
+    @property
+    def capacity_wh(self) -> float:
+        return self._capacity
+
+    @property
+    def usable_capacity_wh(self) -> float:
+        return self._capacity
+
+    @property
+    def energy_wh(self) -> float:
+        return self._energy_wh
+
+    def reset(self) -> None:
+        self._energy_wh = self._initial
+
+
+class LongDurationStorage(Storage):
+    """Hydrogen-like long-duration store: huge capacity, poor round-trip.
+
+    Electrolyzer/fuel-cell style: separate power ratings for charge
+    (electrolysis) and discharge (fuel cell), ~35 % round-trip efficiency,
+    negligible self-discharge.  Demonstrates the generic Storage seam.
+    """
+
+    def __init__(
+        self,
+        capacity_wh: float,
+        charge_power_w: float,
+        discharge_power_w: float,
+        eta_charge: float = 0.65,
+        eta_discharge: float = 0.55,
+        initial_soc: float = 0.5,
+    ) -> None:
+        if capacity_wh < 0 or charge_power_w < 0 or discharge_power_w < 0:
+            raise ConfigurationError("capacity and power ratings must be >= 0")
+        if not (0 < eta_charge <= 1 and 0 < eta_discharge <= 1):
+            raise ConfigurationError("efficiencies must be in (0, 1]")
+        self._capacity = float(capacity_wh)
+        self._p_chg = float(charge_power_w)
+        self._p_dis = float(discharge_power_w)
+        self._eta_c = eta_charge
+        self._eta_d = eta_discharge
+        self._initial = float(np.clip(initial_soc, 0.0, 1.0)) * self._capacity
+        self._energy_wh = self._initial
+
+    def update(self, power_w: float, duration_s: float) -> float:
+        dt_h = duration_s / SECONDS_PER_HOUR
+        if dt_h <= 0:
+            raise ConfigurationError("duration must be positive")
+        if power_w >= 0:
+            headroom_w = (self._capacity - self._energy_wh) / dt_h / self._eta_c
+            accepted = min(power_w, self._p_chg, headroom_w)
+            self._energy_wh += accepted * self._eta_c * dt_h
+            return accepted
+        available_w = self._energy_wh / dt_h * self._eta_d
+        delivered = min(-power_w, self._p_dis, available_w)
+        self._energy_wh -= delivered * dt_h / self._eta_d
+        return -delivered
+
+    def soc(self) -> float:
+        return self._energy_wh / self._capacity if self._capacity > 0 else 0.0
+
+    @property
+    def capacity_wh(self) -> float:
+        return self._capacity
+
+    @property
+    def usable_capacity_wh(self) -> float:
+        return self._capacity
+
+    @property
+    def energy_wh(self) -> float:
+        return self._energy_wh
+
+    def reset(self) -> None:
+        self._energy_wh = self._initial

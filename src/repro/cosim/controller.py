@@ -1,0 +1,143 @@
+"""Controllers: operational strategies layered on the co-simulation.
+
+Vessim supports control systems as first-class co-simulated entities; the
+paper lists demand response and carbon-aware scheduling as strategies the
+framework can accommodate (§3.3, §4.3).  Controllers run *before* the
+microgrid resolves a step and may mutate actor state (scales/offsets) or
+interact with storage directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from typing import TYPE_CHECKING
+
+from ..exceptions import ConfigurationError
+from .microgrid import Microgrid, StepResult
+from .signal import Signal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .grid import GridConnection
+
+
+class Controller(ABC):
+    """Hook invoked once per step before power-flow resolution."""
+
+    @abstractmethod
+    def on_step(self, microgrid: Microgrid, t_s: float, dt_s: float) -> None:
+        """Adjust the microgrid for the step starting at ``t_s``."""
+
+
+class DeferrableLoadController(Controller):
+    """Demand response: defer a slice of load under high carbon intensity.
+
+    A fraction of the consumer's demand is deferrable (e.g. batch jobs,
+    checkpoint-restartable HPC work).  When the grid carbon intensity
+    exceeds a threshold, that slice is shed into a backlog; when intensity
+    drops below, the backlog is replayed at a bounded rate.  Energy is
+    conserved: everything deferred is eventually replayed.
+    """
+
+    def __init__(
+        self,
+        consumer_name: str,
+        carbon_intensity: Signal,
+        threshold_g_per_kwh: float,
+        deferrable_fraction: float = 0.2,
+        replay_rate_w: float | None = None,
+    ) -> None:
+        if not 0.0 <= deferrable_fraction <= 1.0:
+            raise ConfigurationError("deferrable fraction must be in [0, 1]")
+        if threshold_g_per_kwh < 0:
+            raise ConfigurationError("threshold must be non-negative")
+        self.consumer_name = consumer_name
+        self.carbon_intensity = carbon_intensity
+        self.threshold = threshold_g_per_kwh
+        self.deferrable_fraction = deferrable_fraction
+        self.replay_rate_w = replay_rate_w
+        self.backlog_wh = 0.0
+        self.deferred_total_wh = 0.0
+
+    def on_step(self, microgrid: Microgrid, t_s: float, dt_s: float) -> None:
+        actor = microgrid.actor(self.consumer_name)
+        if not actor.is_consumer:
+            raise ConfigurationError(f"actor '{actor.name}' is not a consumer")
+        dt_h = dt_s / 3_600.0
+        ci = self.carbon_intensity.at(t_s)
+
+        # Base demand magnitude without our offset.
+        actor.power_offset_w = 0.0
+        base_demand_w = -actor.power_at(t_s)
+
+        if ci > self.threshold:
+            shed_w = self.deferrable_fraction * base_demand_w
+            self.backlog_wh += shed_w * dt_h
+            self.deferred_total_wh += shed_w * dt_h
+            actor.power_offset_w = shed_w  # offset is +, reduces consumption
+        elif self.backlog_wh > 0.0:
+            max_rate = (
+                self.replay_rate_w
+                if self.replay_rate_w is not None
+                else self.deferrable_fraction * base_demand_w
+            )
+            replay_w = min(max_rate, self.backlog_wh / dt_h)
+            self.backlog_wh -= replay_w * dt_h
+            actor.power_offset_w = -replay_w  # extra consumption
+
+
+class CarbonAwareChargeController(Controller):
+    """Charge storage from the grid when carbon intensity is very low.
+
+    Extends the default self-consumption policy: if the grid is cleaner
+    than ``charge_threshold`` and the battery is below ``target_soc``,
+    the controller buys a grid charge this step.  The purchased energy is
+    charged into storage directly and, when a
+    :class:`~repro.cosim.grid.GridConnection` is attached, booked there as
+    an extra import (with its Scope-2 emissions), keeping the energy
+    ledger consistent with the policy-routed flows.
+    """
+
+    def __init__(
+        self,
+        carbon_intensity: Signal,
+        charge_threshold_g_per_kwh: float,
+        charge_power_w: float,
+        target_soc: float = 0.9,
+        grid: "GridConnection | None" = None,
+    ) -> None:
+        if charge_power_w < 0:
+            raise ConfigurationError("charge power must be >= 0")
+        if not 0.0 < target_soc <= 1.0:
+            raise ConfigurationError("target SoC must be in (0, 1]")
+        self.carbon_intensity = carbon_intensity
+        self.charge_threshold = charge_threshold_g_per_kwh
+        self.charge_power_w = charge_power_w
+        self.target_soc = target_soc
+        self.grid = grid
+        self.grid_charge_energy_wh = 0.0
+
+    def on_step(self, microgrid: Microgrid, t_s: float, dt_s: float) -> None:
+        storage = microgrid.storage
+        if storage is None or storage.capacity_wh <= 0:
+            return
+        ci = self.carbon_intensity.at(t_s)
+        if ci <= self.charge_threshold and storage.soc() < self.target_soc:
+            accepted = storage.update(self.charge_power_w, dt_s)
+            self.grid_charge_energy_wh += accepted * dt_s / 3_600.0
+            if self.grid is not None and accepted > 0.0:
+                self.grid.record(
+                    StepResult(
+                        t_s=t_s,
+                        dt_s=dt_s,
+                        production_w=0.0,
+                        consumption_w=0.0,
+                        net_power_w=-accepted,
+                        grid_import_w=accepted,
+                        grid_export_w=0.0,
+                        storage_charge_w=accepted,
+                        storage_discharge_w=0.0,
+                        storage_soc=storage.soc(),
+                        unserved_w=0.0,
+                    )
+                )

@@ -1,0 +1,85 @@
+"""Failure injection for reliability studies (§4.3 "reliability or
+resilience metrics").
+
+Real generation assets fail; sizing studies that assume perfect
+availability overstate coverage.  :class:`OutageInjector` is a
+controller that takes an actor offline during outage windows — either an
+explicit schedule or a seeded random process with exponential
+time-to-failure / time-to-repair (the standard two-state availability
+model behind the SAM availability derates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import generator_for
+from .controller import Controller
+from .microgrid import Microgrid
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One outage: the actor is offline during [start, end)."""
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ConfigurationError("outage end must follow start")
+
+
+def random_outage_schedule(
+    horizon_s: float,
+    mtbf_hours: float,
+    mttr_hours: float,
+    name: str = "asset",
+    seed_year: int = 2024,
+) -> list[OutageWindow]:
+    """Draw a two-state failure/repair schedule (exponential holding times).
+
+    ``mtbf_hours`` is the mean up-time between failures; ``mttr_hours``
+    the mean repair time.  Deterministic per (name, seed_year).
+    """
+    if mtbf_hours <= 0 or mttr_hours <= 0:
+        raise ConfigurationError("MTBF and MTTR must be positive")
+    rng = generator_for("outages", name, seed_year)
+    windows: list[OutageWindow] = []
+    t = float(rng.exponential(mtbf_hours * 3_600.0))
+    while t < horizon_s:
+        repair = float(rng.exponential(mttr_hours * 3_600.0))
+        windows.append(OutageWindow(start_s=t, end_s=min(t + repair, horizon_s)))
+        t += repair + float(rng.exponential(mtbf_hours * 3_600.0))
+    return windows
+
+
+class OutageInjector(Controller):
+    """Disables an actor during its outage windows."""
+
+    def __init__(self, actor_name: str, windows: list[OutageWindow]) -> None:
+        self.actor_name = actor_name
+        self.windows = sorted(windows, key=lambda w: w.start_s)
+        self.outage_steps = 0
+
+    def _in_outage(self, t_s: float) -> bool:
+        # Windows are few; linear scan is fine and simple.
+        for w in self.windows:
+            if w.start_s <= t_s < w.end_s:
+                return True
+            if w.start_s > t_s:
+                break
+        return False
+
+    def on_step(self, microgrid: Microgrid, t_s: float, dt_s: float) -> None:
+        actor = microgrid.actor(self.actor_name)
+        down = self._in_outage(t_s)
+        actor.enabled = not down
+        if down:
+            self.outage_steps += 1
+
+    def total_outage_hours(self) -> float:
+        return sum((w.end_s - w.start_s) for w in self.windows) / 3_600.0

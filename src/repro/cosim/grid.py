@@ -1,0 +1,70 @@
+"""Grid-exchange accounting: energy, Scope-2 emissions, and cost.
+
+The paper computes operational emissions per the GHG Protocol Scope 2
+definition — CO₂ released by *purchased* electricity — using hourly
+average carbon intensity.  Export is not credited (conservative carbon
+accounting; the framework exposes exported energy separately so users can
+study export-crediting policies).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+from ..units import G_PER_KG, SECONDS_PER_HOUR, WH_PER_KWH
+from .microgrid import StepResult
+from .signal import Signal
+
+
+class GridConnection:
+    """Accumulates grid exchange over a simulation run.
+
+    Parameters
+    ----------
+    carbon_intensity:
+        Signal serving gCO2/kWh at simulation time.
+    price:
+        Optional signal serving $/kWh import price.
+    export_credit:
+        Optional signal serving $/kWh paid for exports.
+    """
+
+    def __init__(
+        self,
+        carbon_intensity: Signal,
+        price: Signal | None = None,
+        export_credit: Signal | None = None,
+    ) -> None:
+        self.carbon_intensity = carbon_intensity
+        self.price = price
+        self.export_credit = export_credit
+        self.import_energy_wh = 0.0
+        self.export_energy_wh = 0.0
+        self.emissions_kg = 0.0
+        self.cost_usd = 0.0
+        self.steps = 0
+
+    def record(self, result: StepResult) -> None:
+        """Account one microgrid step."""
+        if result.dt_s <= 0:
+            raise ConfigurationError("step duration must be positive")
+        dt_h = result.dt_s / SECONDS_PER_HOUR
+        imp_wh = result.grid_import_w * dt_h
+        exp_wh = result.grid_export_w * dt_h
+        self.import_energy_wh += imp_wh
+        self.export_energy_wh += exp_wh
+
+        ci = self.carbon_intensity.at(result.t_s)  # gCO2/kWh
+        self.emissions_kg += imp_wh / WH_PER_KWH * ci / G_PER_KG
+
+        if self.price is not None:
+            self.cost_usd += imp_wh / WH_PER_KWH * self.price.at(result.t_s)
+        if self.export_credit is not None:
+            self.cost_usd -= exp_wh / WH_PER_KWH * self.export_credit.at(result.t_s)
+        self.steps += 1
+
+    def reset(self) -> None:
+        self.import_energy_wh = 0.0
+        self.export_energy_wh = 0.0
+        self.emissions_kg = 0.0
+        self.cost_usd = 0.0
+        self.steps = 0

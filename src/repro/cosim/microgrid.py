@@ -1,0 +1,120 @@
+"""The microgrid: actors + storage + policy, resolved step by step.
+
+Each simulation step the microgrid
+
+1. queries every actor's power (production +, consumption −),
+2. hands the net balance to the operating policy, which transacts with
+   storage and determines grid exchange,
+3. returns a :class:`StepResult` with the full power-flow breakdown, and
+4. asserts power balance to numerical tolerance (defense against sign
+   errors — a co-simulator's equivalent of mass conservation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError, PowerBalanceError
+from .actor import Actor
+from .policy import DefaultPolicy, MicrogridPolicy
+from .storage import Storage
+
+#: Absolute power-balance tolerance (W) — generous against float noise at
+#: MW scale, tight against real bookkeeping errors.
+BALANCE_TOL_W = 1e-3
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Power flows of one microgrid step (W; all non-negative except net)."""
+
+    t_s: float
+    dt_s: float
+    production_w: float
+    consumption_w: float  # positive magnitude
+    net_power_w: float
+    grid_import_w: float
+    grid_export_w: float
+    storage_charge_w: float
+    storage_discharge_w: float
+    storage_soc: float
+    unserved_w: float
+
+    @property
+    def onsite_supply_w(self) -> float:
+        """Demand met on-site this step: direct renewables + discharge."""
+        return min(self.consumption_w - self.unserved_w, self.consumption_w) - self.grid_import_w
+
+
+class Microgrid:
+    """A self-contained local energy system (§2 of the paper)."""
+
+    def __init__(
+        self,
+        actors: list[Actor],
+        storage: Storage | None = None,
+        policy: MicrogridPolicy | None = None,
+        name: str = "microgrid",
+    ) -> None:
+        if not actors:
+            raise ConfigurationError("a microgrid needs at least one actor")
+        names = [a.name for a in actors]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate actor names: {names}")
+        self.actors = list(actors)
+        self.storage = storage
+        self.policy = policy or DefaultPolicy()
+        self.name = name
+
+    def actor(self, name: str) -> Actor:
+        """Look up an actor by name (for controllers)."""
+        for a in self.actors:
+            if a.name == name:
+                return a
+        raise ConfigurationError(f"no actor named '{name}' in {self.name}")
+
+    def step(self, t_s: float, dt_s: float) -> StepResult:
+        """Resolve power flows for the interval ``[t_s, t_s + dt_s)``."""
+        if dt_s <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt_s}")
+        production = 0.0
+        consumption = 0.0
+        for a in self.actors:
+            p = a.power_at(t_s)
+            if p >= 0.0:
+                production += p
+            else:
+                consumption += -p
+
+        net = production - consumption
+        decision = self.policy.dispatch(net, self.storage, t_s, dt_s)
+
+        result = StepResult(
+            t_s=t_s,
+            dt_s=dt_s,
+            production_w=production,
+            consumption_w=consumption,
+            net_power_w=net,
+            grid_import_w=decision.grid_import_w,
+            grid_export_w=decision.grid_export_w,
+            storage_charge_w=decision.storage_charge_w,
+            storage_discharge_w=decision.storage_discharge_w,
+            storage_soc=self.storage.soc() if self.storage is not None else 0.0,
+            unserved_w=decision.unserved_w,
+        )
+        self._check_balance(result)
+        return result
+
+    @staticmethod
+    def _check_balance(r: StepResult) -> None:
+        """production + import + discharge = consumption + export + charge
+        (+ unserved on the supply side for islanded operation)."""
+        supply = r.production_w + r.grid_import_w + r.storage_discharge_w + r.unserved_w
+        use = r.consumption_w + r.grid_export_w + r.storage_charge_w
+        residual = abs(supply - use)
+        scale = max(supply, use, 1.0)
+        if residual > BALANCE_TOL_W + 1e-9 * scale:
+            raise PowerBalanceError(
+                f"power imbalance at t={r.t_s}s: supply={supply:.6f}W use={use:.6f}W "
+                f"(residual {residual:.6f}W)"
+            )

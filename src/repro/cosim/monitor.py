@@ -1,0 +1,55 @@
+"""Telemetry collection for co-simulation runs.
+
+A :class:`Monitor` appends every :class:`~repro.cosim.microgrid.StepResult`
+field to growable column buffers and exposes them as NumPy arrays — the
+data the analysis layer (and the cross-validation tests against the batch
+evaluator) consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .microgrid import StepResult
+
+_FIELDS = (
+    "t_s",
+    "production_w",
+    "consumption_w",
+    "net_power_w",
+    "grid_import_w",
+    "grid_export_w",
+    "storage_charge_w",
+    "storage_discharge_w",
+    "storage_soc",
+    "unserved_w",
+)
+
+
+class Monitor:
+    """Column-oriented recorder of microgrid step results."""
+
+    def __init__(self) -> None:
+        self._columns: dict[str, list[float]] = {name: [] for name in _FIELDS}
+
+    def record(self, result: StepResult) -> None:
+        cols = self._columns
+        for name in _FIELDS:
+            cols[name].append(getattr(result, name))
+
+    def __len__(self) -> int:
+        return len(self._columns["t_s"])
+
+    def series(self, name: str) -> np.ndarray:
+        """One recorded column as a float64 array."""
+        if name not in self._columns:
+            raise KeyError(f"unknown series '{name}' (have {sorted(self._columns)})")
+        return np.asarray(self._columns[name], dtype=np.float64)
+
+    def as_dict(self) -> dict[str, np.ndarray]:
+        """All recorded columns as arrays."""
+        return {name: self.series(name) for name in _FIELDS}
+
+    def reset(self) -> None:
+        for buf in self._columns.values():
+            buf.clear()

@@ -1,0 +1,135 @@
+"""Microgrid operating policies.
+
+A policy decides, each step, how the local net power balance (production
+minus consumption) is routed between storage and the public grid.  This is
+the "operational strategies" seam of the framework (§3.3: "different
+operational strategies such as demand response or carbon-aware
+scheduling").
+
+The default policy — greedy self-consumption — matches how the paper's
+experiments operate the battery: renewable surplus charges the battery,
+deficits discharge it, and only the remainder is exchanged with the grid.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .storage import Storage
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Outcome of one policy step (all powers in W, all ≥ 0)."""
+
+    grid_import_w: float
+    grid_export_w: float
+    storage_charge_w: float
+    storage_discharge_w: float
+    #: demand left unserved (only nonzero for islanded operation)
+    unserved_w: float = 0.0
+
+
+class MicrogridPolicy(ABC):
+    """Decides the storage/grid split of the net power balance."""
+
+    @abstractmethod
+    def dispatch(
+        self, net_power_w: float, storage: Storage | None, t_s: float, dt_s: float
+    ) -> PolicyDecision:
+        """Route ``net_power_w`` (production − consumption; + = surplus)."""
+
+
+class DefaultPolicy(MicrogridPolicy):
+    """Greedy self-consumption (the paper's operating strategy).
+
+    Surplus → charge storage, remainder exported (or curtailed — the
+    accounting downstream treats export and curtailment identically for
+    carbon purposes).  Deficit → discharge storage, remainder imported.
+    """
+
+    def dispatch(
+        self, net_power_w: float, storage: Storage | None, t_s: float, dt_s: float
+    ) -> PolicyDecision:
+        if net_power_w >= 0.0:
+            accepted = storage.update(net_power_w, dt_s) if storage is not None else 0.0
+            return PolicyDecision(
+                grid_import_w=0.0,
+                grid_export_w=net_power_w - accepted,
+                storage_charge_w=accepted,
+                storage_discharge_w=0.0,
+            )
+        deficit = -net_power_w
+        delivered = -storage.update(-deficit, dt_s) if storage is not None else 0.0
+        return PolicyDecision(
+            grid_import_w=deficit - delivered,
+            grid_export_w=0.0,
+            storage_charge_w=0.0,
+            storage_discharge_w=delivered,
+        )
+
+
+class IslandedPolicy(MicrogridPolicy):
+    """Off-grid operation: deficits the storage cannot cover go unserved.
+
+    Supports the reliability/resilience metric of §4.3 ("measuring the
+    fraction of time the system can operate independently of the grid").
+    """
+
+    def dispatch(
+        self, net_power_w: float, storage: Storage | None, t_s: float, dt_s: float
+    ) -> PolicyDecision:
+        if net_power_w >= 0.0:
+            accepted = storage.update(net_power_w, dt_s) if storage is not None else 0.0
+            return PolicyDecision(
+                grid_import_w=0.0,
+                grid_export_w=net_power_w - accepted,  # curtailed
+                storage_charge_w=accepted,
+                storage_discharge_w=0.0,
+            )
+        deficit = -net_power_w
+        delivered = -storage.update(-deficit, dt_s) if storage is not None else 0.0
+        return PolicyDecision(
+            grid_import_w=0.0,
+            grid_export_w=0.0,
+            storage_charge_w=0.0,
+            storage_discharge_w=delivered,
+            unserved_w=deficit - delivered,
+        )
+
+
+class TimeWindowPolicy(MicrogridPolicy):
+    """Discharge only inside a daily window (e.g. evening-peak shaving).
+
+    Charging from surplus is always allowed; discharging is restricted to
+    local hours ``[discharge_start, discharge_end)``.  A simple example of
+    the operational strategies the framework can sweep over.
+    """
+
+    def __init__(self, discharge_start_h: float = 16.0, discharge_end_h: float = 22.0) -> None:
+        if not 0.0 <= discharge_start_h < 24.0 or not 0.0 < discharge_end_h <= 24.0:
+            raise ConfigurationError("discharge window hours must lie in [0, 24]")
+        self.discharge_start_h = discharge_start_h
+        self.discharge_end_h = discharge_end_h
+        self._fallback = DefaultPolicy()
+
+    def _in_window(self, t_s: float) -> bool:
+        hour = (t_s / 3_600.0) % 24.0
+        if self.discharge_start_h <= self.discharge_end_h:
+            return self.discharge_start_h <= hour < self.discharge_end_h
+        return hour >= self.discharge_start_h or hour < self.discharge_end_h
+
+    def dispatch(
+        self, net_power_w: float, storage: Storage | None, t_s: float, dt_s: float
+    ) -> PolicyDecision:
+        if net_power_w >= 0.0 or self._in_window(t_s):
+            return self._fallback.dispatch(net_power_w, storage, t_s, dt_s)
+        # Outside the window: deficit goes straight to the grid.
+        return PolicyDecision(
+            grid_import_w=-net_power_w,
+            grid_export_w=0.0,
+            storage_charge_w=0.0,
+            storage_discharge_w=0.0,
+        )

@@ -1,0 +1,178 @@
+"""Carbon-aware batch-job scheduling (paper §3.3/§4.3).
+
+The paper positions Vessim as a testbed for "carbon-aware scheduling
+policies" and lists "load shifting potential" as an optimization
+objective.  This module provides the workload-side substrate: a queue of
+deferrable batch jobs (think checkpointable HPC campaigns) scheduled
+against grid carbon intensity under hard deadlines.
+
+Architecture: a :class:`FlexibleLoad` actor carries the schedulable
+power; the :class:`CarbonAwareBatchScheduler` controller decides, each
+step, how much job power to run:
+
+* **urgency floor** — a job whose remaining energy equals its remaining
+  time × max power *must* run flat out (EDF-style feasibility);
+* **opportunism** — below-threshold carbon intensity (or a renewable
+  surplus signal) runs additional queued work up to the power cap.
+
+The baseline comparator (:func:`run_at_release_schedule`) runs every job
+as soon as it is released — what a carbon-oblivious scheduler does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .actor import Actor
+from .controller import Controller
+from .microgrid import Microgrid
+from .signal import ConstantSignal, Signal
+
+
+@dataclass
+class BatchJob:
+    """One deferrable job: energy to deliver inside a time window."""
+
+    name: str
+    energy_wh: float
+    release_hour: float
+    deadline_hour: float
+    max_power_w: float
+    done_wh: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.energy_wh <= 0:
+            raise ConfigurationError(f"job '{self.name}' energy must be positive")
+        if self.max_power_w <= 0:
+            raise ConfigurationError(f"job '{self.name}' max power must be positive")
+        if self.deadline_hour <= self.release_hour:
+            raise ConfigurationError(f"job '{self.name}' deadline precedes release")
+        window_h = self.deadline_hour - self.release_hour
+        if self.energy_wh > self.max_power_w * window_h + 1e-9:
+            raise ConfigurationError(f"job '{self.name}' is infeasible within its window")
+
+    @property
+    def remaining_wh(self) -> float:
+        return max(self.energy_wh - self.done_wh, 0.0)
+
+    @property
+    def finished(self) -> bool:
+        return self.remaining_wh <= 1e-9
+
+    def urgency_power_w(self, now_hour: float, dt_h: float = 1.0) -> float:
+        """Minimum power this step to stay feasible (EDF floor).
+
+        Feasibility requires ``remaining ≤ p·dt + max_power·(slack − dt)``
+        — run at least ``p`` now, then max power can still finish in time.
+        """
+        if self.finished or now_hour < self.release_hour:
+            return 0.0
+        slack_h = self.deadline_hour - now_hour
+        if slack_h <= dt_h:
+            return min(self.max_power_w, self.remaining_wh / max(dt_h, 1e-9))
+        floor = (self.remaining_wh - self.max_power_w * (slack_h - dt_h)) / dt_h
+        return float(np.clip(floor, 0.0, self.max_power_w))
+
+
+class FlexibleLoad(Actor):
+    """A consumer actor whose demand is set by the scheduler each step."""
+
+    def __init__(self, name: str = "flex") -> None:
+        super().__init__(name, ConstantSignal(0.0), is_consumer=True)
+        self.current_power_w = 0.0
+
+    def power_at(self, t_s: float) -> float:
+        if not self.enabled:
+            return 0.0
+        return -self.current_power_w
+
+
+class CarbonAwareBatchScheduler(Controller):
+    """Schedules batch jobs opportunistically under clean power.
+
+    Parameters
+    ----------
+    flexible_load:
+        The actor whose power this scheduler controls.
+    jobs:
+        Deferrable jobs; validated feasible at construction.
+    carbon_intensity:
+        Current-grid-CI signal (gCO2/kWh).
+    ci_threshold_g_per_kwh:
+        Run opportunistically when CI is at or below this value.
+    """
+
+    def __init__(
+        self,
+        flexible_load: FlexibleLoad,
+        jobs: list[BatchJob],
+        carbon_intensity: Signal,
+        ci_threshold_g_per_kwh: float,
+    ) -> None:
+        if ci_threshold_g_per_kwh < 0:
+            raise ConfigurationError("CI threshold must be non-negative")
+        self.flexible_load = flexible_load
+        self.jobs = list(jobs)
+        self.carbon_intensity = carbon_intensity
+        self.ci_threshold = ci_threshold_g_per_kwh
+        self.scheduled_energy_wh = 0.0
+        self.emissions_proxy_kg = 0.0  # Σ energy × CI (attribution metric)
+
+    def _active(self, now_hour: float) -> list[BatchJob]:
+        return [
+            j for j in self.jobs
+            if not j.finished and j.release_hour <= now_hour < j.deadline_hour + 1e-9
+        ]
+
+    def on_step(self, microgrid: Microgrid, t_s: float, dt_s: float) -> None:
+        now_hour = t_s / 3_600.0
+        dt_h = dt_s / 3_600.0
+        ci = self.carbon_intensity.at(t_s)
+        opportunistic = ci <= self.ci_threshold
+
+        total_power = 0.0
+        for job in self._active(now_hour):
+            power = job.urgency_power_w(now_hour, dt_h)
+            if opportunistic:
+                power = job.max_power_w  # clean hour: run flat out
+            power = min(power, job.remaining_wh / dt_h)
+            if power <= 0:
+                continue
+            job.done_wh += power * dt_h
+            total_power += power
+
+        self.flexible_load.current_power_w = total_power
+        self.scheduled_energy_wh += total_power * dt_h
+        self.emissions_proxy_kg += total_power * dt_h / 1_000.0 * ci / 1_000.0
+
+    # -- outcome metrics ------------------------------------------------------
+
+    def all_finished(self) -> bool:
+        return all(j.finished for j in self.jobs)
+
+    def missed_deadlines(self, now_hour: float) -> list[BatchJob]:
+        return [j for j in self.jobs if not j.finished and now_hour >= j.deadline_hour]
+
+
+def run_at_release_schedule(
+    jobs: list[BatchJob], ci_series: np.ndarray, step_h: float = 1.0
+) -> float:
+    """Emissions proxy (kgCO2) of the carbon-oblivious baseline.
+
+    Every job runs at max power from its release until done; emissions
+    attribute each hour's energy at that hour's CI.
+    """
+    total_kg = 0.0
+    for job in jobs:
+        remaining = job.energy_wh
+        hour = job.release_hour
+        while remaining > 1e-9 and hour < len(ci_series) * step_h:
+            idx = int(hour / step_h) % len(ci_series)
+            energy = min(job.max_power_w * step_h, remaining)
+            total_kg += energy / 1_000.0 * float(ci_series[idx]) / 1_000.0
+            remaining -= energy
+            hour += step_h
+    return total_kg

@@ -1,0 +1,124 @@
+"""Signals: time-indexed value providers for actors.
+
+Vessim's actor-signal architecture decouples *what* produces a value (a
+historical trace, a live system, a SAM model run) from *who* consumes it
+(an actor inside the microgrid).  A signal answers one question: "what is
+your value at simulation time t?".
+
+:class:`SAMSignal` is the integration the paper contributes: it
+"instantiates and runs a SAM simulation, extracts the resulting power
+generation profile, and serves time-indexed power values to Vessim actors
+during simulation" (§3.2).  Here the SAM run is one of our reimplemented
+models (:class:`~repro.sam.solar.pvwatts.PVWattsModel` or
+:class:`~repro.sam.wind.windpower.WindFarmModel`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import SignalError
+from ..timeseries import TimeSeries
+
+
+class Signal(ABC):
+    """Abstract time-indexed value provider."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+
+    @abstractmethod
+    def at(self, t_s: float) -> float:
+        """Value at simulation time ``t_s`` (seconds since epoch)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} '{self.name}'>"
+
+
+class ConstantSignal(Signal):
+    """A fixed value for all times."""
+
+    def __init__(self, value: float, name: str = "") -> None:
+        super().__init__(name)
+        self.value = float(value)
+
+    def at(self, t_s: float) -> float:
+        return self.value
+
+
+class FunctionSignal(Signal):
+    """Wraps an arbitrary callable of simulation time."""
+
+    def __init__(self, fn: Callable[[float], float], name: str = "") -> None:
+        super().__init__(name)
+        self._fn = fn
+
+    def at(self, t_s: float) -> float:
+        return float(self._fn(t_s))
+
+
+class TraceSignal(Signal):
+    """Serves values from a :class:`~repro.timeseries.TimeSeries`.
+
+    ``wrap=True`` (default) tiles the trace periodically, so a one-year
+    trace can drive multi-year simulations — matching the paper's 20-year
+    projections built from one simulated year.
+    """
+
+    def __init__(self, series: TimeSeries, wrap: bool = True, name: str = "") -> None:
+        super().__init__(name or series.name)
+        self.series = series
+        self.wrap = wrap
+
+    def at(self, t_s: float) -> float:
+        series = self.series
+        if self.wrap:
+            span = series.duration_s
+            t_s = series.start_s + float(np.mod(t_s - series.start_s, span))
+        try:
+            return series.at(t_s)
+        except Exception as exc:  # out-of-range on non-wrapping signal
+            raise SignalError(f"signal '{self.name}' cannot serve t={t_s}s: {exc}") from exc
+
+    def mean(self) -> float:
+        return self.series.mean()
+
+
+class SAMSignal(TraceSignal):
+    """A signal backed by a SAM-style model run (§3.2 of the paper).
+
+    The model is executed eagerly at construction; the resulting hourly
+    generation profile is then served as a trace.  This mirrors the paper's
+    integration: SAM produces a full-year time series up front, and Vessim
+    actors sample it during co-simulation.
+
+    Parameters
+    ----------
+    model:
+        An object with ``hourly_profile_w(resource) -> np.ndarray``
+        (both :class:`PVWattsModel` and :class:`WindFarmModel` qualify).
+    resource:
+        The resource year to run the model against; must expose
+        ``times_s`` and a regular hourly step.
+    """
+
+    def __init__(self, model, resource, name: str = "") -> None:
+        profile_w = np.asarray(model.hourly_profile_w(resource), dtype=np.float64)
+        times = np.asarray(resource.times_s, dtype=np.float64)
+        if profile_w.shape != times.shape:
+            raise SignalError(
+                f"SAM model returned {profile_w.shape} samples for {times.shape} timestamps"
+            )
+        step = float(times[1] - times[0]) if times.size > 1 else 3_600.0
+        series = TimeSeries(profile_w, step_s=step, start_s=float(times[0]), name=name or "sam")
+        super().__init__(series, wrap=True, name=name or "sam")
+        self.model = model
+        self.resource = resource
+
+    @property
+    def profile_w(self) -> np.ndarray:
+        """The precomputed generation profile (W)."""
+        return self.series.values

@@ -1,0 +1,50 @@
+"""Generic storage interface for microgrids.
+
+Vessim models storage behind a minimal interface: given a requested power
+and a duration, the storage accepts what its physics allow and reports
+the remainder.  Implementations: the paper's C/L/C lithium-ion battery
+(:class:`repro.cosim.battery.CLCBattery`), an ideal battery for analytic
+tests, and a hydrogen-like long-duration store (framework-extensibility
+demonstration, §3.3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class Storage(ABC):
+    """Abstract energy storage.
+
+    Sign convention matches actors seen from the storage terminals:
+    **positive power = charging** (energy flowing into storage),
+    **negative = discharging** (energy delivered to the microgrid).
+    """
+
+    @abstractmethod
+    def update(self, power_w: float, duration_s: float) -> float:
+        """Request ``power_w`` for ``duration_s``; return the power actually
+        accepted (charge) or delivered (discharge, negative)."""
+
+    @abstractmethod
+    def soc(self) -> float:
+        """State of charge as a fraction of nameplate capacity in [0, 1]."""
+
+    @property
+    @abstractmethod
+    def capacity_wh(self) -> float:
+        """Nameplate energy capacity (Wh)."""
+
+    @property
+    @abstractmethod
+    def usable_capacity_wh(self) -> float:
+        """Energy between the operational SoC bounds (Wh)."""
+
+    @property
+    @abstractmethod
+    def energy_wh(self) -> float:
+        """Currently stored energy (Wh)."""
+
+    def reset(self) -> None:  # pragma: no cover - optional override
+        """Restore the initial state (optional)."""
+        raise NotImplementedError

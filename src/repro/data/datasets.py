@@ -1,0 +1,136 @@
+"""Dataset persistence: save/load synthetic resource years as ``.npz``.
+
+Scenario construction is fast (~1 s) but downstream users often want the
+exact arrays on disk — to inspect them, to feed external tools, or to
+pin a weather year independent of library versions.  The format is a
+plain NumPy archive with a small JSON-ish metadata header, mirroring the
+role of the paper's NSRDB/WIND-Toolkit CSV downloads.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DataError
+from .carbon_intensity import CarbonIntensityProfile
+from .locations import get_location
+from .solar_resource import SolarResource
+from .wind_resource import WindResource
+from .workload import WorkloadTrace
+
+_FORMAT_VERSION = 1
+
+
+def save_solar_resource(resource: SolarResource, path: "str | Path") -> Path:
+    """Persist a solar resource year to ``.npz``."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        p,
+        kind="solar",
+        version=_FORMAT_VERSION,
+        location=resource.location.name,
+        times_s=resource.times_s,
+        ghi_w_m2=resource.ghi_w_m2,
+        dni_w_m2=resource.dni_w_m2,
+        dhi_w_m2=resource.dhi_w_m2,
+        ambient_temperature_c=resource.ambient_temperature_c,
+        wind_speed_ms=resource.wind_speed_ms,
+    )
+    return p
+
+
+def load_solar_resource(path: "str | Path") -> SolarResource:
+    """Load a solar resource year saved by :func:`save_solar_resource`."""
+    data = _load(path, expected_kind="solar")
+    return SolarResource(
+        location=get_location(str(data["location"])),
+        times_s=data["times_s"],
+        ghi_w_m2=data["ghi_w_m2"],
+        dni_w_m2=data["dni_w_m2"],
+        dhi_w_m2=data["dhi_w_m2"],
+        ambient_temperature_c=data["ambient_temperature_c"],
+        wind_speed_ms=data["wind_speed_ms"],
+    )
+
+
+def save_wind_resource(resource: WindResource, path: "str | Path") -> Path:
+    """Persist a wind resource year to ``.npz``."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        p,
+        kind="wind",
+        version=_FORMAT_VERSION,
+        location=resource.location.name,
+        times_s=resource.times_s,
+        speed_ms=resource.speed_ms,
+        temperature_c=resource.temperature_c,
+        reference_height_m=resource.reference_height_m,
+    )
+    return p
+
+
+def load_wind_resource(path: "str | Path") -> WindResource:
+    """Load a wind resource year saved by :func:`save_wind_resource`."""
+    data = _load(path, expected_kind="wind")
+    return WindResource(
+        location=get_location(str(data["location"])),
+        times_s=data["times_s"],
+        speed_ms=data["speed_ms"],
+        temperature_c=data["temperature_c"],
+        reference_height_m=float(data["reference_height_m"]),
+    )
+
+
+def save_workload(trace: WorkloadTrace, path: "str | Path") -> Path:
+    """Persist a workload trace to ``.npz``."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        p, kind="workload", version=_FORMAT_VERSION, name=trace.name,
+        times_s=trace.times_s, power_w=trace.power_w,
+    )
+    return p
+
+
+def load_workload(path: "str | Path") -> WorkloadTrace:
+    data = _load(path, expected_kind="workload")
+    return WorkloadTrace(name=str(data["name"]), times_s=data["times_s"],
+                         power_w=data["power_w"])
+
+
+def save_carbon_profile(profile: CarbonIntensityProfile, path: "str | Path") -> Path:
+    """Persist a carbon-intensity profile to ``.npz``."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        p, kind="carbon", version=_FORMAT_VERSION, region=profile.region,
+        times_s=profile.times_s, intensity_g_per_kwh=profile.intensity_g_per_kwh,
+    )
+    return p
+
+
+def load_carbon_profile(path: "str | Path") -> CarbonIntensityProfile:
+    data = _load(path, expected_kind="carbon")
+    return CarbonIntensityProfile(
+        region=str(data["region"]), times_s=data["times_s"],
+        intensity_g_per_kwh=data["intensity_g_per_kwh"],
+    )
+
+
+def _load(path: "str | Path", expected_kind: str) -> dict:
+    p = Path(path)
+    if not p.exists():
+        raise DataError(f"dataset file not found: {p}")
+    with np.load(p, allow_pickle=False) as archive:
+        data = {key: archive[key] for key in archive.files}
+    kind = str(data.get("kind"))
+    if kind != expected_kind:
+        raise DataError(f"{p} holds a '{kind}' dataset, expected '{expected_kind}'")
+    version = int(data.get("version", -1))
+    if version != _FORMAT_VERSION:
+        raise DataError(f"{p} has format version {version}, expected {_FORMAT_VERSION}")
+    return data

@@ -1,0 +1,96 @@
+"""Forecast generation for predictive operational strategies.
+
+Vessim serves "historical or forecasted power traces" (§3.1); the
+operational strategies of §4.3 (load shifting, carbon-aware scheduling)
+need *imperfect* forecasts to be meaningful.  This module turns any
+ground-truth hourly profile into a forecast with the standard error
+structure of numerical weather/carbon forecasts:
+
+* errors grow with lead time (√h scaling, persistence-like),
+* errors are autocorrelated across lead times within one issue,
+* forecasts are re-issued periodically (rolling horizon).
+
+Deterministic per (name, issue time) via :mod:`repro.rng`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import generator_for
+
+
+@dataclass(frozen=True)
+class ForecastModel:
+    """Generates rolling forecasts of an hourly ground-truth profile.
+
+    Parameters
+    ----------
+    truth:
+        Ground-truth hourly series (any unit).
+    name:
+        Stream name (seeds the error realizations).
+    error_at_1h:
+        Relative RMS error at one hour lead.
+    error_growth_per_sqrt_hour:
+        Additional relative error per √hour of lead time.
+    nonnegative:
+        Clip forecasts at zero (power, irradiance, CI are non-negative).
+    """
+
+    truth: np.ndarray
+    name: str = "forecast"
+    error_at_1h: float = 0.05
+    error_growth_per_sqrt_hour: float = 0.03
+    nonnegative: bool = True
+
+    def __post_init__(self) -> None:
+        if self.truth.ndim != 1 or self.truth.size == 0:
+            raise ConfigurationError("truth must be a non-empty 1-D array")
+        if self.error_at_1h < 0 or self.error_growth_per_sqrt_hour < 0:
+            raise ConfigurationError("error coefficients must be non-negative")
+
+    def issue(self, issue_hour: int, horizon_hours: int) -> np.ndarray:
+        """Forecast values for hours ``issue_hour+1 .. issue_hour+horizon``.
+
+        Lead-time-dependent multiplicative errors with AR(1) correlation
+        across leads; the same issue always returns the same forecast.
+        """
+        if horizon_hours <= 0:
+            raise ConfigurationError("horizon must be positive")
+        n = self.truth.size
+        leads = np.arange(1, horizon_hours + 1, dtype=np.float64)
+        idx = (issue_hour + leads.astype(np.int64)) % n
+
+        rng = generator_for("forecast", self.name, int(issue_hour))
+        innovations = rng.standard_normal(horizon_hours)
+        rho = 0.8
+        noise = np.empty(horizon_hours)
+        noise[0] = innovations[0]
+        scale = np.sqrt(1.0 - rho**2)
+        for i in range(1, horizon_hours):
+            noise[i] = rho * noise[i - 1] + scale * innovations[i]
+
+        sigma = self.error_at_1h + self.error_growth_per_sqrt_hour * (np.sqrt(leads) - 1.0)
+        reference = max(float(np.abs(self.truth).mean()), 1e-12)
+        forecast = self.truth[idx] + noise * sigma * reference
+        if self.nonnegative:
+            forecast = np.maximum(forecast, 0.0)
+        return forecast
+
+    def rms_error(self, lead_hours: int, n_issues: int = 200) -> float:
+        """Empirical relative RMS error at a fixed lead (diagnostics)."""
+        if lead_hours <= 0:
+            raise ConfigurationError("lead must be positive")
+        errors = []
+        n = self.truth.size
+        step = max(n // n_issues, 1)
+        for issue_hour in range(0, n, step):
+            fc = self.issue(issue_hour, lead_hours)
+            actual = self.truth[(issue_hour + lead_hours) % n]
+            errors.append(fc[-1] - actual)
+        reference = max(float(np.abs(self.truth).mean()), 1e-12)
+        return float(np.sqrt(np.mean(np.square(errors))) / reference)

@@ -1,0 +1,94 @@
+"""Time-of-use electricity tariffs (paper extension, §4.3).
+
+The paper lists "electricity cost reduction ... in regions with volatile
+grid pricing or time-of-use tariffs" as an additional optimization
+objective.  This module provides stylized TOU tariffs for the two study
+regions so the cost objective in :mod:`repro.core.metrics` has a concrete
+price signal to work against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+HOURS_PER_YEAR = 8_760
+
+
+@dataclass(frozen=True)
+class TouTariff:
+    """A simple weekday-agnostic TOU tariff ($ per kWh by hour of day)."""
+
+    name: str
+    off_peak_usd_kwh: float
+    mid_peak_usd_kwh: float
+    on_peak_usd_kwh: float
+    #: half-open local-hour windows [start, end)
+    mid_peak_hours: tuple[tuple[int, int], ...] = ((7, 16),)
+    on_peak_hours: tuple[tuple[int, int], ...] = ((16, 21),)
+    #: price paid for exported energy ($/kWh); 0 disables export credit
+    export_credit_usd_kwh: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.off_peak_usd_kwh <= self.mid_peak_usd_kwh <= self.on_peak_usd_kwh:
+            raise ConfigurationError(
+                "need 0 < off_peak <= mid_peak <= on_peak, got "
+                f"{self.off_peak_usd_kwh}/{self.mid_peak_usd_kwh}/{self.on_peak_usd_kwh}"
+            )
+        for windows in (self.mid_peak_hours, self.on_peak_hours):
+            for start, end in windows:
+                if not 0 <= start < end <= 24:
+                    raise ConfigurationError(f"invalid TOU window ({start}, {end})")
+
+    def price_by_hour_of_day(self) -> np.ndarray:
+        """24-vector of $/kWh prices by local hour."""
+        prices = np.full(24, self.off_peak_usd_kwh)
+        for start, end in self.mid_peak_hours:
+            prices[start:end] = self.mid_peak_usd_kwh
+        for start, end in self.on_peak_hours:
+            prices[start:end] = self.on_peak_usd_kwh
+        return prices
+
+    def hourly_prices(self, n_hours: int = HOURS_PER_YEAR) -> np.ndarray:
+        """Price series ($/kWh) for a run of hourly samples from hour 0."""
+        day = self.price_by_hour_of_day()
+        reps = int(np.ceil(n_hours / 24.0))
+        return np.tile(day, reps)[:n_hours]
+
+
+#: Stylized PG&E-like commercial TOU (Berkeley) — expensive evening peak.
+CAISO_TOU = TouTariff(
+    name="caiso-commercial-tou",
+    off_peak_usd_kwh=0.14,
+    mid_peak_usd_kwh=0.18,
+    on_peak_usd_kwh=0.32,
+    mid_peak_hours=((7, 16),),
+    on_peak_hours=((16, 21),),
+    export_credit_usd_kwh=0.05,
+)
+
+#: Stylized ERCOT-like commercial rate (Houston) — flatter, cheaper.
+ERCOT_TOU = TouTariff(
+    name="ercot-commercial-tou",
+    off_peak_usd_kwh=0.07,
+    mid_peak_usd_kwh=0.09,
+    on_peak_usd_kwh=0.15,
+    mid_peak_hours=((6, 14),),
+    on_peak_hours=((14, 20),),
+    export_credit_usd_kwh=0.03,
+)
+
+_TARIFFS = {"CAISO": CAISO_TOU, "ERCOT": ERCOT_TOU}
+
+
+def tou_tariff_for(region: str) -> TouTariff:
+    """Look up the stylized tariff for a grid region."""
+    key = region.strip().upper()
+    try:
+        return _TARIFFS[key]
+    except KeyError:
+        known = ", ".join(sorted(_TARIFFS))
+        raise ConfigurationError(f"no tariff for region '{region}' (known: {known})") from None

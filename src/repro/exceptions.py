@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing configuration problems from simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The co-simulation engine entered an invalid state."""
+
+
+class ScheduleError(SimulationError):
+    """A simulator was scheduled inconsistently (e.g. stepped backwards)."""
+
+
+class PowerBalanceError(SimulationError):
+    """Microgrid power flows failed to balance within tolerance."""
+
+
+class SignalError(ReproError):
+    """A signal could not produce a value for the requested time."""
+
+
+class DataError(ReproError):
+    """A dataset/resource is malformed or out of its valid range."""
+
+
+class OptimizationError(ReproError):
+    """The black-box optimization layer was used incorrectly."""
+
+
+class TrialPruned(OptimizationError):
+    """Raised inside an objective to signal that the trial was pruned.
+
+    Mirrors ``optuna.TrialPruned``: it is not an error condition but a
+    control-flow signal understood by :class:`repro.blackbox.study.Study`.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured or invoked incorrectly."""

@@ -1,0 +1,20 @@
+"""Reimplementation of the NREL System Advisor Model (SAM) components the
+paper uses: the PVWatts photovoltaic chain, the Windpower farm model, and
+the battery performance/degradation models.
+
+The real SAM is a C++ simulation core with a Python wrapper (PySAM); the
+paper integrates it into Vessim through a dedicated signal class.  Here the
+same model equations are implemented directly in vectorized NumPy: given a
+resource year, each model produces an 8 760-sample hourly generation
+profile that :class:`repro.cosim.signal.SAMSignal` serves to Vessim actors.
+"""
+
+from .solar.pvwatts import PVWattsModel, PVWattsParameters
+from .wind.windpower import WindFarmModel, WindFarmParameters
+
+__all__ = [
+    "PVWattsModel",
+    "PVWattsParameters",
+    "WindFarmModel",
+    "WindFarmParameters",
+]

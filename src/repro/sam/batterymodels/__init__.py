@@ -1,0 +1,24 @@
+"""Battery performance and aging models.
+
+The paper simulates storage with the C/L/C lithium-ion model of
+Kazhamiaka, Rosenberg & Keshav (2019), "Tractable Lithium-Ion Storage
+Models for Optimizing Energy Systems" — already integrated in Vessim.
+:mod:`repro.sam.batterymodels.clc` reimplements it; rainflow cycle
+counting and a cycle+calendar aging model extend it for the paper's
+"battery degradation minimization" objective (§4.3).
+"""
+
+from .clc import CLCParameters, CLCState, clc_step, clc_step_arrays
+from .rainflow import count_equivalent_full_cycles, rainflow_cycles
+from .degradation import DegradationModel, DegradationParameters
+
+__all__ = [
+    "CLCParameters",
+    "CLCState",
+    "clc_step",
+    "clc_step_arrays",
+    "rainflow_cycles",
+    "count_equivalent_full_cycles",
+    "DegradationModel",
+    "DegradationParameters",
+]

@@ -1,0 +1,258 @@
+"""The C/L/C tractable lithium-ion storage model.
+
+Kazhamiaka et al. (2019) construct a hierarchy of linear storage models;
+the **C/L/C** variant combines
+
+* **C**oulomb-counting charge dynamics with separate charge/discharge
+  efficiencies,
+* **L**imits on charge/discharge rates, with the charging limit *tapering
+  linearly near full charge* (emulating the constant-voltage phase of a
+  CC-CV charger), and
+* **C**apacity bounds (usable SoC window).
+
+The model is deliberately linear per step, which is what makes year-long
+co-simulations and black-box sweeps tractable.
+
+The implementation below is written *array-first*: every function accepts
+either scalars or NumPy arrays for the state, so the same equations back
+both the scalar co-simulated battery (:mod:`repro.cosim.battery`) and the
+vectorized batch evaluator (:mod:`repro.core.fastsim`) that simulates all
+candidate compositions simultaneously.  This guarantees the two evaluation
+paths share one source of truth for battery physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...exceptions import ConfigurationError
+from ...units import SECONDS_PER_HOUR
+
+ArrayLike = "np.ndarray | float"
+
+
+@dataclass(frozen=True)
+class CLCParameters:
+    """C/L/C model parameters.
+
+    Parameters
+    ----------
+    capacity_wh:
+        Nameplate energy capacity (Wh).
+    eta_charge / eta_discharge:
+        One-way efficiencies (round-trip = product ≈ 0.90 for Li-ion LFP).
+    max_charge_c_rate / max_discharge_c_rate:
+        Power limits as multiples of capacity per hour (0.5 C typical for
+        grid-scale LFP units such as the Fluence Smartstack).
+    taper_soc_threshold:
+        State-of-charge above which the charge limit tapers linearly to 0
+        at 100 % (the CV-phase emulation; the "L" in C/L/C).
+    soc_min / soc_max:
+        Usable SoC window.
+    self_discharge_per_hour:
+        Fractional charge leakage per hour (≈2 %/month for Li-ion).
+    """
+
+    capacity_wh: float
+    eta_charge: float = 0.95
+    eta_discharge: float = 0.95
+    max_charge_c_rate: float = 0.5
+    max_discharge_c_rate: float = 0.5
+    taper_soc_threshold: float = 0.8
+    soc_min: float = 0.05
+    soc_max: float = 0.95
+    self_discharge_per_hour: float = 3e-5
+
+    def __post_init__(self) -> None:
+        if self.capacity_wh < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {self.capacity_wh}")
+        for name in ("eta_charge", "eta_discharge"):
+            v = getattr(self, name)
+            if not 0.0 < v <= 1.0:
+                raise ConfigurationError(f"{name} must be in (0, 1], got {v}")
+        if not 0.0 <= self.soc_min < self.soc_max <= 1.0:
+            raise ConfigurationError(
+                f"need 0 <= soc_min < soc_max <= 1, got [{self.soc_min}, {self.soc_max}]"
+            )
+        if not self.soc_min <= self.taper_soc_threshold <= self.soc_max:
+            raise ConfigurationError("taper threshold must lie inside the SoC window")
+        if self.max_charge_c_rate <= 0 or self.max_discharge_c_rate <= 0:
+            raise ConfigurationError("C-rates must be positive")
+        if not 0.0 <= self.self_discharge_per_hour < 0.01:
+            raise ConfigurationError("self-discharge per hour must be small and non-negative")
+
+    @property
+    def usable_capacity_wh(self) -> float:
+        """Energy between the SoC bounds."""
+        return self.capacity_wh * (self.soc_max - self.soc_min)
+
+    @property
+    def max_charge_power_w(self) -> float:
+        """Nominal charging power limit (W) before taper."""
+        return self.capacity_wh * self.max_charge_c_rate
+
+    @property
+    def max_discharge_power_w(self) -> float:
+        """Nominal discharging power limit (W)."""
+        return self.capacity_wh * self.max_discharge_c_rate
+
+
+@dataclass
+class CLCState:
+    """Mutable battery state: stored energy (Wh), scalar or vector."""
+
+    energy_wh: "np.ndarray | float"
+
+    def soc(self, params: CLCParameters) -> "np.ndarray | float":
+        """State of charge as a fraction of nameplate capacity."""
+        if params.capacity_wh <= 0:
+            return np.zeros_like(np.asarray(self.energy_wh, dtype=np.float64))
+        return self.energy_wh / params.capacity_wh
+
+
+def initial_state(params: CLCParameters, soc: float = 0.5, n: int | None = None) -> CLCState:
+    """Build an initial state at the given SoC (vector of length ``n`` if set)."""
+    if not params.soc_min <= soc <= params.soc_max and params.capacity_wh > 0:
+        soc = float(np.clip(soc, params.soc_min, params.soc_max))
+    energy = params.capacity_wh * soc
+    if n is not None:
+        return CLCState(np.full(n, energy, dtype=np.float64))
+    return CLCState(float(energy))
+
+
+def clc_step_arrays(
+    capacity_wh: "np.ndarray | float",
+    energy_wh: "np.ndarray | float",
+    power_request_w: "np.ndarray | float",
+    dt_s: float,
+    eta_charge: float = 0.95,
+    eta_discharge: float = 0.95,
+    max_charge_c_rate: float = 0.5,
+    max_discharge_c_rate: float = 0.5,
+    taper_soc_threshold: float = 0.8,
+    soc_min: float = 0.05,
+    soc_max: float = 0.95,
+    self_discharge_per_hour: float = 3e-5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The C/L/C step equations with **array-valued capacity**.
+
+    This is the single source of truth for the battery physics: the
+    scalar co-simulated battery calls it through :func:`clc_step`, while
+    :mod:`repro.core.fastsim` calls it directly with one capacity per
+    candidate composition to advance *all* candidates in one vector
+    operation per timestep.  Zero-capacity entries simply accept nothing.
+
+    Returns ``(accepted_power_w, new_energy_wh)`` as arrays broadcast over
+    the inputs.
+    """
+    cap = np.asarray(capacity_wh, dtype=np.float64)
+    e = np.asarray(energy_wh, dtype=np.float64)
+    req = np.asarray(power_request_w, dtype=np.float64)
+    dt_h = dt_s / SECONDS_PER_HOUR
+
+    safe_cap = np.maximum(cap, 1e-12)
+    e_min = cap * soc_min
+    e_max = cap * soc_max
+
+    # Self-discharge applies to the pre-step state.
+    e = np.maximum(e * (1.0 - self_discharge_per_hour * dt_h), 0.0)
+
+    # --- charging branch ---------------------------------------------------
+    # Terminal power limited by (a) the SoC-tapered C-rate limit (the "L"
+    # of C/L/C: linear CV-phase taper above the threshold) and (b) the
+    # headroom: stored gain is eta_c * P * dt.
+    soc = e / safe_cap
+    span = max(soc_max - taper_soc_threshold, 1e-9)
+    taper = np.clip((soc_max - soc) / span, 0.0, 1.0)
+    p_lim_chg = cap * max_charge_c_rate * taper
+    headroom_w = np.maximum(e_max - e, 0.0) / dt_h / eta_charge
+    p_charge = np.minimum(np.maximum(req, 0.0), np.minimum(p_lim_chg, headroom_w))
+
+    # --- discharging branch -------------------------------------------------
+    # Terminal power limited by (a) the discharge C-rate and (b) available
+    # energy: stored loss is P * dt / eta_d.
+    available_w = np.maximum(e - e_min, 0.0) / dt_h * eta_discharge
+    p_discharge = np.minimum(
+        np.maximum(-req, 0.0), np.minimum(cap * max_discharge_c_rate, available_w)
+    )
+
+    accepted = p_charge - p_discharge
+    new_e = e + eta_charge * p_charge * dt_h - p_discharge * dt_h / eta_discharge
+    new_e = np.clip(new_e, 0.0, e_max)
+    return accepted, new_e
+
+
+def charge_limit_w(params: CLCParameters, energy_wh: "np.ndarray | float") -> "np.ndarray | float":
+    """SoC-dependent charging power limit (the "L" taper).
+
+    Below the taper threshold the limit is the nominal C-rate power; above
+    it the limit declines linearly, reaching zero at ``soc_max``.
+    """
+    if params.capacity_wh <= 0:
+        return np.zeros_like(np.asarray(energy_wh, dtype=np.float64))
+    soc = np.asarray(energy_wh, dtype=np.float64) / params.capacity_wh
+    span = max(params.soc_max - params.taper_soc_threshold, 1e-9)
+    taper = np.clip((params.soc_max - soc) / span, 0.0, 1.0)
+    return params.max_charge_power_w * taper
+
+
+def clc_step(
+    params: CLCParameters,
+    energy_wh: "np.ndarray | float",
+    power_request_w: "np.ndarray | float",
+    dt_s: float,
+) -> tuple["np.ndarray | float", "np.ndarray | float"]:
+    """Advance the C/L/C dynamics one step (scalar-params front-end).
+
+    Parameters
+    ----------
+    energy_wh:
+        Current stored energy (Wh), scalar or vector.
+    power_request_w:
+        Requested terminal power; **positive = charge** (power flowing into
+        the battery terminals), **negative = discharge** (power delivered
+        to the microgrid).
+    dt_s:
+        Step length in seconds.
+
+    Returns
+    -------
+    (accepted_power_w, new_energy_wh):
+        The power actually absorbed/delivered at the terminals after
+        applying rate limits, the CV taper, efficiency and capacity bounds,
+        and the post-step stored energy.  Scalars in → scalars out.
+    """
+    scalar_in = np.isscalar(energy_wh) and np.isscalar(power_request_w)
+    if params.capacity_wh <= 0:
+        if scalar_in:
+            return 0.0, 0.0
+        shape = np.broadcast(
+            np.asarray(energy_wh, dtype=np.float64),
+            np.asarray(power_request_w, dtype=np.float64),
+        ).shape
+        return np.zeros(shape), np.zeros(shape)
+
+    accepted, new_e = clc_step_arrays(
+        params.capacity_wh,
+        energy_wh,
+        power_request_w,
+        dt_s,
+        eta_charge=params.eta_charge,
+        eta_discharge=params.eta_discharge,
+        max_charge_c_rate=params.max_charge_c_rate,
+        max_discharge_c_rate=params.max_discharge_c_rate,
+        taper_soc_threshold=params.taper_soc_threshold,
+        soc_min=params.soc_min,
+        soc_max=params.soc_max,
+        self_discharge_per_hour=params.self_discharge_per_hour,
+    )
+    if scalar_in:
+        return float(accepted), float(new_e)
+    return accepted, new_e
+
+
+def roundtrip_efficiency(params: CLCParameters) -> float:
+    """Nominal round-trip efficiency of the parameter set."""
+    return params.eta_charge * params.eta_discharge

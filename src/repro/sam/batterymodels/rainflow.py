@@ -1,0 +1,98 @@
+"""Rainflow cycle counting for battery SoC histories.
+
+The paper reports "battery cycles" per candidate composition (Tables 1–2)
+and proposes battery-degradation minimization as an optimization objective
+(§4.3).  Two complementary counters:
+
+* :func:`count_equivalent_full_cycles` — throughput-based equivalent full
+  cycles (EFC): total discharged energy divided by usable capacity.  This
+  is the metric the tables report (a 7.5 MWh unit that discharges
+  1 147 MWh over a year has seen ~153 EFC).
+* :func:`rainflow_cycles` — the ASTM E1049-85 rainflow algorithm over the
+  SoC trace, yielding individual (depth, mean) half/full cycles for use
+  with depth-dependent aging laws (Wöhler curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RainflowCycle:
+    """One counted cycle: depth and mean are SoC fractions in [0, 1]."""
+
+    depth: float
+    mean: float
+    count: float  # 1.0 = full cycle, 0.5 = half cycle
+
+
+def _turning_points(series: np.ndarray) -> np.ndarray:
+    """Compress a series to its local extrema (keeping endpoints)."""
+    x = np.asarray(series, dtype=np.float64)
+    if x.size <= 2:
+        return x
+    diff = np.diff(x)
+    # Drop zero-slope plateaus, then keep sign changes.
+    keep = np.ones(x.size, dtype=bool)
+    keep[1:-1] = np.sign(diff[:-1]) != np.sign(diff[1:])
+    # Plateaus produce sign 0; treat them as continuation (drop midpoints).
+    flat = np.zeros(x.size, dtype=bool)
+    flat[1:-1] = (diff[:-1] == 0) & (diff[1:] == 0)
+    keep &= ~flat
+    return x[keep]
+
+
+def rainflow_cycles(soc_series: np.ndarray) -> list[RainflowCycle]:
+    """ASTM E1049-85 rainflow counting over a SoC trace.
+
+    Returns a list of :class:`RainflowCycle`; residual excursions are
+    counted as half cycles, matching the standard.
+    """
+    pts = _turning_points(np.asarray(soc_series, dtype=np.float64))
+    cycles: list[RainflowCycle] = []
+    stack: list[float] = []
+    for point in pts:
+        stack.append(float(point))
+        while len(stack) >= 3:
+            x = abs(stack[-2] - stack[-1])
+            y = abs(stack[-3] - stack[-2])
+            if x < y:
+                break
+            if len(stack) == 3:
+                # Half cycle from the bottom of the stack.
+                cycles.append(
+                    RainflowCycle(depth=y, mean=(stack[0] + stack[1]) / 2.0, count=0.5)
+                )
+                stack.pop(0)
+            else:
+                cycles.append(
+                    RainflowCycle(depth=y, mean=(stack[-3] + stack[-2]) / 2.0, count=1.0)
+                )
+                del stack[-3:-1]
+    # Residual: count remaining ranges as half cycles.
+    for a, b in zip(stack, stack[1:]):
+        cycles.append(RainflowCycle(depth=abs(b - a), mean=(a + b) / 2.0, count=0.5))
+    return [c for c in cycles if c.depth > 0.0]
+
+
+def count_equivalent_full_cycles(
+    discharge_energy_wh: float, usable_capacity_wh: float
+) -> float:
+    """Equivalent full cycles from total discharge throughput."""
+    if usable_capacity_wh <= 0:
+        return 0.0
+    return float(discharge_energy_wh / usable_capacity_wh)
+
+
+def equivalent_full_cycles_from_soc(
+    soc_series: np.ndarray, usable_fraction: float = 1.0
+) -> float:
+    """EFC computed from a SoC trace (sum of downward SoC movement)."""
+    soc = np.asarray(soc_series, dtype=np.float64)
+    if soc.size < 2 or usable_fraction <= 0:
+        return 0.0
+    drops = np.clip(-np.diff(soc), 0.0, None)
+    return float(drops.sum() / usable_fraction)

@@ -1,0 +1,34 @@
+"""PVWatts-style photovoltaic performance model.
+
+Model chain (PVWatts v5, Dobos 2014 — the module SAM's ``Pvwattsv8`` is
+descended from):
+
+1. solar position            → :mod:`repro.sam.solar.geometry`
+2. clear-sky irradiance      → :mod:`repro.sam.solar.clearsky`
+3. GHI → DNI/DHI split and
+   plane-of-array transposition → :mod:`repro.sam.solar.irradiance`
+4. cell temperature          → :mod:`repro.sam.solar.temperature`
+5. DC power + system losses  → :mod:`repro.sam.solar.pvwatts`,
+                               :mod:`repro.sam.solar.losses`
+6. inverter clipping/efficiency → :mod:`repro.sam.solar.inverter`
+"""
+
+from .geometry import SolarPosition, solar_position
+from .clearsky import haurwitz_ghi, ineichen_dni
+from .irradiance import erbs_decomposition, poa_irradiance
+from .temperature import cell_temperature_noct
+from .inverter import InverterModel
+from .pvwatts import PVWattsModel, PVWattsParameters
+
+__all__ = [
+    "SolarPosition",
+    "solar_position",
+    "haurwitz_ghi",
+    "ineichen_dni",
+    "erbs_decomposition",
+    "poa_irradiance",
+    "cell_temperature_noct",
+    "InverterModel",
+    "PVWattsModel",
+    "PVWattsParameters",
+]

@@ -1,0 +1,76 @@
+"""Clear-sky irradiance models.
+
+Two standard closed-form models:
+
+* :func:`haurwitz_ghi` — the Haurwitz (1945) global-horizontal clear-sky
+  model.  Depends only on the zenith angle; it is the reference model the
+  synthetic NSRDB-style generator scales with the stochastic clearness
+  index.
+* :func:`ineichen_dni` — a simplified Ineichen–Perez direct-normal model
+  with a Kasten airmass and Linke-turbidity attenuation, used to split the
+  synthetic GHI into beam and diffuse consistently with clear skies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .geometry import SOLAR_CONSTANT_W_M2
+
+
+def relative_airmass(zenith_deg: np.ndarray) -> np.ndarray:
+    """Kasten & Young (1989) relative optical airmass.
+
+    Values above ~38 (sun below horizon) are clipped; callers zero the
+    irradiance there anyway.
+    """
+    z = np.minimum(np.asarray(zenith_deg, dtype=np.float64), 89.9)
+    z_rad = np.radians(z)
+    am = 1.0 / (np.cos(z_rad) + 0.50572 * (96.07995 - z) ** -1.6364)
+    return np.clip(am, 1.0, 38.0)
+
+
+def haurwitz_ghi(zenith_deg: np.ndarray) -> np.ndarray:
+    """Haurwitz clear-sky global horizontal irradiance (W/m²)."""
+    cos_zen = np.cos(np.radians(np.asarray(zenith_deg, dtype=np.float64)))
+    cos_zen = np.maximum(cos_zen, 0.0)
+    ghi = 1098.0 * cos_zen * np.exp(-0.059 / np.maximum(cos_zen, 1e-6))
+    return np.where(cos_zen > 0.0, ghi, 0.0)
+
+
+def ineichen_dni(
+    zenith_deg: np.ndarray,
+    extraterrestrial_w_m2: np.ndarray | float = SOLAR_CONSTANT_W_M2,
+    linke_turbidity: float = 3.0,
+    altitude_m: float = 0.0,
+) -> np.ndarray:
+    """Simplified Ineichen–Perez clear-sky direct normal irradiance (W/m²).
+
+    Parameters
+    ----------
+    zenith_deg:
+        Solar zenith angle(s), degrees.
+    extraterrestrial_w_m2:
+        Extraterrestrial normal irradiance (already eccentricity-corrected).
+    linke_turbidity:
+        Linke turbidity factor TL (≈2 very clean, ≈3 typical, ≈5 hazy).
+    altitude_m:
+        Site elevation; raises DNI slightly via the altitude correction.
+    """
+    zen = np.asarray(zenith_deg, dtype=np.float64)
+    am = relative_airmass(zen)
+    fh1 = np.exp(-altitude_m / 8_000.0)
+    b = 0.664 + 0.163 / fh1
+    dni = b * np.asarray(extraterrestrial_w_m2, dtype=np.float64) * np.exp(
+        -0.09 * am * (linke_turbidity - 1.0)
+    )
+    cos_zen = np.cos(np.radians(zen))
+    return np.where(cos_zen > 0.0, np.maximum(dni, 0.0), 0.0)
+
+
+def clearsky_dhi(
+    ghi_clearsky: np.ndarray, dni_clearsky: np.ndarray, zenith_deg: np.ndarray
+) -> np.ndarray:
+    """Clear-sky diffuse horizontal as the closure residual GHI − DNI·cosθz."""
+    cos_zen = np.maximum(np.cos(np.radians(np.asarray(zenith_deg, dtype=np.float64))), 0.0)
+    return np.maximum(ghi_clearsky - dni_clearsky * cos_zen, 0.0)

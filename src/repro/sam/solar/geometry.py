@@ -1,0 +1,157 @@
+"""Solar position algorithm.
+
+Implements the standard Spencer/Cooper equations used by PVWatts-class
+models: solar declination and the equation of time from the fractional
+year, then hour angle, zenith and azimuth for a site.  Accuracy is a
+fraction of a degree — ample for energy simulation (SAM itself uses a
+comparable closed-form algorithm for its hourly models).
+
+All functions are vectorized over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...units import SECONDS_PER_HOUR
+
+#: Solar constant (extraterrestrial normal irradiance), W/m².
+SOLAR_CONSTANT_W_M2 = 1_361.0
+
+
+@dataclass(frozen=True)
+class SolarPosition:
+    """Solar angles for a batch of timestamps (all arrays, degrees)."""
+
+    zenith_deg: np.ndarray
+    azimuth_deg: np.ndarray  # clockwise from North
+    declination_deg: np.ndarray
+    hour_angle_deg: np.ndarray
+    eot_minutes: np.ndarray
+    extraterrestrial_w_m2: np.ndarray
+
+    @property
+    def elevation_deg(self) -> np.ndarray:
+        """Solar elevation above the horizon (deg)."""
+        return 90.0 - self.zenith_deg
+
+    @property
+    def cos_zenith(self) -> np.ndarray:
+        """Cosine of the zenith angle, clipped at 0 below the horizon."""
+        return np.maximum(np.cos(np.radians(self.zenith_deg)), 0.0)
+
+
+def _fractional_year_rad(day_of_year: np.ndarray, hour_of_day: np.ndarray) -> np.ndarray:
+    """Fractional year angle γ (radians) per Spencer (1971)."""
+    return 2.0 * np.pi / 365.0 * (day_of_year - 1.0 + (hour_of_day - 12.0) / 24.0)
+
+
+def declination_deg(day_of_year: np.ndarray, hour_of_day: np.ndarray | float = 12.0) -> np.ndarray:
+    """Solar declination (degrees) via the Spencer Fourier series."""
+    g = _fractional_year_rad(np.asarray(day_of_year, dtype=np.float64), np.asarray(hour_of_day))
+    decl_rad = (
+        0.006918
+        - 0.399912 * np.cos(g)
+        + 0.070257 * np.sin(g)
+        - 0.006758 * np.cos(2 * g)
+        + 0.000907 * np.sin(2 * g)
+        - 0.002697 * np.cos(3 * g)
+        + 0.00148 * np.sin(3 * g)
+    )
+    return np.degrees(decl_rad)
+
+
+def equation_of_time_minutes(day_of_year: np.ndarray) -> np.ndarray:
+    """Equation of time (minutes) via the Spencer Fourier series."""
+    g = _fractional_year_rad(np.asarray(day_of_year, dtype=np.float64), 12.0)
+    return 229.18 * (
+        0.000075
+        + 0.001868 * np.cos(g)
+        - 0.032077 * np.sin(g)
+        - 0.014615 * np.cos(2 * g)
+        - 0.040849 * np.sin(2 * g)
+    )
+
+
+def extraterrestrial_normal_w_m2(day_of_year: np.ndarray) -> np.ndarray:
+    """Extraterrestrial beam irradiance with Earth-orbit eccentricity."""
+    b = 2.0 * np.pi * (np.asarray(day_of_year, dtype=np.float64) - 1.0) / 365.0
+    correction = (
+        1.00011
+        + 0.034221 * np.cos(b)
+        + 0.00128 * np.sin(b)
+        + 0.000719 * np.cos(2 * b)
+        + 0.000077 * np.sin(2 * b)
+    )
+    return SOLAR_CONSTANT_W_M2 * correction
+
+
+def solar_position(
+    times_s: np.ndarray,
+    latitude_deg: float,
+    longitude_deg: float,
+    timezone_hours: float,
+) -> SolarPosition:
+    """Compute solar angles for epoch-second timestamps at a site.
+
+    ``times_s`` are seconds since local-standard-time midnight, Jan 1.
+    Multi-year times wrap around a 365-day year (matching the synthetic
+    resource convention in :mod:`repro.timeseries`).
+    """
+    t = np.asarray(times_s, dtype=np.float64)
+    hours = t / SECONDS_PER_HOUR
+    hour_of_year = np.mod(hours, 8_760.0)
+    day_of_year = np.floor(hour_of_year / 24.0) + 1.0
+    local_hour = np.mod(hour_of_year, 24.0)
+
+    decl = declination_deg(day_of_year, local_hour)
+    eot = equation_of_time_minutes(day_of_year)
+
+    # Local solar time: standard time + longitude correction + EoT.
+    # Standard meridian of the timezone is 15° * tz.
+    solar_hour = local_hour + (longitude_deg - 15.0 * timezone_hours) / 15.0 + eot / 60.0
+    hour_angle = 15.0 * (solar_hour - 12.0)
+
+    lat_r = np.radians(latitude_deg)
+    decl_r = np.radians(decl)
+    ha_r = np.radians(hour_angle)
+
+    cos_zen = np.sin(lat_r) * np.sin(decl_r) + np.cos(lat_r) * np.cos(decl_r) * np.cos(ha_r)
+    cos_zen = np.clip(cos_zen, -1.0, 1.0)
+    zenith = np.degrees(np.arccos(cos_zen))
+
+    # Azimuth clockwise from North (NOAA convention).
+    sin_zen = np.sqrt(np.maximum(1.0 - cos_zen**2, 1e-12))
+    cos_az = (np.sin(decl_r) - np.sin(lat_r) * cos_zen) / (np.cos(lat_r) * sin_zen)
+    cos_az = np.clip(cos_az, -1.0, 1.0)
+    azimuth = np.degrees(np.arccos(cos_az))
+    azimuth = np.where(hour_angle > 0.0, 360.0 - azimuth, azimuth)
+
+    return SolarPosition(
+        zenith_deg=zenith,
+        azimuth_deg=azimuth,
+        declination_deg=np.broadcast_to(decl, zenith.shape).copy(),
+        hour_angle_deg=hour_angle,
+        eot_minutes=np.broadcast_to(eot, zenith.shape).copy(),
+        extraterrestrial_w_m2=extraterrestrial_normal_w_m2(day_of_year),
+    )
+
+
+def sunrise_sunset_hours(day_of_year: float, latitude_deg: float) -> tuple[float, float]:
+    """Approximate local-solar-time sunrise/sunset hours for a day.
+
+    Returns ``(sunrise, sunset)`` in solar hours; for polar day/night the
+    pair degenerates to ``(12, 12)`` or ``(0, 24)``.
+    """
+    decl = float(declination_deg(np.asarray([day_of_year]))[0])
+    lat_r = np.radians(latitude_deg)
+    decl_r = np.radians(decl)
+    cos_ha = -np.tan(lat_r) * np.tan(decl_r)
+    if cos_ha >= 1.0:
+        return (12.0, 12.0)  # polar night
+    if cos_ha <= -1.0:
+        return (0.0, 24.0)  # polar day
+    ha = np.degrees(np.arccos(cos_ha))
+    return (12.0 - ha / 15.0, 12.0 + ha / 15.0)

@@ -1,0 +1,72 @@
+"""Inverter model: DC → AC conversion with part-load efficiency and clipping.
+
+PVWatts v5 uses a nominal inverter efficiency plus an empirical part-load
+curve derived from the Sandia/CEC inverter database, and clips output at
+the AC nameplate (``P_dc0 / dc_ac_ratio``).  We reproduce that behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InverterModel:
+    """PVWatts-style inverter with part-load efficiency and AC clipping.
+
+    Parameters
+    ----------
+    ac_rated_w:
+        AC nameplate power (clipping limit).
+    nominal_efficiency:
+        Rated (CEC weighted) efficiency η_nom, e.g. 0.96.
+    reference_efficiency:
+        Reference efficiency the PVWatts part-load curve is normalized to
+        (0.9637 in PVWatts v5).
+    """
+
+    ac_rated_w: float
+    nominal_efficiency: float = 0.96
+    reference_efficiency: float = 0.9637
+
+    def __post_init__(self) -> None:
+        if self.ac_rated_w <= 0:
+            raise ConfigurationError(f"ac_rated_w must be positive, got {self.ac_rated_w}")
+        if not 0.5 < self.nominal_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"nominal_efficiency must be in (0.5, 1], got {self.nominal_efficiency}"
+            )
+
+    def ac_power_w(self, dc_power_w: np.ndarray) -> np.ndarray:
+        """Convert DC power (W) to AC power (W).
+
+        Implements the PVWatts v5 part-load efficiency polynomial
+        ``η(ζ) = η_nom/η_ref * (-0.0162 ζ - 0.0059/ζ + 0.9858)`` with
+        ``ζ = P_dc / P_dc0`` where ``P_dc0 = P_ac0 / η_nom``, followed by
+        clipping at the AC nameplate.
+        """
+        dc = np.asarray(dc_power_w, dtype=np.float64)
+        p_dc0 = self.ac_rated_w / self.nominal_efficiency
+        zeta = np.clip(dc / p_dc0, 1e-4, None)
+        eta = (
+            self.nominal_efficiency
+            / self.reference_efficiency
+            * (-0.0162 * zeta - 0.0059 / zeta + 0.9858)
+        )
+        eta = np.clip(eta, 0.0, 1.0)
+        ac = eta * dc
+        # Clip at nameplate; zero out negligible nighttime tare values.
+        ac = np.minimum(ac, self.ac_rated_w)
+        return np.where(dc > 0.0, np.maximum(ac, 0.0), 0.0)
+
+    def clipping_fraction(self, dc_power_w: np.ndarray) -> float:
+        """Fraction of timesteps where the inverter clips at nameplate."""
+        ac = self.ac_power_w(dc_power_w)
+        produced = np.asarray(dc_power_w) > 0
+        if not produced.any():
+            return 0.0
+        return float(np.mean(np.isclose(ac[produced], self.ac_rated_w)))

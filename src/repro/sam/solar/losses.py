@@ -1,0 +1,51 @@
+"""PVWatts system-loss model.
+
+PVWatts lumps all non-temperature, non-inverter losses into a single
+percentage applied to DC output.  The defaults below are the PVWatts v5
+documentation values; the total combines multiplicatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from ...exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SystemLosses:
+    """Itemized PVWatts loss categories (each a fraction in [0, 1))."""
+
+    soiling: float = 0.02
+    shading: float = 0.03
+    snow: float = 0.0
+    mismatch: float = 0.02
+    wiring: float = 0.02
+    connections: float = 0.005
+    light_induced_degradation: float = 0.015
+    nameplate_rating: float = 0.01
+    age: float = 0.0
+    availability: float = 0.015
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if not 0.0 <= v < 1.0:
+                raise ConfigurationError(f"loss '{f.name}' must be in [0, 1), got {v}")
+
+    @property
+    def total_derate(self) -> float:
+        """Combined multiplicative derate factor (≈0.86 for defaults)."""
+        derate = 1.0
+        for f in fields(self):
+            derate *= 1.0 - getattr(self, f.name)
+        return derate
+
+    @property
+    def total_loss_fraction(self) -> float:
+        """Combined loss as a single fraction (PVWatts 'losses' input)."""
+        return 1.0 - self.total_derate
+
+
+#: PVWatts v5 default losses total ≈ 14 %.
+DEFAULT_LOSSES = SystemLosses()

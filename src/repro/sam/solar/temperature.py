@@ -1,0 +1,59 @@
+"""Photovoltaic cell-temperature models.
+
+PVWatts derates DC output by the cell temperature excess over 25 °C
+reference conditions.  Two standard models:
+
+* :func:`cell_temperature_noct` — NOCT (nominal operating cell temperature)
+  linear model, the textbook approach and a good match for rack-mounted
+  modules;
+* :func:`cell_temperature_sapm` — the Sandia Array Performance Model
+  exponential wind-cooling form that SAM's PVWatts actually uses (King et
+  al. 2004, open-rack glass/polymer coefficients by default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Reference cell temperature for STC ratings, °C.
+REFERENCE_CELL_TEMPERATURE_C = 25.0
+#: Reference irradiance for STC ratings, W/m².
+REFERENCE_IRRADIANCE_W_M2 = 1_000.0
+#: NOCT test irradiance, W/m².
+NOCT_IRRADIANCE_W_M2 = 800.0
+#: NOCT test ambient temperature, °C.
+NOCT_AMBIENT_C = 20.0
+
+
+def cell_temperature_noct(
+    poa_w_m2: np.ndarray,
+    ambient_c: np.ndarray,
+    noct_c: float = 45.0,
+) -> np.ndarray:
+    """NOCT linear cell-temperature model.
+
+    ``T_cell = T_amb + (NOCT - 20) * POA / 800``.
+    """
+    poa = np.asarray(poa_w_m2, dtype=np.float64)
+    amb = np.asarray(ambient_c, dtype=np.float64)
+    return amb + (noct_c - NOCT_AMBIENT_C) * poa / NOCT_IRRADIANCE_W_M2
+
+
+def cell_temperature_sapm(
+    poa_w_m2: np.ndarray,
+    ambient_c: np.ndarray,
+    wind_speed_ms: np.ndarray | float = 1.0,
+    a: float = -3.56,
+    b: float = -0.075,
+    delta_t_c: float = 3.0,
+) -> np.ndarray:
+    """SAPM cell-temperature model (open-rack glass/polymer defaults).
+
+    Module back temperature ``T_m = POA * exp(a + b*WS) + T_amb`` and
+    cell temperature ``T_c = T_m + POA/1000 * ΔT``.
+    """
+    poa = np.asarray(poa_w_m2, dtype=np.float64)
+    amb = np.asarray(ambient_c, dtype=np.float64)
+    ws = np.asarray(wind_speed_ms, dtype=np.float64)
+    t_module = poa * np.exp(a + b * ws) + amb
+    return t_module + poa / REFERENCE_IRRADIANCE_W_M2 * delta_t_c

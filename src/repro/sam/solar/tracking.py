@@ -1,0 +1,59 @@
+"""Single-axis tracker geometry (SAM PVWatts ``array_type`` 2/3).
+
+PVWatts supports fixed racks and one-axis trackers; trackers are the
+dominant utility-scale choice and lift capacity factors by ~15–25 %.
+This module computes the instantaneous surface orientation of a
+horizontal north–south-axis tracker following the sun east→west
+(the standard configuration), with an optional rotation limit.
+
+Formulas follow Lorenzo et al. / the pvlib ``singleaxis`` derivation for
+``axis_tilt = 0``, ``axis_azimuth = 180`` (axis pointing south, panels
+rotating about it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...exceptions import ConfigurationError
+from .geometry import SolarPosition
+
+
+@dataclass(frozen=True)
+class TrackerOrientation:
+    """Per-timestep surface orientation of the tracker (degrees)."""
+
+    tilt_deg: np.ndarray
+    azimuth_deg: np.ndarray
+    rotation_deg: np.ndarray
+
+
+def single_axis_orientation(
+    solar: SolarPosition, max_rotation_deg: float = 60.0
+) -> TrackerOrientation:
+    """Ideal-tracking orientation of a horizontal N–S-axis tracker.
+
+    The tracker rotation (about the N–S axis, 0 = flat, + toward west)
+    that minimizes the beam angle of incidence is
+    ``R = atan2(sin(θz)·sin(γs − γa), cos(θz))`` with axis azimuth
+    γa = 180°; the instantaneous surface tilt is |R| and the surface
+    azimuth flips between east (90°) and west (270°).
+    """
+    if not 0.0 < max_rotation_deg <= 90.0:
+        raise ConfigurationError("max rotation must be in (0, 90] degrees")
+    zen_r = np.radians(solar.zenith_deg)
+    az_r = np.radians(solar.azimuth_deg)
+    axis_az_r = np.radians(180.0)
+
+    x = np.sin(zen_r) * np.sin(az_r - axis_az_r)  # east-west sun component
+    z = np.cos(zen_r)
+    rotation = np.degrees(np.arctan2(x, np.maximum(z, 1e-9)))
+    rotation = np.clip(rotation, -max_rotation_deg, max_rotation_deg)
+    # Below the horizon the tracker stows flat.
+    rotation = np.where(solar.zenith_deg < 90.0, rotation, 0.0)
+
+    tilt = np.abs(rotation)
+    azimuth = np.where(rotation >= 0.0, 270.0, 90.0)  # + rotation → facing west
+    return TrackerOrientation(tilt_deg=tilt, azimuth_deg=azimuth, rotation_deg=rotation)

@@ -1,0 +1,26 @@
+"""Windpower-style wind farm performance model.
+
+Mirrors the SAM ``Windpower`` compute module the paper uses: hub-height
+wind speed (shear extrapolation), air-density correction, turbine power
+curve lookup, and farm-level array (wake) losses.
+"""
+
+from .shear import extrapolate_log_law, extrapolate_power_law
+from .density import air_density_kg_m3, density_corrected_speed
+from .powercurve import GENERIC_3MW_TURBINE, PowerCurve, TurbineSpec
+from .wake import constant_wake_loss, jensen_array_efficiency
+from .windpower import WindFarmModel, WindFarmParameters
+
+__all__ = [
+    "extrapolate_power_law",
+    "extrapolate_log_law",
+    "air_density_kg_m3",
+    "density_corrected_speed",
+    "PowerCurve",
+    "TurbineSpec",
+    "GENERIC_3MW_TURBINE",
+    "constant_wake_loss",
+    "jensen_array_efficiency",
+    "WindFarmModel",
+    "WindFarmParameters",
+]

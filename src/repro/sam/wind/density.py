@@ -1,0 +1,45 @@
+"""Air-density effects on wind power.
+
+Turbine power scales linearly with air density below rated speed.  The
+IEC 61400-12 convention corrects the *wind speed* fed to a sea-level power
+curve: ``v_corr = v * (ρ / ρ0)^(1/3)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...exceptions import ConfigurationError
+
+#: ISA sea-level standard air density, kg/m³.
+STANDARD_AIR_DENSITY = 1.225
+#: Specific gas constant of dry air, J/(kg·K).
+GAS_CONSTANT_DRY_AIR = 287.058
+#: ISA sea-level pressure, Pa, and temperature lapse rate, K/m.
+SEA_LEVEL_PRESSURE_PA = 101_325.0
+LAPSE_RATE_K_PER_M = 0.0065
+SEA_LEVEL_TEMPERATURE_K = 288.15
+GRAVITY = 9.80665
+
+
+def air_density_kg_m3(
+    elevation_m: float, temperature_c: np.ndarray | float = 15.0
+) -> np.ndarray | float:
+    """Air density from elevation (barometric formula) and temperature."""
+    if elevation_m < -500 or elevation_m > 6_000:
+        raise ConfigurationError(f"elevation {elevation_m} m outside supported range")
+    t_k = np.asarray(temperature_c, dtype=np.float64) + 273.15
+    exponent = GRAVITY / (GAS_CONSTANT_DRY_AIR * LAPSE_RATE_K_PER_M)
+    pressure = SEA_LEVEL_PRESSURE_PA * (
+        1.0 - LAPSE_RATE_K_PER_M * elevation_m / SEA_LEVEL_TEMPERATURE_K
+    ) ** exponent
+    rho = pressure / (GAS_CONSTANT_DRY_AIR * t_k)
+    return rho if isinstance(temperature_c, np.ndarray) else float(rho)
+
+
+def density_corrected_speed(
+    speed_ms: np.ndarray, density_kg_m3: np.ndarray | float
+) -> np.ndarray:
+    """IEC 61400-12 density-corrected wind speed for sea-level power curves."""
+    rho_ratio = np.asarray(density_kg_m3, dtype=np.float64) / STANDARD_AIR_DENSITY
+    return np.asarray(speed_ms, dtype=np.float64) * np.cbrt(rho_ratio)

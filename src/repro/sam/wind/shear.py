@@ -1,0 +1,49 @@
+"""Vertical wind-shear extrapolation.
+
+Wind resources are measured/synthesized at a reference height; turbines
+operate at hub height.  Two standard laws:
+
+* :func:`extrapolate_power_law` — engineering power law
+  ``v(h) = v_ref * (h / h_ref)^α`` with site-specific exponent α (SAM's
+  default approach for its hourly wind model);
+* :func:`extrapolate_log_law` — neutral-stability logarithmic profile with
+  surface roughness length z0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...exceptions import ConfigurationError
+
+
+def extrapolate_power_law(
+    speed_ms: np.ndarray,
+    reference_height_m: float,
+    hub_height_m: float,
+    shear_exponent: float = 0.14,
+) -> np.ndarray:
+    """Power-law shear extrapolation of wind speed to hub height."""
+    if reference_height_m <= 0 or hub_height_m <= 0:
+        raise ConfigurationError("heights must be positive")
+    if not 0.0 <= shear_exponent <= 0.6:
+        raise ConfigurationError(f"shear exponent {shear_exponent} outside plausible [0, 0.6]")
+    ratio = (hub_height_m / reference_height_m) ** shear_exponent
+    return np.asarray(speed_ms, dtype=np.float64) * ratio
+
+
+def extrapolate_log_law(
+    speed_ms: np.ndarray,
+    reference_height_m: float,
+    hub_height_m: float,
+    roughness_length_m: float = 0.03,
+) -> np.ndarray:
+    """Logarithmic-profile shear extrapolation (neutral stability)."""
+    if min(reference_height_m, hub_height_m) <= roughness_length_m:
+        raise ConfigurationError("heights must exceed the roughness length")
+    if roughness_length_m <= 0:
+        raise ConfigurationError("roughness length must be positive")
+    ratio = np.log(hub_height_m / roughness_length_m) / np.log(
+        reference_height_m / roughness_length_m
+    )
+    return np.asarray(speed_ms, dtype=np.float64) * ratio

@@ -1,0 +1,60 @@
+"""Farm-level wake / array losses.
+
+SAM's Windpower module offers several wake models; for the farm sizes the
+paper sweeps (≤10 turbines) the dominant effect is a modest array
+efficiency.  Two options:
+
+* :func:`constant_wake_loss` — a flat array-efficiency derate (SAM's
+  "simple" wake option, default 5–10 % for small farms);
+* :func:`jensen_array_efficiency` — an aggregate Jensen (Park) top-hat
+  estimate of mean array efficiency as a function of turbine count and
+  spacing, capturing the diminishing marginal output of adding machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...exceptions import ConfigurationError
+
+
+def constant_wake_loss(n_turbines: int, loss_fraction: float = 0.05) -> float:
+    """Flat array efficiency: 1 for ≤1 turbine, else ``1 - loss``."""
+    if not 0.0 <= loss_fraction < 1.0:
+        raise ConfigurationError(f"loss fraction must be in [0, 1), got {loss_fraction}")
+    return 1.0 if n_turbines <= 1 else 1.0 - loss_fraction
+
+
+def jensen_array_efficiency(
+    n_turbines: int,
+    spacing_diameters: float = 7.0,
+    thrust_coefficient: float = 0.8,
+    wake_decay: float = 0.075,
+) -> float:
+    """Aggregate Jensen-model array efficiency for a line of turbines.
+
+    Considers a single row with the given spacing (in rotor diameters).  A
+    downstream turbine in a full wake at distance ``s·D`` sees velocity
+    deficit ``δ = (1 − √(1−Ct)) / (1 + 2k·s)²``.  Full-wake alignment only
+    occurs over a narrow sector of the wind rose; averaging over directions
+    an effective fraction ``0.15·(n−1)/n`` of turbine-hours is fully waked,
+    giving mean farm efficiency ``1 − 0.15·(n−1)/n·(1 − (1−δ)³)`` — ≈95 %
+    for a 10-turbine row at 7 D, matching typical reported array losses.
+
+    This is intentionally an *aggregate* estimate (SAM computes the same
+    quantity per-direction); it reproduces the correct qualitative shape:
+    monotonically decreasing efficiency with n, saturating for large n.
+    """
+    if n_turbines <= 1:
+        return 1.0
+    if spacing_diameters <= 0:
+        raise ConfigurationError("spacing must be positive")
+    if not 0.0 < thrust_coefficient < 1.0:
+        raise ConfigurationError("thrust coefficient must be in (0, 1)")
+    deficit = (1.0 - np.sqrt(1.0 - thrust_coefficient)) / (
+        1.0 + 2.0 * wake_decay * spacing_diameters
+    ) ** 2
+    waked_fraction = 0.15 * (n_turbines - 1) / n_turbines
+    power_deficit = 1.0 - (1.0 - deficit) ** 3
+    eff = 1.0 - waked_fraction * power_deficit
+    return float(np.clip(eff, 0.0, 1.0))

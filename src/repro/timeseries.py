@@ -1,0 +1,222 @@
+"""Regularly-sampled time series used throughout the co-simulator.
+
+Vessim feeds historical traces (power, irradiance, carbon intensity) to its
+actors through *signals*; the backing container here is a lightweight,
+NumPy-based, regularly-sampled :class:`TimeSeries`.
+
+Design notes (hpc-parallel guide):
+
+* values are stored as one contiguous ``float64`` array — all bulk
+  operations (resampling, integration, statistics) are vectorized;
+* point lookup is O(1) arithmetic on the step index, not a search;
+* arithmetic between aligned series operates on the raw arrays.
+
+Time is modeled as seconds since the simulation epoch (t=0).  For annual
+resource data the epoch is midnight, Jan 1, local standard time, and the
+convention is that sample ``i`` covers ``[i*step, (i+1)*step)`` —
+a *left-labelled, piecewise-constant* series, which is how NSRDB/SAM label
+hourly data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .exceptions import DataError
+from .units import SECONDS_PER_HOUR
+
+
+@dataclass
+class TimeSeries:
+    """A regularly sampled, left-labelled, piecewise-constant time series.
+
+    Parameters
+    ----------
+    values:
+        Sample values; copied to a contiguous float64 array.
+    step_s:
+        Sampling period in seconds (e.g. 3600 for hourly).
+    start_s:
+        Time of the first sample, seconds since the simulation epoch.
+    name:
+        Optional label used in error messages and reports.
+    """
+
+    values: np.ndarray
+    step_s: float = SECONDS_PER_HOUR
+    start_s: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.values = np.ascontiguousarray(self.values, dtype=np.float64)
+        if self.values.ndim != 1:
+            raise DataError(f"TimeSeries '{self.name}' must be 1-D, got shape {self.values.shape}")
+        if self.values.size == 0:
+            raise DataError(f"TimeSeries '{self.name}' must contain at least one sample")
+        if self.step_s <= 0:
+            raise DataError(f"TimeSeries '{self.name}' step must be positive, got {self.step_s}")
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    @property
+    def end_s(self) -> float:
+        """End of the covered interval (exclusive)."""
+        return self.start_s + self.step_s * len(self)
+
+    @property
+    def duration_s(self) -> float:
+        """Total covered duration in seconds."""
+        return self.step_s * len(self)
+
+    @property
+    def times_s(self) -> np.ndarray:
+        """Left-edge timestamps of every sample (seconds)."""
+        return self.start_s + self.step_s * np.arange(len(self), dtype=np.float64)
+
+    # -- lookup ------------------------------------------------------------
+
+    def index_at(self, t_s: float) -> int:
+        """Index of the sample covering time ``t_s``.
+
+        Raises
+        ------
+        DataError
+            If ``t_s`` lies outside ``[start, end)``.
+        """
+        if not (self.start_s <= t_s < self.end_s):
+            raise DataError(
+                f"time {t_s}s outside TimeSeries '{self.name}' range "
+                f"[{self.start_s}, {self.end_s})"
+            )
+        return int((t_s - self.start_s) // self.step_s)
+
+    def at(self, t_s: float) -> float:
+        """Piecewise-constant value at time ``t_s``."""
+        return float(self.values[self.index_at(t_s)])
+
+    def interp(self, t_s: float) -> float:
+        """Linearly interpolated value at ``t_s`` (sample centers as knots)."""
+        centers = self.start_s + self.step_s * (np.arange(len(self)) + 0.5)
+        return float(np.interp(t_s, centers, self.values))
+
+    # -- bulk operations (vectorized) ---------------------------------------
+
+    def mean(self) -> float:
+        """Arithmetic mean of all samples."""
+        return float(self.values.mean())
+
+    def total_energy_wh(self) -> float:
+        """Interpret samples as power in W and integrate to Wh."""
+        return float(self.values.sum() * self.step_s / SECONDS_PER_HOUR)
+
+    def resample(self, new_step_s: float) -> "TimeSeries":
+        """Resample to a new period.
+
+        Downsampling averages whole groups of samples (energy-conserving for
+        power series); upsampling repeats samples (consistent with the
+        piecewise-constant convention).  The new step must be an integer
+        multiple or divisor of the current step.
+        """
+        if new_step_s <= 0:
+            raise DataError("new step must be positive")
+        if np.isclose(new_step_s, self.step_s):
+            return TimeSeries(self.values.copy(), self.step_s, self.start_s, self.name)
+        if new_step_s > self.step_s:
+            ratio = new_step_s / self.step_s
+            if not np.isclose(ratio, round(ratio)):
+                raise DataError(
+                    f"downsampling step {new_step_s} is not an integer multiple of {self.step_s}"
+                )
+            k = int(round(ratio))
+            n_full = (len(self) // k) * k
+            grouped = self.values[:n_full].reshape(-1, k).mean(axis=1)
+            return TimeSeries(grouped, new_step_s, self.start_s, self.name)
+        ratio = self.step_s / new_step_s
+        if not np.isclose(ratio, round(ratio)):
+            raise DataError(
+                f"upsampling step {new_step_s} is not an integer divisor of {self.step_s}"
+            )
+        k = int(round(ratio))
+        return TimeSeries(np.repeat(self.values, k), new_step_s, self.start_s, self.name)
+
+    def slice(self, t0_s: float, t1_s: float) -> "TimeSeries":
+        """Sub-series covering ``[t0, t1)`` (snapped to sample boundaries)."""
+        i0 = self.index_at(t0_s)
+        if not (self.start_s < t1_s <= self.end_s):
+            raise DataError(f"slice end {t1_s} outside range ({self.start_s}, {self.end_s}]")
+        i1 = int(np.ceil((t1_s - self.start_s) / self.step_s))
+        return TimeSeries(
+            self.values[i0:i1].copy(), self.step_s, self.start_s + i0 * self.step_s, self.name
+        )
+
+    def map(self, fn: Callable[[np.ndarray], np.ndarray], name: str | None = None) -> "TimeSeries":
+        """Apply a vectorized function to the sample array."""
+        return TimeSeries(fn(self.values), self.step_s, self.start_s, name or self.name)
+
+    def scale(self, factor: float) -> "TimeSeries":
+        """Multiply every sample by ``factor``."""
+        return TimeSeries(self.values * factor, self.step_s, self.start_s, self.name)
+
+    # -- arithmetic between aligned series -----------------------------------
+
+    def _check_aligned(self, other: "TimeSeries") -> None:
+        if len(self) != len(other) or not np.isclose(self.step_s, other.step_s) or not np.isclose(
+            self.start_s, other.start_s
+        ):
+            raise DataError(
+                f"TimeSeries '{self.name}' and '{other.name}' are not aligned: "
+                f"len {len(self)}/{len(other)}, step {self.step_s}/{other.step_s}, "
+                f"start {self.start_s}/{other.start_s}"
+            )
+
+    def __add__(self, other: "TimeSeries") -> "TimeSeries":
+        self._check_aligned(other)
+        return TimeSeries(self.values + other.values, self.step_s, self.start_s, self.name)
+
+    def __sub__(self, other: "TimeSeries") -> "TimeSeries":
+        self._check_aligned(other)
+        return TimeSeries(self.values - other.values, self.step_s, self.start_s, self.name)
+
+
+@dataclass
+class HourOfYearIndex:
+    """Helpers for mapping epoch-seconds to calendar structure.
+
+    The synthetic resource year is a non-leap 365-day year starting at
+    midnight Jan 1 local standard time (8 760 hourly samples).
+    """
+
+    step_s: float = SECONDS_PER_HOUR
+    #: cumulative day-of-year at the start of each month (non-leap)
+    month_start_day: np.ndarray = field(
+        default_factory=lambda: np.array(
+            [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334], dtype=np.int64
+        )
+    )
+
+    def hour_of_year(self, t_s: np.ndarray | float) -> np.ndarray | float:
+        """Hour index within the year, wrapping for multi-year times."""
+        hours = np.asarray(t_s, dtype=np.float64) / SECONDS_PER_HOUR
+        return np.mod(hours, 8_760.0)
+
+    def day_of_year(self, t_s: np.ndarray | float) -> np.ndarray | float:
+        """1-based day of year (1..365)."""
+        return np.floor(self.hour_of_year(t_s) / 24.0) + 1
+
+    def hour_of_day(self, t_s: np.ndarray | float) -> np.ndarray | float:
+        """Local standard-time hour of day (0..24)."""
+        return np.mod(np.asarray(t_s, dtype=np.float64) / SECONDS_PER_HOUR, 24.0)
+
+
+def hourly_times_s(n_hours: int = 8_760) -> np.ndarray:
+    """Left-edge timestamps (s) of an ``n_hours``-long hourly series."""
+    return np.arange(n_hours, dtype=np.float64) * SECONDS_PER_HOUR

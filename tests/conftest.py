@@ -1,0 +1,36 @@
+"""Shared fixtures.
+
+Scenario construction costs ~1 s (resource synthesis + SAM model runs),
+so full-year scenarios are session-scoped; fast tests use a one-month
+scenario instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenario import Scenario, build_scenario
+
+
+@pytest.fixture(scope="session")
+def houston() -> Scenario:
+    """Full-year Houston scenario (ERCOT, wind-rich)."""
+    return build_scenario("houston")
+
+
+@pytest.fixture(scope="session")
+def berkeley() -> Scenario:
+    """Full-year Berkeley scenario (CAISO, solar-rich)."""
+    return build_scenario("berkeley")
+
+
+@pytest.fixture(scope="session")
+def houston_month() -> Scenario:
+    """One-month Houston scenario for fast unit/integration tests."""
+    return build_scenario("houston", n_hours=24 * 30)
+
+
+@pytest.fixture(scope="session")
+def berkeley_month() -> Scenario:
+    """One-month Berkeley scenario for fast unit/integration tests."""
+    return build_scenario("berkeley", n_hours=24 * 30)

@@ -1,0 +1,107 @@
+"""Analysis layer: tables, figure series, ASCII renderings, reports."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    ascii_heatmap,
+    ascii_scatter,
+    coverage_heatmap_series,
+    pareto_front_series,
+    projection_series,
+    write_csv,
+)
+from repro.analysis.report import experiment_report
+from repro.analysis.tables import candidate_table, format_table
+from repro.core.candidates import paper_candidates
+from repro.core.fastsim import BatchEvaluator
+from repro.core.parameterspace import ParameterSpace
+from repro.core.pareto import pareto_front
+from repro.core.projection import project_many
+from repro.core.study_runner import OptimizationRunner
+
+SPACE = ParameterSpace(max_turbines=3, max_solar_increments=3, max_battery_units=2)
+
+
+@pytest.fixture(scope="module")
+def small_result(houston_month):
+    return OptimizationRunner(houston_month, space=SPACE).run_exhaustive()
+
+
+class TestTables:
+    def test_candidate_table_rows(self, small_result):
+        rows = candidate_table(paper_candidates(small_result.evaluated))
+        assert rows
+        assert set(rows[0]) >= {
+            "wind_mw", "solar_mw", "battery_mwh",
+            "embodied_tco2", "operational_tco2_day", "coverage_pct", "battery_cycles",
+        }
+
+    def test_format_table_aligned(self, small_result):
+        rows = candidate_table(paper_candidates(small_result.evaluated))
+        text = format_table(rows, title="Houston")
+        lines = text.splitlines()
+        assert lines[0] == "Houston"
+        assert "Wind (MW)" in lines[1]
+        # all body rows share the header width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+
+class TestFigureSeries:
+    def test_pareto_series_flags_candidates(self, small_result):
+        front = pareto_front(small_result.evaluated)
+        candidates = paper_candidates(small_result.evaluated)
+        rows = pareto_front_series(front, candidates)
+        assert any(r["is_candidate"] for r in rows)
+        embodied = [r["embodied_tco2"] for r in rows]
+        assert embodied == sorted(embodied)
+
+    def test_projection_series_covers_all_candidates(self, small_result):
+        candidates = paper_candidates(small_result.evaluated)
+        projections = project_many(candidates, horizon_years=5.0, samples_per_year=2)
+        rows = projection_series(projections)
+        labels = {r["composition"] for r in rows}
+        assert len(labels) == len(candidates)
+
+    def test_coverage_series_grid(self):
+        coverage = np.array([[0.1, 0.2], [0.3, 0.4]])
+        rows = coverage_heatmap_series([0.0, 4_000.0], [0, 1], coverage)
+        assert len(rows) == 4
+        assert rows[0] == {"solar_kw": 0.0, "wind_kw": 0.0, "coverage_pct": 10.0}
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = write_csv(rows, tmp_path / "out" / "data.csv")
+        with path.open() as fh:
+            read_back = list(csv.DictReader(fh))
+        assert read_back == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_write_csv_empty(self, tmp_path):
+        path = write_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == ""
+
+
+class TestAscii:
+    def test_scatter_contains_markers(self):
+        text = ascii_scatter([0, 1, 2], [2, 1, 0], highlight=[True, False, False])
+        assert "^" in text and "*" in text
+
+    def test_scatter_empty(self):
+        assert ascii_scatter([], []) == "(no data)"
+
+    def test_heatmap_renders_scale(self):
+        text = ascii_heatmap(np.array([[0.0, 1.0]]), ["r0"], ["c0", "c1"], title="T")
+        assert text.startswith("T")
+        assert "scale:" in text
+
+
+class TestReport:
+    def test_report_sections(self, small_result):
+        text = experiment_report("houston-small", small_result, horizon_years=10.0)
+        assert "=== houston-small ===" in text
+        assert "Candidate solutions" in text
+        assert "Pareto front" in text
+        assert "projection" in text

@@ -1,0 +1,111 @@
+"""Parameter distributions (repro.blackbox.distributions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.blackbox.distributions import (
+    CategoricalDistribution,
+    FloatDistribution,
+    IntDistribution,
+)
+from repro.exceptions import OptimizationError
+
+RNG = np.random.default_rng(7)
+
+
+class TestFloat:
+    def test_sample_in_domain(self):
+        dist = FloatDistribution(-2.0, 5.0)
+        for _ in range(50):
+            assert dist.contains(dist.sample(RNG))
+
+    def test_step_snapping(self):
+        dist = FloatDistribution(0.0, 10.0, step=2.5)
+        values = {dist.sample(RNG) for _ in range(100)}
+        assert values <= {0.0, 2.5, 5.0, 7.5, 10.0}
+
+    def test_log_sampling_positive(self):
+        dist = FloatDistribution(1e-4, 1e2, log=True)
+        samples = [dist.sample(RNG) for _ in range(100)]
+        assert all(1e-4 <= s <= 1e2 for s in samples)
+        # Log sampling should produce many small values.
+        assert sum(1 for s in samples if s < 1.0) > 20
+
+    def test_grid_requires_step(self):
+        with pytest.raises(OptimizationError):
+            FloatDistribution(0.0, 1.0).grid()
+        assert FloatDistribution(0.0, 1.0, step=0.5).grid() == [0.0, 0.5, 1.0]
+
+    def test_mutation_stays_in_domain(self):
+        dist = FloatDistribution(0.0, 1.0)
+        v = 0.5
+        for _ in range(50):
+            v = dist.mutate(v, RNG)
+            assert dist.contains(v)
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            FloatDistribution(2.0, 1.0)
+        with pytest.raises(OptimizationError):
+            FloatDistribution(-1.0, 1.0, log=True)
+        with pytest.raises(OptimizationError):
+            FloatDistribution(0.0, 1.0, step=-0.1)
+        with pytest.raises(OptimizationError):
+            FloatDistribution(1.0, 2.0, step=0.5, log=True)
+
+
+class TestInt:
+    def test_sample_respects_step(self):
+        dist = IntDistribution(0, 10, step=5)
+        values = {dist.sample(RNG) for _ in range(50)}
+        assert values <= {0, 5, 10}
+
+    def test_grid(self):
+        assert IntDistribution(0, 9, step=3).grid() == [0, 3, 6, 9]
+
+    def test_contains_checks_alignment(self):
+        dist = IntDistribution(0, 10, step=2)
+        assert dist.contains(4)
+        assert not dist.contains(3)
+        assert not dist.contains(2.5)
+
+    def test_mutation_snaps(self):
+        dist = IntDistribution(0, 10, step=2)
+        for _ in range(50):
+            assert dist.contains(dist.mutate(4, RNG))
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            IntDistribution(5, 1)
+        with pytest.raises(OptimizationError):
+            IntDistribution(0, 5, step=0)
+
+
+class TestCategorical:
+    def test_sample_from_choices(self):
+        dist = CategoricalDistribution(["a", "b", "c"])
+        assert {dist.sample(RNG) for _ in range(50)} == {"a", "b", "c"}
+
+    def test_mutation_changes_value(self):
+        dist = CategoricalDistribution(["a", "b", "c"])
+        assert dist.mutate("a", RNG) != "a"
+
+    def test_single_choice_mutation_identity(self):
+        dist = CategoricalDistribution(["only"])
+        assert dist.mutate("only", RNG) == "only"
+
+    def test_empty_rejected(self):
+        with pytest.raises(OptimizationError):
+            CategoricalDistribution([])
+
+
+@given(
+    low=st.integers(min_value=-100, max_value=100),
+    span=st.integers(min_value=0, max_value=50),
+    step=st.integers(min_value=1, max_value=7),
+)
+def test_property_int_grid_all_contained(low, span, step):
+    dist = IntDistribution(low, low + span, step=step)
+    for v in dist.grid():
+        assert dist.contains(v)

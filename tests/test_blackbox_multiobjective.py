@@ -1,0 +1,165 @@
+"""Dominance, non-dominated sorting, crowding, hypervolume."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.blackbox.multiobjective import (
+    crowding_distance,
+    dominates,
+    hypervolume_2d,
+    non_dominated_sort,
+    pareto_front_indices,
+    pareto_recovery_rate,
+)
+from repro.exceptions import OptimizationError
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates([1.0, 1.0], [2.0, 2.0])
+
+    def test_partial_improvement_dominates(self):
+        assert dominates([1.0, 2.0], [2.0, 2.0])
+
+    def test_equal_not_dominating(self):
+        assert not dominates([1.0, 1.0], [1.0, 1.0])
+
+    def test_tradeoff_incomparable(self):
+        assert not dominates([1.0, 3.0], [2.0, 2.0])
+        assert not dominates([2.0, 2.0], [1.0, 3.0])
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        points = np.array([[1, 5], [2, 3], [3, 4], [4, 1], [5, 5]])
+        idx = set(pareto_front_indices(points).tolist())
+        assert idx == {0, 1, 3}
+
+    def test_all_equal_all_on_front(self):
+        points = np.tile([2.0, 2.0], (4, 1))
+        assert len(pareto_front_indices(points)) == 4
+
+    def test_empty(self):
+        assert pareto_front_indices(np.empty((0, 2))).size == 0
+
+
+class TestNonDominatedSort:
+    def test_rank_structure(self):
+        # Two nested fronts.
+        points = np.array([[1, 4], [4, 1], [2, 5], [5, 2]])
+        fronts = non_dominated_sort(points)
+        assert len(fronts) == 2
+        assert set(fronts[0].tolist()) == {0, 1}
+        assert set(fronts[1].tolist()) == {2, 3}
+
+    def test_total_partition(self):
+        rng = np.random.default_rng(5)
+        points = rng.random((50, 3))
+        fronts = non_dominated_sort(points)
+        everything = np.concatenate(fronts)
+        assert sorted(everything.tolist()) == list(range(50))
+
+    def test_fronts_are_mutually_nondominating(self):
+        rng = np.random.default_rng(6)
+        points = rng.random((40, 2))
+        fronts = non_dominated_sort(points)
+        for front in fronts:
+            sub = points[front]
+            assert len(pareto_front_indices(sub)) == len(front)
+
+
+class TestCrowding:
+    def test_boundaries_infinite(self):
+        points = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        crowd = crowding_distance(points)
+        assert np.isinf(crowd[0]) and np.isinf(crowd[3])
+        assert np.isfinite(crowd[1]) and np.isfinite(crowd[2])
+
+    def test_sparse_point_less_crowded(self):
+        points = np.array([[0.0, 4.0], [0.1, 3.9], [0.2, 3.8], [2.0, 1.0], [4.0, 0.0]])
+        crowd = crowding_distance(points)
+        assert crowd[3] > crowd[1]
+
+    def test_two_points_both_infinite(self):
+        assert np.all(np.isinf(crowding_distance(np.array([[1.0, 2.0], [2.0, 1.0]]))))
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        hv = hypervolume_2d(np.array([[1.0, 1.0]]), np.array([3.0, 3.0]))
+        assert hv == pytest.approx(4.0)
+
+    def test_staircase(self):
+        pts = np.array([[1.0, 2.0], [2.0, 1.0]])
+        hv = hypervolume_2d(pts, np.array([3.0, 3.0]))
+        # (3-1)(3-2) + (3-2)(2-1) = 2 + 1 = 3
+        assert hv == pytest.approx(3.0)
+
+    def test_dominated_point_no_extra_volume(self):
+        base = hypervolume_2d(np.array([[1.0, 1.0]]), np.array([3.0, 3.0]))
+        more = hypervolume_2d(np.array([[1.0, 1.0], [2.0, 2.0]]), np.array([3.0, 3.0]))
+        assert more == pytest.approx(base)
+
+    def test_points_outside_reference_ignored(self):
+        hv = hypervolume_2d(np.array([[5.0, 5.0]]), np.array([3.0, 3.0]))
+        assert hv == 0.0
+
+    def test_wrong_dims_rejected(self):
+        with pytest.raises(OptimizationError):
+            hypervolume_2d(np.array([[1.0, 2.0, 3.0]]), np.array([1.0, 1.0, 1.0]))
+
+
+class TestRecoveryRate:
+    def test_full_recovery(self):
+        front = np.array([[1.0, 2.0], [2.0, 1.0]])
+        assert pareto_recovery_rate(front, front) == 1.0
+
+    def test_partial_recovery(self):
+        true = np.array([[1.0, 2.0], [2.0, 1.0]])
+        found = np.array([[1.0, 2.0], [9.0, 9.0]])
+        assert pareto_recovery_rate(found, true) == pytest.approx(0.5)
+
+    def test_empty_found(self):
+        assert pareto_recovery_rate(np.empty((0, 2)), np.array([[1.0, 1.0]])) == 0.0
+
+    def test_empty_true_front(self):
+        assert pareto_recovery_rate(np.array([[1.0, 1.0]]), np.empty((0, 2))) == 1.0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=10, allow_nan=False),
+            st.floats(min_value=0, max_value=10, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_front_members_not_dominated(points):
+    """No member of the computed front is dominated by any input point."""
+    arr = np.array(points)
+    front = pareto_front_indices(arr)
+    for i in front:
+        for j in range(arr.shape[0]):
+            assert not dominates(arr[j], arr[i])
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=5, allow_nan=False),
+            st.floats(min_value=0, max_value=5, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_hypervolume_monotone_in_points(points):
+    """Adding points can only grow (or keep) the hypervolume."""
+    arr = np.array(points)
+    ref = np.array([6.0, 6.0])
+    partial = hypervolume_2d(arr[: max(len(arr) // 2, 1)], ref)
+    full = hypervolume_2d(arr, ref)
+    assert full >= partial - 1e-12

@@ -1,0 +1,85 @@
+"""Command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_site_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "--site", "atlantis"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.trials == 350 and args.population == 50
+
+
+class TestCommands:
+    """Run the real commands against the small-but-real Houston scenario
+    (overridden to 60 days so the suite stays fast)."""
+
+    OVERRIDES = ["--set", "scenario.n_hours=1440"]
+
+    def test_table(self, capsys):
+        assert main(["table", "--site", "houston", *self.OVERRIDES]) == 0
+        out = capsys.readouterr().out
+        assert "Wind (MW)" in out
+        assert "houston" in out
+
+    def test_pareto_with_csv(self, tmp_path, capsys):
+        csv = tmp_path / "front.csv"
+        assert main(["pareto", "--site", "houston", "--csv", str(csv), *self.OVERRIDES]) == 0
+        assert csv.exists()
+        assert "embodied" in capsys.readouterr().out
+
+    def test_projection(self, capsys):
+        assert main(["projection", "--site", "houston", "--years", "10", *self.OVERRIDES]) == 0
+        out = capsys.readouterr().out
+        assert "tCO2" in out
+
+    def test_coverage(self, capsys):
+        assert main(["coverage", "--site", "houston", *self.OVERRIDES]) == 0
+        assert "coverage [%]" in capsys.readouterr().out
+
+    def test_search(self, capsys):
+        assert (
+            main(
+                [
+                    "search", "--site", "houston", "--trials", "40",
+                    "--population", "10", "--seed", "1", *self.OVERRIDES,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "recovery" in out and "speed-up" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "--site", "houston", *self.OVERRIDES]) == 0
+        assert "Candidate solutions" in capsys.readouterr().out
+
+    def test_all_writes_artifacts(self, tmp_path, capsys):
+        assert (
+            main(["all", "--output-dir", str(tmp_path / "art"), *self.OVERRIDES]) == 0
+        )
+        names = {p.name for p in (tmp_path / "art").iterdir()}
+        assert {"table_houston.txt", "table_berkeley.txt"} <= names
+        assert {"fig2_pareto_houston.csv", "fig3_projection_berkeley.csv",
+                "fig4_coverage_houston.csv"} <= names
+
+    def test_mean_power_override(self, capsys):
+        assert (
+            main(
+                ["table", "--site", "houston", "--set", "scenario.n_hours=720",
+                 "--set", "scenario.mean_power_mw=3.24"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # Doubling the load roughly doubles baseline daily emissions.
+        assert "31" in out or "30" in out

@@ -1,0 +1,141 @@
+"""Compositions, parameter space, embodied accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.composition import MicrogridComposition
+from repro.core.embodied import (
+    embodied_breakdown_tonnes,
+    embodied_carbon_tonnes,
+)
+from repro.core.parameterspace import PAPER_SPACE, ParameterSpace
+from repro.exceptions import ConfigurationError
+
+
+class TestComposition:
+    def test_table_units(self):
+        comp = MicrogridComposition(n_turbines=4, solar_kw=12_000.0, battery_units=7)
+        assert comp.wind_mw == pytest.approx(12.0)
+        assert comp.solar_mw == pytest.approx(12.0)
+        assert comp.battery_mwh == pytest.approx(52.5)
+        assert comp.battery_wh == pytest.approx(52.5e6)
+
+    def test_from_mw_roundtrip(self):
+        comp = MicrogridComposition.from_mw(12.0, 8.0, 22.5)
+        assert comp.n_turbines == 4
+        assert comp.solar_kw == pytest.approx(8_000.0)
+        assert comp.battery_units == 3
+
+    def test_from_mw_rejects_off_grid_values(self):
+        with pytest.raises(ConfigurationError):
+            MicrogridComposition.from_mw(10.0, 8.0, 22.5)  # not multiple of 3
+        with pytest.raises(ConfigurationError):
+            MicrogridComposition.from_mw(12.0, 8.0, 20.0)  # not multiple of 7.5
+
+    def test_grid_only_baseline(self):
+        assert MicrogridComposition(0, 0.0, 0).is_grid_only
+        assert not MicrogridComposition(1, 0.0, 0).is_grid_only
+
+    def test_label_matches_figure3_notation(self):
+        comp = MicrogridComposition.from_mw(30.0, 40.0, 60.0)
+        assert comp.label() == "(30, 40, 60)"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicrogridComposition(-1, 0.0, 0)
+        with pytest.raises(ConfigurationError):
+            MicrogridComposition(0, -1.0, 0)
+
+
+class TestParameterSpace:
+    def test_paper_space_size(self):
+        """11 solar × 11 wind × 9 battery = 1 089 combinations (§4.4)."""
+        assert len(PAPER_SPACE) == 1_089
+
+    def test_enumeration_unique_and_complete(self):
+        comps = PAPER_SPACE.all_compositions()
+        assert len(comps) == len(set(comps)) == 1_089
+
+    def test_bounds(self):
+        comps = PAPER_SPACE.all_compositions()
+        assert max(c.wind_mw for c in comps) == pytest.approx(30.0)
+        assert max(c.solar_mw for c in comps) == pytest.approx(40.0)
+        assert max(c.battery_mwh for c in comps) == pytest.approx(60.0)
+
+    def test_contains(self):
+        assert PAPER_SPACE.contains(MicrogridComposition.from_mw(12.0, 8.0, 22.5))
+        assert not PAPER_SPACE.contains(MicrogridComposition(n_turbines=11, solar_kw=0, battery_units=0))
+        assert not PAPER_SPACE.contains(MicrogridComposition(n_turbines=0, solar_kw=500.0, battery_units=0))
+
+    def test_grid_search_space_sizes(self):
+        gss = PAPER_SPACE.grid_search_space()
+        assert len(gss["n_turbines"]) == 11
+        assert len(gss["solar_increments"]) == 11
+        assert len(gss["battery_units"]) == 9
+
+    def test_from_params_roundtrip(self):
+        comp = MicrogridComposition.from_mw(9.0, 16.0, 30.0)
+        params = {
+            "n_turbines": comp.n_turbines,
+            "solar_increments": int(comp.solar_increments),
+            "battery_units": comp.battery_units,
+        }
+        assert PAPER_SPACE.from_params(params) == comp
+
+    def test_custom_space(self):
+        small = ParameterSpace(max_turbines=2, max_solar_increments=2, max_battery_units=1)
+        assert len(small) == 3 * 3 * 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpace(max_turbines=-1)
+        with pytest.raises(ConfigurationError):
+            ParameterSpace(solar_increment_kw=0.0)
+
+
+class TestEmbodied:
+    """The embodied column of Tables 1–2 must be reproduced exactly."""
+
+    @pytest.mark.parametrize(
+        "wind_mw,solar_mw,battery_mwh,expected_tco2",
+        [
+            (0, 0, 0.0, 0),
+            (12, 0, 7.5, 4_649),       # Houston row 2
+            (9, 8, 22.5, 9_573),       # Houston row 3
+            (12, 12, 52.5, 14_999),    # Houston row 4
+            (30, 40, 60.0, 39_380),    # Houston/Berkeley row 5
+            (3, 4, 22.5, 4_961),       # Berkeley row 2
+            (0, 12, 37.5, 9_885),      # Berkeley row 3
+            (9, 12, 52.5, 13_953),     # Berkeley row 4
+        ],
+    )
+    def test_paper_table_values_exact(self, wind_mw, solar_mw, battery_mwh, expected_tco2):
+        comp = MicrogridComposition.from_mw(wind_mw, solar_mw, battery_mwh)
+        assert embodied_carbon_tonnes(comp) == pytest.approx(expected_tco2)
+
+    def test_breakdown_sums_to_total(self):
+        comp = MicrogridComposition.from_mw(9.0, 8.0, 22.5)
+        breakdown = embodied_breakdown_tonnes(comp)
+        assert sum(breakdown.values()) == pytest.approx(embodied_carbon_tonnes(comp))
+
+    def test_monotone_in_every_axis(self):
+        base = MicrogridComposition(2, 8_000.0, 2)
+        more_wind = MicrogridComposition(3, 8_000.0, 2)
+        more_solar = MicrogridComposition(2, 12_000.0, 2)
+        more_batt = MicrogridComposition(2, 8_000.0, 3)
+        e0 = embodied_carbon_tonnes(base)
+        assert embodied_carbon_tonnes(more_wind) > e0
+        assert embodied_carbon_tonnes(more_solar) > e0
+        assert embodied_carbon_tonnes(more_batt) > e0
+
+
+@given(
+    turbines=st.integers(min_value=0, max_value=10),
+    solar_inc=st.integers(min_value=0, max_value=10),
+    batteries=st.integers(min_value=0, max_value=8),
+)
+def test_property_embodied_is_linear(turbines, solar_inc, batteries):
+    """Embodied carbon is exactly the sum of per-unit footprints."""
+    comp = MicrogridComposition(turbines, solar_inc * 4_000.0, batteries)
+    expected = turbines * 1_046.0 + solar_inc * 2_520.0 + batteries * 465.0
+    assert embodied_carbon_tonnes(comp) == pytest.approx(expected)

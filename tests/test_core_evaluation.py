@@ -1,0 +1,273 @@
+"""Scenario construction, batch evaluation, candidates, projection."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import (
+    greedy_diversity_candidates,
+    kmeans_candidates,
+    paper_candidates,
+    threshold_candidates,
+)
+from repro.core.composition import MicrogridComposition
+from repro.core.fastsim import BatchEvaluator, coverage_grid
+from repro.core.parameterspace import ParameterSpace
+from repro.core.pareto import front_hypervolume, pareto_front
+from repro.core.projection import crossover_year, project_emissions, project_many
+from repro.core.scenario import build_scenario
+from repro.core.study_runner import OptimizationRunner
+from repro.exceptions import ConfigurationError, OptimizationError
+
+
+class TestScenario:
+    def test_cached(self):
+        a = build_scenario("houston", n_hours=24 * 10)
+        b = build_scenario("houston", n_hours=24 * 10)
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = build_scenario("houston", n_hours=24 * 10)
+        b = build_scenario("houston", n_hours=24 * 10, use_cache=False)
+        assert a is not b
+        assert np.array_equal(a.solar_per_kw_w, b.solar_per_kw_w)
+
+    def test_profiles_aligned(self, houston_month):
+        sc = houston_month
+        n = sc.n_steps
+        assert sc.solar_per_kw_w.shape == (n,)
+        assert sc.wind_per_turbine_w.shape == (n,)
+        assert sc.carbon.intensity_g_per_kwh.shape == (n,)
+
+    def test_farm_profile_scaling(self, houston_month):
+        sc = houston_month
+        single = sc.wind_farm_profile_w(1)
+        assert np.allclose(single, sc.wind_per_turbine_w)  # eff(1) == 1
+        six = sc.wind_farm_profile_w(6)
+        assert np.all(six <= 6 * single + 1e-9)
+
+    def test_zero_farm_profiles(self, houston_month):
+        assert np.all(houston_month.wind_farm_profile_w(0) == 0.0)
+        assert np.all(houston_month.solar_farm_profile_w(0.0) == 0.0)
+
+
+class TestBatchEvaluator:
+    def test_grid_only_baseline_matches_mean_ci(self, houston):
+        """Baseline operational = mean load × mean CI (no microgrid)."""
+        be = BatchEvaluator(houston)
+        e = be.evaluate_one(MicrogridComposition(0, 0.0, 0))
+        expected_kg_day = 1.62e3 * 24.0 * houston.carbon.mean() / 1_000.0
+        assert e.metrics.operational_tco2_per_day * 1_000.0 == pytest.approx(
+            expected_kg_day, rel=0.01
+        )
+        assert e.metrics.coverage == 0.0
+        assert e.metrics.battery_cycles is None
+
+    def test_batch_equals_individual(self, houston_month):
+        """Evaluating a batch must equal evaluating one by one."""
+        be = BatchEvaluator(houston_month)
+        comps = [
+            MicrogridComposition(0, 0.0, 0),
+            MicrogridComposition.from_mw(12.0, 0.0, 7.5),
+            MicrogridComposition.from_mw(9.0, 8.0, 22.5),
+        ]
+        batch = be.evaluate(comps)
+        for comp, from_batch in zip(comps, batch):
+            solo = be.evaluate_one(comp)
+            assert solo.metrics.grid_import_wh == pytest.approx(
+                from_batch.metrics.grid_import_wh
+            )
+            assert solo.metrics.operational_emissions_kg == pytest.approx(
+                from_batch.metrics.operational_emissions_kg
+            )
+
+    def test_energy_balance(self, houston_month):
+        """generation + import = demand + export + battery losses + ΔSoC."""
+        be = BatchEvaluator(houston_month)
+        e = be.evaluate_one(MicrogridComposition.from_mw(9.0, 8.0, 22.5))
+        m = e.metrics
+        losses_and_dsoc = m.battery_charge_wh - m.battery_discharge_wh
+        lhs = m.onsite_generation_wh + m.grid_import_wh
+        rhs = m.demand_energy_wh + m.grid_export_wh + losses_and_dsoc
+        assert lhs == pytest.approx(rhs, rel=1e-6)
+
+    def test_more_renewables_less_operational(self, houston_month):
+        be = BatchEvaluator(houston_month)
+        small = be.evaluate_one(MicrogridComposition.from_mw(3.0, 0.0, 0.0))
+        big = be.evaluate_one(MicrogridComposition.from_mw(15.0, 16.0, 30.0))
+        assert big.operational_tco2_per_day < small.operational_tco2_per_day
+        assert big.metrics.coverage > small.metrics.coverage
+
+    def test_battery_helps_coverage(self, houston):
+        be = BatchEvaluator(houston)
+        none = be.evaluate_one(MicrogridComposition.from_mw(12.0, 8.0, 0.0))
+        some = be.evaluate_one(MicrogridComposition.from_mw(12.0, 8.0, 30.0))
+        assert some.metrics.coverage > none.metrics.coverage
+
+    def test_empty_batch(self, houston_month):
+        assert BatchEvaluator(houston_month).evaluate([]) == []
+
+    def test_soc_history_bounds(self, houston_month):
+        be = BatchEvaluator(houston_month)
+        soc = be.soc_history(MicrogridComposition.from_mw(9.0, 8.0, 22.5))
+        assert soc.shape == (houston_month.n_steps + 1,)
+        assert np.all(soc >= 0.0) and np.all(soc <= 0.95 + 1e-9)
+
+    def test_soc_history_no_battery(self, houston_month):
+        soc = BatchEvaluator(houston_month).soc_history(MicrogridComposition(1, 0.0, 0))
+        assert np.all(soc == 0.0)
+
+
+class TestCoverageGrid:
+    def test_shape_and_monotonicity(self, houston_month):
+        solar_levels = [0.0, 8_000.0, 16_000.0]
+        wind_levels = [0, 3, 6]
+        grid = coverage_grid(houston_month, solar_levels, wind_levels)
+        assert grid.shape == (3, 3)
+        # Monotone non-decreasing along both axes.
+        assert np.all(np.diff(grid, axis=0) >= -1e-9)
+        assert np.all(np.diff(grid, axis=1) >= -1e-9)
+        assert grid[0, 0] == 0.0
+        assert grid.max() <= 1.0
+
+    def test_matches_batch_evaluator_without_battery(self, houston_month):
+        """The F4 shortcut must agree with the general evaluator at B=0."""
+        be = BatchEvaluator(houston_month)
+        comp = MicrogridComposition.from_mw(9.0, 16.0, 0.0)
+        full = be.evaluate_one(comp).metrics.coverage
+        quick = coverage_grid(houston_month, [16_000.0], [3])[0, 0]
+        assert quick == pytest.approx(full, abs=1e-9)
+
+
+class TestCandidates:
+    def _evaluated(self, scenario):
+        space = ParameterSpace(max_turbines=4, max_solar_increments=4, max_battery_units=3)
+        return BatchEvaluator(scenario).evaluate(space.all_compositions())
+
+    def test_threshold_protocol(self, houston_month):
+        evaluated = self._evaluated(houston_month)
+        candidates = threshold_candidates(evaluated, budgets_tco2=(3_000.0, 6_000.0))
+        # baseline first, then under-budget picks, then the best.
+        assert candidates[0].composition.is_grid_only
+        assert candidates[0].embodied_tonnes == 0.0
+        for c in candidates[1:-1]:
+            assert c.embodied_tonnes <= 6_000.0
+        best = min(evaluated, key=lambda e: (e.operational_tco2_per_day, e.embodied_tonnes))
+        assert candidates[-1].operational_tco2_per_day == pytest.approx(
+            best.operational_tco2_per_day
+        )
+
+    def test_threshold_budget_respected(self, houston_month):
+        evaluated = self._evaluated(houston_month)
+        candidates = threshold_candidates(
+            evaluated, budgets_tco2=(5_000.0,), include_baseline=False, include_best=False
+        )
+        assert len(candidates) == 1
+        assert candidates[0].embodied_tonnes <= 5_000.0
+        # It must be the operational-best within budget.
+        within = [e for e in evaluated if e.embodied_tonnes <= 5_000.0]
+        assert candidates[0].operational_tco2_per_day == pytest.approx(
+            min(e.operational_tco2_per_day for e in within)
+        )
+
+    def test_greedy_diversity_spread(self, houston_month):
+        evaluated = self._evaluated(houston_month)
+        front = pareto_front(evaluated)
+        chosen = greedy_diversity_candidates(front, k=4)
+        assert len(chosen) == min(4, len(front))
+        # Ends of the front should be represented (max spread).
+        embodied = [c.embodied_tonnes for c in chosen]
+        front_embodied = [e.embodied_tonnes for e in front]
+        assert min(embodied) == pytest.approx(min(front_embodied), rel=0.2)
+
+    def test_kmeans_returns_members(self, houston_month):
+        evaluated = self._evaluated(houston_month)
+        chosen = kmeans_candidates(evaluated, k=3, seed=1)
+        assert 1 <= len(chosen) <= 3
+        ids = {e.composition for e in evaluated}
+        assert all(c.composition in ids for c in chosen)
+
+    def test_k_larger_than_set(self, houston_month):
+        evaluated = self._evaluated(houston_month)[:3]
+        assert len(greedy_diversity_candidates(evaluated, k=10)) == 3
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            threshold_candidates([])
+        with pytest.raises(OptimizationError):
+            greedy_diversity_candidates([], k=0)
+
+
+class TestProjection:
+    def _evaluated_pair(self, scenario):
+        be = BatchEvaluator(scenario)
+        baseline = be.evaluate_one(MicrogridComposition(0, 0.0, 0))
+        big = be.evaluate_one(MicrogridComposition.from_mw(30.0, 40.0, 60.0))
+        return baseline, big
+
+    def test_projection_starts_at_embodied(self, houston):
+        _, big = self._evaluated_pair(houston)
+        proj = project_emissions(big, horizon_years=20.0)
+        assert proj.total_tco2[0] == pytest.approx(big.embodied_tonnes)
+
+    def test_projection_linear_rate(self, houston):
+        baseline, _ = self._evaluated_pair(houston)
+        proj = project_emissions(baseline, horizon_years=10.0)
+        expected_10y = baseline.operational_tco2_per_day * 365.0 * 10.0
+        assert proj.total_tco2[-1] == pytest.approx(expected_10y, rel=1e-9)
+
+    def test_houston_crossover_near_paper_seven_years(self, houston):
+        """§4.2: the grid-only baseline overtakes the full build-out after
+        ≈7 years in Houston."""
+        baseline, big = self._evaluated_pair(houston)
+        projections = project_many([baseline, big], horizon_years=20.0)
+        year = crossover_year(projections[0], projections[1])
+        assert year is not None
+        assert 5.0 < year < 9.5
+
+    def test_berkeley_crossover_near_paper_twelve_years(self, berkeley):
+        """§4.2: ≈12 years in Berkeley."""
+        baseline, big = self._evaluated_pair(berkeley)
+        projections = project_many([baseline, big], horizon_years=25.0)
+        year = crossover_year(projections[0], projections[1])
+        assert year is not None
+        assert 9.0 < year < 15.0
+
+    def test_battery_replacement_adds_steps(self, houston):
+        _, big = self._evaluated_pair(houston)
+        plain = project_emissions(big, horizon_years=20.0)
+        with_repl = project_emissions(big, horizon_years=20.0, battery_replacement_years=10.0)
+        battery_t = big.composition.battery_units * 465.0
+        assert with_repl.total_tco2[-1] - plain.total_tco2[-1] == pytest.approx(
+            2 * battery_t
+        )
+
+    def test_no_crossover_returns_none(self, houston):
+        baseline, _ = self._evaluated_pair(houston)
+        a = project_emissions(baseline, horizon_years=5.0)
+        assert crossover_year(a, a) is None
+
+    def test_validation(self, houston):
+        baseline, _ = self._evaluated_pair(houston)
+        with pytest.raises(ConfigurationError):
+            project_emissions(baseline, horizon_years=0.0)
+        with pytest.raises(ConfigurationError):
+            project_emissions(baseline, battery_replacement_years=-1.0)
+
+
+class TestParetoHelpers:
+    def test_front_sorted_and_nondominated(self, houston_month):
+        space = ParameterSpace(max_turbines=3, max_solar_increments=3, max_battery_units=2)
+        evaluated = BatchEvaluator(houston_month).evaluate(space.all_compositions())
+        front = pareto_front(evaluated)
+        embodied = [e.embodied_tonnes for e in front]
+        assert embodied == sorted(embodied)
+        ops = [e.operational_tco2_per_day for e in front]
+        assert all(a >= b for a, b in zip(ops, ops[1:]))  # trade-off curve
+
+    def test_hypervolume_positive(self, houston_month):
+        space = ParameterSpace(max_turbines=2, max_solar_increments=2, max_battery_units=1)
+        evaluated = BatchEvaluator(houston_month).evaluate(space.all_compositions())
+        hv = front_hypervolume(
+            pareto_front(evaluated), reference=(50_000.0, 20.0)
+        )
+        assert hv > 0.0

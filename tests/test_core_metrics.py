@@ -1,0 +1,105 @@
+"""SimulationMetrics / EvaluatedComposition semantics."""
+
+import pytest
+
+from repro.core.composition import MicrogridComposition
+from repro.core.metrics import EvaluatedComposition, SimulationMetrics
+from repro.exceptions import ConfigurationError
+
+
+def metrics(**overrides):
+    base = dict(
+        horizon_days=365.0,
+        demand_energy_wh=14_191_200_000.0,  # 1.62 MW year
+        onsite_generation_wh=10e9,
+        grid_import_wh=4e9,
+        grid_export_wh=1e9,
+        battery_charge_wh=2e9,
+        battery_discharge_wh=1.8e9,
+        operational_emissions_kg=1_600_000.0,
+        battery_usable_wh=20_250_000.0,  # 22.5 MWh × 0.9
+    )
+    base.update(overrides)
+    return SimulationMetrics(**base)
+
+
+class TestSimulationMetrics:
+    def test_operational_rate(self):
+        m = metrics(operational_emissions_kg=365_000.0)
+        assert m.operational_tco2_per_day == pytest.approx(1.0)
+
+    def test_coverage(self):
+        m = metrics(demand_energy_wh=10e9, grid_import_wh=2.5e9)
+        assert m.coverage == pytest.approx(0.75)
+
+    def test_coverage_zero_demand(self):
+        m = metrics(demand_energy_wh=0.0, grid_import_wh=0.0)
+        assert m.coverage == 0.0
+
+    def test_coverage_clamped(self):
+        m = metrics(grid_import_wh=0.0, unserved_energy_wh=0.0)
+        assert m.coverage == 1.0
+
+    def test_battery_cycles(self):
+        m = metrics(battery_discharge_wh=202_500_000.0)
+        assert m.battery_cycles == pytest.approx(10.0)
+
+    def test_no_battery_cycles_none(self):
+        m = metrics(battery_usable_wh=0.0)
+        assert m.battery_cycles is None
+
+    def test_renewable_utilization(self):
+        m = metrics(onsite_generation_wh=10e9, grid_export_wh=2e9)
+        assert m.renewable_utilization == pytest.approx(0.8)
+
+    def test_mean_import_intensity(self):
+        m = metrics(grid_import_wh=1e9, operational_emissions_kg=400_000.0)
+        # 1 GWh = 1e6 kWh; 4e8 g / 1e6 kWh = 400 g/kWh
+        assert m.mean_import_intensity_g_per_kwh == pytest.approx(400.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            metrics(horizon_days=0.0)
+        with pytest.raises(ConfigurationError):
+            metrics(grid_import_wh=-5.0)
+
+
+class TestEvaluatedComposition:
+    def evaluated(self):
+        comp = MicrogridComposition.from_mw(9.0, 8.0, 22.5)
+        return EvaluatedComposition(
+            composition=comp, embodied_kg=9_573_000.0, metrics=metrics()
+        )
+
+    def test_embodied_tonnes(self):
+        assert self.evaluated().embodied_tonnes == pytest.approx(9_573.0)
+
+    def test_objectives_default_pair(self):
+        e = self.evaluated()
+        op, em = e.objectives()
+        assert op == pytest.approx(e.metrics.operational_tco2_per_day)
+        assert em == pytest.approx(9_573.0)
+
+    def test_objectives_extended_menu(self):
+        e = self.evaluated()
+        values = e.objectives(
+            ("operational", "embodied", "cost", "cycles", "curtailment",
+             "grid_dependence", "unreliability")
+        )
+        assert len(values) == 7
+        assert values[5] == pytest.approx(1.0 - e.metrics.coverage)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.evaluated().objectives(("operational", "happiness"))
+
+    def test_table_row_shape(self):
+        row = self.evaluated().table_row()
+        assert row["wind_mw"] == 9.0
+        assert row["embodied_tco2"] == 9_573
+        assert isinstance(row["coverage_pct"], float)
+
+    def test_table_row_no_battery_dash(self):
+        comp = MicrogridComposition(0, 0.0, 0)
+        e = EvaluatedComposition(comp, 0.0, metrics(battery_usable_wh=0.0))
+        assert e.table_row()["battery_cycles"] == "-"

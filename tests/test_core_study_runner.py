@@ -1,0 +1,71 @@
+"""Search drivers: exhaustive and black-box composition search."""
+
+import pytest
+
+from repro.blackbox import NSGA2Sampler, RandomSampler
+from repro.core.parameterspace import ParameterSpace
+from repro.core.study_runner import (
+    OptimizationRunner,
+    run_blackbox_search,
+    run_exhaustive_search,
+)
+from repro.exceptions import OptimizationError
+
+SMALL_SPACE = ParameterSpace(max_turbines=4, max_solar_increments=4, max_battery_units=3)
+
+
+class TestExhaustive:
+    def test_covers_space(self, houston_month):
+        runner = OptimizationRunner(houston_month, space=SMALL_SPACE)
+        result = runner.run_exhaustive()
+        assert len(result.evaluated) == len(SMALL_SPACE)
+        assert result.n_simulations == len(SMALL_SPACE)
+
+    def test_front_nonempty_and_anchored(self, houston_month):
+        result = run_exhaustive_search(houston_month, space=SMALL_SPACE)
+        front = result.front()
+        assert front
+        # The grid-only baseline is always on the front (0 embodied).
+        assert front[0].composition.is_grid_only
+
+
+class TestBlackbox:
+    def test_runs_and_caches(self, houston_month):
+        runner = OptimizationRunner(houston_month, space=SMALL_SPACE)
+        result = runner.run_blackbox(
+            n_trials=60, sampler=NSGA2Sampler(population_size=10, seed=3)
+        )
+        assert result.study is not None
+        assert len(result.study.trials) == 60
+        # GA revisits elites → strictly fewer simulations than trials.
+        assert result.n_simulations <= 60
+        assert len(result.evaluated) == result.n_simulations
+
+    def test_recovery_rate_bounds(self, houston_month):
+        runner = OptimizationRunner(houston_month, space=SMALL_SPACE)
+        exhaustive = runner.run_exhaustive()
+        found = runner.run_blackbox(
+            n_trials=80, sampler=NSGA2Sampler(population_size=10, seed=7)
+        )
+        rate = runner.recovery_rate(found, exhaustive)
+        assert 0.0 <= rate <= 1.0
+        assert rate > 0.3  # sanity: the GA finds a meaningful share
+
+    def test_shared_cache_across_modes(self, houston_month):
+        runner = OptimizationRunner(houston_month, space=SMALL_SPACE)
+        runner.run_exhaustive()
+        before = runner.n_simulations
+        runner.run_blackbox(n_trials=30, sampler=RandomSampler(seed=1))
+        # Every composition was already simulated by the exhaustive pass.
+        assert runner.n_simulations == before
+
+    def test_convenience_wrapper(self, houston_month):
+        result = run_blackbox_search(
+            houston_month, n_trials=30, population_size=8, seed=2, space=SMALL_SPACE
+        )
+        assert result.study is not None
+
+    def test_validation(self, houston_month):
+        runner = OptimizationRunner(houston_month, space=SMALL_SPACE)
+        with pytest.raises(OptimizationError):
+            runner.run_blackbox(n_trials=0)

@@ -1,0 +1,126 @@
+"""Controllers: demand response and carbon-aware grid charging."""
+
+import numpy as np
+import pytest
+
+from repro.cosim import (
+    Actor,
+    CLCBattery,
+    CarbonAwareChargeController,
+    ConstantSignal,
+    DeferrableLoadController,
+    GridConnection,
+    Microgrid,
+    TraceSignal,
+)
+from repro.exceptions import ConfigurationError
+from repro.timeseries import TimeSeries
+
+HOUR = 3600.0
+
+
+def microgrid_with_load(load_w=1_000.0, battery=None):
+    return Microgrid(
+        actors=[Actor("dc", ConstantSignal(load_w), is_consumer=True)],
+        storage=battery,
+    )
+
+
+class TestDeferrableLoad:
+    def ci_signal(self, values):
+        return TraceSignal(TimeSeries(np.asarray(values, float), step_s=HOUR), wrap=True)
+
+    def test_sheds_under_high_carbon(self):
+        ci = self.ci_signal([500.0, 100.0])
+        mg = microgrid_with_load(1_000.0)
+        ctrl = DeferrableLoadController("dc", ci, threshold_g_per_kwh=300.0,
+                                        deferrable_fraction=0.3)
+        ctrl.on_step(mg, 0.0, HOUR)
+        r = mg.step(0.0, HOUR)
+        assert r.consumption_w == pytest.approx(700.0)
+        assert ctrl.backlog_wh == pytest.approx(300.0)
+
+    def test_replays_under_low_carbon(self):
+        ci = self.ci_signal([500.0, 100.0])
+        mg = microgrid_with_load(1_000.0)
+        ctrl = DeferrableLoadController("dc", ci, threshold_g_per_kwh=300.0,
+                                        deferrable_fraction=0.3)
+        ctrl.on_step(mg, 0.0, HOUR)
+        mg.step(0.0, HOUR)
+        ctrl.on_step(mg, HOUR, HOUR)
+        r = mg.step(HOUR, HOUR)
+        assert r.consumption_w == pytest.approx(1_300.0)
+        assert ctrl.backlog_wh == pytest.approx(0.0)
+
+    def test_energy_conserved_over_cycle(self):
+        """Everything shed is eventually replayed (no demand destruction)."""
+        ci = self.ci_signal([500.0] * 6 + [100.0] * 18)
+        mg = microgrid_with_load(1_000.0)
+        ctrl = DeferrableLoadController("dc", ci, threshold_g_per_kwh=300.0,
+                                        deferrable_fraction=0.25)
+        served = 0.0
+        for i in range(24):
+            ctrl.on_step(mg, i * HOUR, HOUR)
+            served += mg.step(i * HOUR, HOUR).consumption_w
+        assert served == pytest.approx(24 * 1_000.0)
+        assert ctrl.backlog_wh == pytest.approx(0.0)
+        assert ctrl.deferred_total_wh > 0.0
+
+    def test_rejects_non_consumer(self):
+        mg = Microgrid(actors=[Actor("gen", ConstantSignal(1.0))])
+        ctrl = DeferrableLoadController("gen", ConstantSignal(0.0), 100.0)
+        with pytest.raises(ConfigurationError):
+            ctrl.on_step(mg, 0.0, HOUR)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeferrableLoadController("dc", ConstantSignal(0.0), 100.0, deferrable_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            DeferrableLoadController("dc", ConstantSignal(0.0), -1.0)
+
+
+class TestCarbonAwareCharge:
+    def test_charges_when_clean(self):
+        battery = CLCBattery(capacity_wh=100_000.0, initial_soc=0.2)
+        mg = microgrid_with_load(0.0, battery=battery)
+        grid = GridConnection(ConstantSignal(50.0))
+        ctrl = CarbonAwareChargeController(
+            ConstantSignal(50.0), charge_threshold_g_per_kwh=100.0,
+            charge_power_w=10_000.0, grid=grid,
+        )
+        ctrl.on_step(mg, 0.0, HOUR)
+        assert ctrl.grid_charge_energy_wh > 0.0
+        assert grid.import_energy_wh == pytest.approx(ctrl.grid_charge_energy_wh)
+        assert grid.emissions_kg > 0.0
+
+    def test_idle_when_dirty(self):
+        battery = CLCBattery(capacity_wh=100_000.0, initial_soc=0.2)
+        mg = microgrid_with_load(0.0, battery=battery)
+        ctrl = CarbonAwareChargeController(
+            ConstantSignal(500.0), charge_threshold_g_per_kwh=100.0, charge_power_w=10_000.0
+        )
+        ctrl.on_step(mg, 0.0, HOUR)
+        assert ctrl.grid_charge_energy_wh == 0.0
+
+    def test_stops_at_target_soc(self):
+        battery = CLCBattery(capacity_wh=10_000.0, initial_soc=0.9)
+        mg = microgrid_with_load(0.0, battery=battery)
+        ctrl = CarbonAwareChargeController(
+            ConstantSignal(0.0), charge_threshold_g_per_kwh=100.0,
+            charge_power_w=10_000.0, target_soc=0.9,
+        )
+        ctrl.on_step(mg, 0.0, HOUR)
+        assert ctrl.grid_charge_energy_wh == 0.0
+
+    def test_no_storage_noop(self):
+        mg = microgrid_with_load(0.0, battery=None)
+        ctrl = CarbonAwareChargeController(
+            ConstantSignal(0.0), charge_threshold_g_per_kwh=100.0, charge_power_w=1_000.0
+        )
+        ctrl.on_step(mg, 0.0, HOUR)  # must not raise
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CarbonAwareChargeController(ConstantSignal(0.0), 100.0, charge_power_w=-1.0)
+        with pytest.raises(ConfigurationError):
+            CarbonAwareChargeController(ConstantSignal(0.0), 100.0, 1.0, target_soc=0.0)

@@ -1,0 +1,250 @@
+"""Microgrid power-flow resolution, policies, grid accounting, engine."""
+
+import numpy as np
+import pytest
+
+from repro.cosim import (
+    Actor,
+    CLCBattery,
+    CoSimEnvironment,
+    ConstantSignal,
+    GridConnection,
+    IdealBattery,
+    Microgrid,
+    MicrogridSimulator,
+    Monitor,
+    PeriodicSimulator,
+    TraceSignal,
+)
+from repro.cosim.policy import DefaultPolicy, IslandedPolicy, TimeWindowPolicy
+from repro.exceptions import ConfigurationError, ScheduleError
+from repro.timeseries import TimeSeries
+
+HOUR = 3600.0
+
+
+def simple_grid(production_w, consumption_w, storage=None, policy=None):
+    return Microgrid(
+        actors=[
+            Actor("gen", ConstantSignal(production_w)),
+            Actor("load", ConstantSignal(consumption_w), is_consumer=True),
+        ],
+        storage=storage,
+        policy=policy,
+    )
+
+
+class TestMicrogridStep:
+    def test_surplus_exported_without_storage(self):
+        mg = simple_grid(150.0, 100.0)
+        r = mg.step(0.0, HOUR)
+        assert r.grid_export_w == pytest.approx(50.0)
+        assert r.grid_import_w == 0.0
+
+    def test_deficit_imported_without_storage(self):
+        mg = simple_grid(40.0, 100.0)
+        r = mg.step(0.0, HOUR)
+        assert r.grid_import_w == pytest.approx(60.0)
+        assert r.grid_export_w == 0.0
+
+    def test_surplus_charges_battery_first(self):
+        battery = IdealBattery(capacity_wh=1_000.0, initial_soc=0.0)
+        mg = simple_grid(150.0, 100.0, storage=battery)
+        r = mg.step(0.0, HOUR)
+        assert r.storage_charge_w == pytest.approx(50.0)
+        assert r.grid_export_w == pytest.approx(0.0)
+
+    def test_deficit_discharges_battery_first(self):
+        battery = IdealBattery(capacity_wh=1_000.0, initial_soc=1.0)
+        mg = simple_grid(40.0, 100.0, storage=battery)
+        r = mg.step(0.0, HOUR)
+        assert r.storage_discharge_w == pytest.approx(60.0)
+        assert r.grid_import_w == pytest.approx(0.0)
+
+    def test_battery_overflow_exports_rest(self):
+        battery = IdealBattery(capacity_wh=10.0, initial_soc=0.0)
+        mg = simple_grid(150.0, 100.0, storage=battery)
+        r = mg.step(0.0, HOUR)
+        assert r.storage_charge_w == pytest.approx(10.0)
+        assert r.grid_export_w == pytest.approx(40.0)
+
+    def test_power_balance_invariant(self):
+        battery = CLCBattery(capacity_wh=5_000.0, initial_soc=0.5)
+        mg = simple_grid(120.0, 100.0, storage=battery)
+        for i in range(48):
+            r = mg.step(i * HOUR, HOUR)
+            supply = r.production_w + r.grid_import_w + r.storage_discharge_w
+            use = r.consumption_w + r.grid_export_w + r.storage_charge_w
+            assert supply == pytest.approx(use, abs=1e-6)
+
+    def test_actor_lookup(self):
+        mg = simple_grid(1.0, 1.0)
+        assert mg.actor("gen").name == "gen"
+        with pytest.raises(ConfigurationError):
+            mg.actor("ghost")
+
+    def test_duplicate_actor_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Microgrid(
+                actors=[Actor("a", ConstantSignal(1.0)), Actor("a", ConstantSignal(2.0))]
+            )
+
+    def test_empty_actor_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Microgrid(actors=[])
+
+
+class TestPolicies:
+    def test_islanded_never_imports(self):
+        mg = simple_grid(40.0, 100.0, policy=IslandedPolicy())
+        r = mg.step(0.0, HOUR)
+        assert r.grid_import_w == 0.0
+        assert r.unserved_w == pytest.approx(60.0)
+
+    def test_islanded_with_battery_serves(self):
+        battery = IdealBattery(capacity_wh=1_000.0, initial_soc=1.0)
+        mg = simple_grid(40.0, 100.0, storage=battery, policy=IslandedPolicy())
+        r = mg.step(0.0, HOUR)
+        assert r.unserved_w == pytest.approx(0.0)
+        assert r.storage_discharge_w == pytest.approx(60.0)
+
+    def test_time_window_policy_blocks_outside_window(self):
+        battery = IdealBattery(capacity_wh=10_000.0, initial_soc=1.0)
+        policy = TimeWindowPolicy(discharge_start_h=16.0, discharge_end_h=22.0)
+        mg = simple_grid(0.0, 100.0, storage=battery, policy=policy)
+        # 10:00 — outside window: import everything.
+        r = mg.step(10 * HOUR, HOUR)
+        assert r.grid_import_w == pytest.approx(100.0)
+        # 18:00 — inside window: discharge.
+        r = mg.step(18 * HOUR, HOUR)
+        assert r.storage_discharge_w == pytest.approx(100.0)
+
+    def test_time_window_wraps_midnight(self):
+        policy = TimeWindowPolicy(discharge_start_h=22.0, discharge_end_h=4.0)
+        assert policy._in_window(23 * HOUR)
+        assert policy._in_window(2 * HOUR)
+        assert not policy._in_window(12 * HOUR)
+
+    def test_time_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimeWindowPolicy(discharge_start_h=25.0)
+
+
+class TestGridConnection:
+    def test_emission_accounting(self):
+        mg = simple_grid(0.0, 1_000.0)  # imports 1 kW
+        grid = GridConnection(ConstantSignal(400.0))  # gCO2/kWh
+        for i in range(24):
+            grid.record(mg.step(i * HOUR, HOUR))
+        # 24 kWh at 400 g → 9.6 kg
+        assert grid.emissions_kg == pytest.approx(9.6)
+        assert grid.import_energy_wh == pytest.approx(24_000.0)
+
+    def test_export_not_credited_for_carbon(self):
+        mg = simple_grid(2_000.0, 1_000.0)
+        grid = GridConnection(ConstantSignal(400.0))
+        grid.record(mg.step(0.0, HOUR))
+        assert grid.emissions_kg == 0.0
+        assert grid.export_energy_wh == pytest.approx(1_000.0)
+
+    def test_cost_with_export_credit(self):
+        mg_imp = simple_grid(0.0, 1_000.0)
+        grid = GridConnection(
+            ConstantSignal(0.0),
+            price=ConstantSignal(0.2),
+            export_credit=ConstantSignal(0.05),
+        )
+        grid.record(mg_imp.step(0.0, HOUR))  # 1 kWh × $0.2
+        mg_exp = simple_grid(2_000.0, 1_000.0)
+        grid.record(mg_exp.step(1 * HOUR, HOUR))  # 1 kWh × $0.05 credit
+        assert grid.cost_usd == pytest.approx(0.2 - 0.05)
+
+    def test_reset(self):
+        grid = GridConnection(ConstantSignal(100.0))
+        grid.record(simple_grid(0.0, 100.0).step(0.0, HOUR))
+        grid.reset()
+        assert grid.emissions_kg == 0.0 and grid.steps == 0
+
+
+class TestMonitor:
+    def test_records_all_fields(self):
+        mg = simple_grid(100.0, 60.0)
+        mon = Monitor()
+        for i in range(5):
+            mon.record(mg.step(i * HOUR, HOUR))
+        assert len(mon) == 5
+        assert np.allclose(mon.series("production_w"), 100.0)
+        assert np.allclose(mon.series("grid_export_w"), 40.0)
+
+    def test_unknown_series_raises(self):
+        with pytest.raises(KeyError):
+            Monitor().series("frequency_hz")
+
+    def test_reset(self):
+        mon = Monitor()
+        mon.record(simple_grid(1.0, 1.0).step(0.0, HOUR))
+        mon.reset()
+        assert len(mon) == 0
+
+
+class TestEngine:
+    def test_periodic_stepping(self):
+        calls = []
+        env = CoSimEnvironment()
+        env.add_simulator(PeriodicSimulator(lambda t, dt: calls.append(t), dt_s=HOUR))
+        executed = env.run_until(5 * HOUR)
+        assert executed == 5
+        assert calls == [0.0, HOUR, 2 * HOUR, 3 * HOUR, 4 * HOUR]
+
+    def test_priority_ordering_same_time(self):
+        order = []
+        env = CoSimEnvironment()
+        late = PeriodicSimulator(lambda t, dt: order.append("late"), dt_s=HOUR, priority=90)
+        early = PeriodicSimulator(lambda t, dt: order.append("early"), dt_s=HOUR, priority=10)
+        env.add_simulator(late)
+        env.add_simulator(early)
+        env.run_until(HOUR)
+        assert order == ["early", "late"]
+
+    def test_heterogeneous_steps(self):
+        """A minutely and an hourly simulator coexist causally."""
+        minutes, hours = [], []
+        env = CoSimEnvironment()
+        env.add_simulator(PeriodicSimulator(lambda t, dt: minutes.append(t), dt_s=60.0))
+        env.add_simulator(PeriodicSimulator(lambda t, dt: hours.append(t), dt_s=HOUR))
+        env.run_until(2 * HOUR)
+        assert len(minutes) == 120
+        assert len(hours) == 2
+
+    def test_cannot_schedule_in_past(self):
+        env = CoSimEnvironment()
+        env.add_simulator(PeriodicSimulator(lambda t, dt: None, dt_s=HOUR))
+        env.run_until(2 * HOUR)
+        with pytest.raises(ScheduleError):
+            env.add_simulator(PeriodicSimulator(lambda t, dt: None, dt_s=HOUR), start_s=0.0)
+
+    def test_non_advancing_simulator_detected(self):
+        class Stuck:
+            priority = 50
+
+            def step(self, t_s):
+                return t_s  # never advances
+
+        env = CoSimEnvironment()
+        env.add_simulator(Stuck())
+        with pytest.raises(ScheduleError):
+            env.run_until(HOUR)
+
+    def test_microgrid_simulator_end_to_end(self):
+        load = TimeSeries(np.full(24, 1_000.0), step_s=HOUR)
+        mg = Microgrid(
+            actors=[Actor("dc", TraceSignal(load), is_consumer=True)],
+        )
+        grid = GridConnection(ConstantSignal(250.0))
+        mon = Monitor()
+        env = CoSimEnvironment()
+        env.add_simulator(MicrogridSimulator(mg, dt_s=HOUR, grid=grid, monitor=mon))
+        env.run_until(24 * HOUR)
+        assert len(mon) == 24
+        assert grid.import_energy_wh == pytest.approx(24_000.0)
+        assert grid.emissions_kg == pytest.approx(6.0)

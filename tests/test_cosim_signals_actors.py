@@ -1,0 +1,95 @@
+"""Signals and actors (repro.cosim.signal / actor)."""
+
+import numpy as np
+import pytest
+
+from repro.cosim.actor import Actor
+from repro.cosim.signal import (
+    ConstantSignal,
+    FunctionSignal,
+    SAMSignal,
+    TraceSignal,
+)
+from repro.data import HOUSTON, synthesize_wind_resource
+from repro.exceptions import ConfigurationError, SignalError
+from repro.sam.wind.windpower import WindFarmModel, WindFarmParameters
+from repro.timeseries import TimeSeries
+
+
+class TestBasicSignals:
+    def test_constant(self):
+        sig = ConstantSignal(42.0)
+        assert sig.at(0.0) == 42.0
+        assert sig.at(1e9) == 42.0
+
+    def test_function(self):
+        sig = FunctionSignal(lambda t: t / 3600.0)
+        assert sig.at(7200.0) == pytest.approx(2.0)
+
+    def test_trace_left_labelled(self):
+        ts = TimeSeries(np.array([1.0, 2.0, 3.0]), step_s=3600.0)
+        sig = TraceSignal(ts, wrap=False)
+        assert sig.at(0.0) == 1.0
+        assert sig.at(3599.0) == 1.0
+        assert sig.at(3600.0) == 2.0
+
+    def test_trace_wraps_multi_year(self):
+        ts = TimeSeries(np.arange(24.0), step_s=3600.0)
+        sig = TraceSignal(ts, wrap=True)
+        assert sig.at(25 * 3600.0) == 1.0  # next day, hour 1
+        assert sig.at(24 * 3600.0 * 365) == 0.0
+
+    def test_trace_no_wrap_raises_out_of_range(self):
+        ts = TimeSeries(np.arange(3.0), step_s=3600.0)
+        sig = TraceSignal(ts, wrap=False)
+        with pytest.raises(SignalError):
+            sig.at(10 * 3600.0)
+
+
+class TestSAMSignal:
+    def test_wraps_model_run(self):
+        resource = synthesize_wind_resource(HOUSTON, n_hours=48)
+        model = WindFarmModel(WindFarmParameters(n_turbines=2))
+        sig = SAMSignal(model, resource, name="windfarm")
+        expected = model.hourly_profile_w(resource)
+        assert np.allclose(sig.profile_w, expected)
+        assert sig.at(5 * 3600.0) == expected[5]
+
+    def test_serves_beyond_resource_year(self):
+        resource = synthesize_wind_resource(HOUSTON, n_hours=48)
+        sig = SAMSignal(WindFarmModel(WindFarmParameters(n_turbines=1)), resource)
+        assert sig.at(49 * 3600.0) == sig.at(1 * 3600.0)
+
+
+class TestActor:
+    def test_producer_sign(self):
+        actor = Actor("solar", ConstantSignal(100.0))
+        assert actor.power_at(0.0) == 100.0
+
+    def test_consumer_negates(self):
+        actor = Actor("dc", ConstantSignal(100.0), is_consumer=True)
+        assert actor.power_at(0.0) == -100.0
+
+    def test_consumer_handles_prenegative_trace(self):
+        actor = Actor("dc", ConstantSignal(-100.0), is_consumer=True)
+        assert actor.power_at(0.0) == -100.0
+
+    def test_scale(self):
+        actor = Actor("solar", ConstantSignal(100.0), scale=0.5)
+        assert actor.power_at(0.0) == 50.0
+
+    def test_disabled_actor_silent(self):
+        actor = Actor("solar", ConstantSignal(100.0))
+        actor.enabled = False
+        assert actor.power_at(0.0) == 0.0
+
+    def test_offset_applied(self):
+        actor = Actor("dc", ConstantSignal(100.0), is_consumer=True)
+        actor.power_offset_w = 20.0  # demand response shed
+        assert actor.power_at(0.0) == -80.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Actor("", ConstantSignal(1.0))
+        with pytest.raises(ConfigurationError):
+            Actor("x", ConstantSignal(1.0), scale=-1.0)

@@ -1,0 +1,119 @@
+"""Storage implementations behind the cosim Storage interface."""
+
+import numpy as np
+import pytest
+
+from repro.cosim.battery import CLCBattery, IdealBattery, LongDurationStorage
+from repro.exceptions import ConfigurationError
+
+HOUR = 3600.0
+
+
+class TestCLCBattery:
+    def test_initial_soc_clamped_to_window(self):
+        b = CLCBattery(capacity_wh=10_000.0, initial_soc=0.01)
+        assert b.soc() == pytest.approx(0.05)  # default soc_min
+
+    def test_charge_discharge_roundtrip_loses_energy(self):
+        # Start at the SoC floor so the only extractable energy is what we
+        # just charged; the round trip must lose ~η_c·η_d.
+        b = CLCBattery(capacity_wh=100_000.0, initial_soc=0.05)
+        accepted = b.update(10_000.0, HOUR)
+        assert accepted == pytest.approx(10_000.0)
+        delivered = -b.update(-1e9, HOUR)  # drain as fast as allowed
+        assert delivered == pytest.approx(10_000.0 * 0.95 * 0.95, rel=1e-2)
+        assert delivered < 10_000.0
+
+    def test_throughput_accounting(self):
+        b = CLCBattery(capacity_wh=100_000.0, initial_soc=0.5)
+        b.update(10_000.0, HOUR)
+        b.update(-5_000.0, HOUR)
+        assert b.charge_energy_wh == pytest.approx(10_000.0)
+        assert b.discharge_energy_wh == pytest.approx(5_000.0)
+
+    def test_equivalent_full_cycles(self):
+        b = CLCBattery(capacity_wh=100_000.0, initial_soc=0.9)
+        usable = b.usable_capacity_wh
+        total = 0.0
+        for _ in range(20):
+            total += -b.update(-30_000.0, HOUR)
+            b.update(30_000.0, HOUR)
+        assert b.equivalent_full_cycles() == pytest.approx(total / usable)
+
+    def test_reset(self):
+        b = CLCBattery(capacity_wh=100_000.0, initial_soc=0.5, track_history=True)
+        b.update(10_000.0, HOUR)
+        b.reset()
+        assert b.soc() == pytest.approx(0.5)
+        assert b.charge_energy_wh == 0.0
+        assert b.soc_history == [0.5]
+
+    def test_history_tracking(self):
+        b = CLCBattery(capacity_wh=100_000.0, initial_soc=0.5, track_history=True)
+        b.update(10_000.0, HOUR)
+        b.update(-10_000.0, HOUR)
+        assert len(b.soc_history) == 3
+
+    def test_zero_capacity(self):
+        b = CLCBattery(capacity_wh=0.0)
+        assert b.update(1e6, HOUR) == 0.0
+        assert b.soc() == 0.0
+        assert b.equivalent_full_cycles() == 0.0
+
+    def test_params_capacity_mismatch_rejected(self):
+        from repro.sam.batterymodels.clc import CLCParameters
+
+        with pytest.raises(ConfigurationError):
+            CLCBattery(capacity_wh=100.0, params=CLCParameters(capacity_wh=200.0))
+
+    def test_rejects_nonpositive_duration(self):
+        b = CLCBattery(capacity_wh=100.0)
+        with pytest.raises(ConfigurationError):
+            b.update(10.0, 0.0)
+
+
+class TestIdealBattery:
+    def test_lossless_roundtrip(self):
+        b = IdealBattery(capacity_wh=10_000.0, initial_soc=0.0)
+        accepted = b.update(5_000.0, HOUR)
+        assert accepted == pytest.approx(5_000.0)
+        delivered = -b.update(-5_000.0, HOUR)
+        assert delivered == pytest.approx(5_000.0)
+        assert b.energy_wh == pytest.approx(0.0)
+
+    def test_capacity_cap(self):
+        b = IdealBattery(capacity_wh=1_000.0, initial_soc=0.5)
+        accepted = b.update(1e9, HOUR)
+        assert accepted == pytest.approx(500.0)
+
+    def test_cannot_overdraw(self):
+        b = IdealBattery(capacity_wh=1_000.0, initial_soc=0.5)
+        delivered = -b.update(-1e9, HOUR)
+        assert delivered == pytest.approx(500.0)
+
+
+class TestLongDurationStorage:
+    def test_poor_roundtrip_efficiency(self):
+        s = LongDurationStorage(
+            capacity_wh=1e9, charge_power_w=1e6, discharge_power_w=1e6, initial_soc=0.0
+        )
+        s.update(1e6, HOUR)  # 1 MWh in → 0.65 MWh stored
+        delivered = 0.0
+        for _ in range(10):
+            delivered += -s.update(-1e6, HOUR)
+        assert delivered == pytest.approx(1e6 * 0.65 * 0.55, rel=1e-6)
+
+    def test_power_ratings_enforced(self):
+        s = LongDurationStorage(
+            capacity_wh=1e9, charge_power_w=2e5, discharge_power_w=1e5, initial_soc=0.5
+        )
+        assert s.update(1e9, HOUR) == pytest.approx(2e5)
+        assert s.update(-1e9, HOUR) == pytest.approx(-1e5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LongDurationStorage(capacity_wh=-1, charge_power_w=1, discharge_power_w=1)
+        with pytest.raises(ConfigurationError):
+            LongDurationStorage(
+                capacity_wh=1, charge_power_w=1, discharge_power_w=1, eta_charge=0.0
+            )

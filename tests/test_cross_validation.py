@@ -1,0 +1,76 @@
+"""Cross-validation: the vectorized batch evaluator vs the co-simulator.
+
+The batch evaluator (repro.core.fastsim) and the co-simulation path
+(repro.core.evaluator → repro.cosim) implement the same physics through
+different code paths; they must agree to float tolerance.  This is the
+load-bearing test for trusting the exhaustive sweeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.composition import MicrogridComposition
+from repro.core.evaluator import CompositionEvaluator
+from repro.core.fastsim import BatchEvaluator
+
+COMPOSITIONS = [
+    MicrogridComposition(0, 0.0, 0),                    # grid only
+    MicrogridComposition.from_mw(12.0, 0.0, 7.5),       # wind + small battery
+    MicrogridComposition.from_mw(0.0, 12.0, 37.5),      # solar + battery
+    MicrogridComposition.from_mw(9.0, 8.0, 22.5),       # mixed
+    MicrogridComposition.from_mw(30.0, 40.0, 60.0),     # max build-out
+    MicrogridComposition.from_mw(6.0, 4.0, 0.0),        # no storage
+]
+
+
+@pytest.fixture(scope="module")
+def evaluators(houston_month):
+    return BatchEvaluator(houston_month), CompositionEvaluator(houston_month)
+
+
+@pytest.mark.parametrize("comp", COMPOSITIONS, ids=lambda c: c.label())
+def test_paths_agree(evaluators, comp):
+    batch_eval, cosim_eval = evaluators
+    fast = batch_eval.evaluate_one(comp).metrics
+    slow = cosim_eval.evaluate(comp).metrics
+
+    assert fast.grid_import_wh == pytest.approx(slow.grid_import_wh, rel=1e-9, abs=1e-3)
+    assert fast.grid_export_wh == pytest.approx(slow.grid_export_wh, rel=1e-9, abs=1e-3)
+    assert fast.battery_charge_wh == pytest.approx(slow.battery_charge_wh, rel=1e-9, abs=1e-3)
+    assert fast.battery_discharge_wh == pytest.approx(
+        slow.battery_discharge_wh, rel=1e-9, abs=1e-3
+    )
+    assert fast.operational_emissions_kg == pytest.approx(
+        slow.operational_emissions_kg, rel=1e-9, abs=1e-6
+    )
+    assert fast.coverage == pytest.approx(slow.coverage, abs=1e-9)
+    assert fast.electricity_cost_usd == pytest.approx(
+        slow.electricity_cost_usd, rel=1e-9, abs=1e-6
+    )
+    if fast.battery_cycles is None:
+        assert slow.battery_cycles is None
+    else:
+        assert fast.battery_cycles == pytest.approx(slow.battery_cycles, rel=1e-9)
+
+
+def test_monitor_consistency(houston_month):
+    """Per-step flows recorded by the co-sim monitor sum to the aggregates."""
+    cosim_eval = CompositionEvaluator(houston_month)
+    run = cosim_eval.run(MicrogridComposition.from_mw(9.0, 8.0, 22.5))
+    mon = run.monitor
+    dt_h = houston_month.step_s / 3600.0
+    assert mon.series("grid_import_w").sum() * dt_h == pytest.approx(
+        run.grid.import_energy_wh, rel=1e-12
+    )
+    assert len(mon) == houston_month.n_steps
+
+
+def test_full_year_agreement_single_composition(houston):
+    """One full-year check (slower, hence single composition)."""
+    comp = MicrogridComposition.from_mw(12.0, 12.0, 52.5)
+    fast = BatchEvaluator(houston).evaluate_one(comp).metrics
+    slow = CompositionEvaluator(houston).evaluate(comp).metrics
+    assert fast.operational_emissions_kg == pytest.approx(
+        slow.operational_emissions_kg, rel=1e-9
+    )
+    assert fast.coverage == pytest.approx(slow.coverage, abs=1e-12)

@@ -1,0 +1,102 @@
+"""Site registry and climate validation (repro.data.locations)."""
+
+import pytest
+
+from repro.data.locations import (
+    BERKELEY,
+    HOUSTON,
+    ClearnessClimate,
+    Location,
+    WindClimate,
+    get_location,
+    register_location,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestBuiltinSites:
+    def test_lookup_case_insensitive(self):
+        assert get_location("Houston") is HOUSTON
+        assert get_location("  berkeley ") is BERKELEY
+
+    def test_unknown_raises_with_known_list(self):
+        with pytest.raises(ConfigurationError, match="berkeley"):
+            get_location("atlantis")
+
+    def test_paper_grid_regions(self):
+        assert BERKELEY.grid_region == "CAISO"
+        assert HOUSTON.grid_region == "ERCOT"
+
+    def test_contrasting_profiles(self):
+        # The paper picked the sites for contrasting resources: Houston
+        # windier, Berkeley sunnier.
+        assert HOUSTON.wind_climate.mean_speed_ms > BERKELEY.wind_climate.mean_speed_ms
+        assert (
+            BERKELEY.solar_climate.mean_summer > HOUSTON.solar_climate.mean_summer
+        )
+
+    def test_texas_wind_is_nocturnal(self):
+        assert HOUSTON.wind_climate.diurnal_peak_hour < 6.0
+        assert BERKELEY.wind_climate.diurnal_peak_hour > 12.0
+
+
+class TestValidation:
+    def test_clearness_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ClearnessClimate(mean_winter=0.0, mean_summer=0.5, variability=0.1, persistence=0.5)
+        with pytest.raises(ConfigurationError):
+            ClearnessClimate(mean_winter=0.5, mean_summer=0.5, variability=0.1, persistence=1.0)
+
+    def test_wind_bounds(self):
+        with pytest.raises(ConfigurationError):
+            WindClimate(
+                mean_speed_ms=-1.0,
+                weibull_k=2.0,
+                reference_height_m=100.0,
+                shear_exponent=0.14,
+                diurnal_amplitude=0.1,
+                seasonal_amplitude=0.1,
+                persistence_hours=10.0,
+            )
+        with pytest.raises(ConfigurationError):
+            WindClimate(
+                mean_speed_ms=5.0,
+                weibull_k=9.0,
+                reference_height_m=100.0,
+                shear_exponent=0.14,
+                diurnal_amplitude=0.1,
+                seasonal_amplitude=0.1,
+                persistence_hours=10.0,
+            )
+
+    def test_latitude_validation(self):
+        with pytest.raises(ConfigurationError):
+            Location(
+                name="bad",
+                latitude_deg=95.0,
+                longitude_deg=0.0,
+                timezone_hours=0.0,
+                elevation_m=0.0,
+                grid_region="CAISO",
+                solar_climate=BERKELEY.solar_climate,
+                wind_climate=BERKELEY.wind_climate,
+            )
+
+
+class TestRegistry:
+    def test_register_and_fetch(self):
+        custom = Location(
+            name="testville",
+            latitude_deg=45.0,
+            longitude_deg=10.0,
+            timezone_hours=1.0,
+            elevation_m=100.0,
+            grid_region="CAISO",
+            solar_climate=BERKELEY.solar_climate,
+            wind_climate=BERKELEY.wind_climate,
+        )
+        register_location(custom)
+        assert get_location("testville") is custom
+        with pytest.raises(ConfigurationError):
+            register_location(custom)  # duplicate
+        register_location(custom, overwrite=True)  # allowed

@@ -1,0 +1,204 @@
+"""Synthetic resource generators: solar, wind, workload, carbon, events."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BERKELEY,
+    HOUSTON,
+    synthesize_carbon_intensity,
+    synthesize_datacenter_trace,
+    synthesize_solar_resource,
+    synthesize_wind_resource,
+)
+from repro.data.carbon_intensity import REGION_MEANS_G_PER_KWH
+from repro.data.weather_events import apply_events, dunkelflaute_events
+from repro.data.workload import constant_trace
+from repro.exceptions import ConfigurationError
+
+
+class TestSolarResource:
+    def test_deterministic(self):
+        a = synthesize_solar_resource(BERKELEY)
+        b = synthesize_solar_resource(BERKELEY)
+        assert np.array_equal(a.ghi_w_m2, b.ghi_w_m2)
+
+    def test_year_label_changes_weather(self):
+        a = synthesize_solar_resource(BERKELEY, year_label=2023)
+        b = synthesize_solar_resource(BERKELEY, year_label=2024)
+        assert not np.array_equal(a.ghi_w_m2, b.ghi_w_m2)
+
+    def test_physical_bounds(self):
+        sr = synthesize_solar_resource(HOUSTON)
+        assert np.all(sr.ghi_w_m2 >= 0)
+        assert np.all(sr.ghi_w_m2 < 1200.0)  # below clear-sky ceiling
+        assert np.all(sr.dni_w_m2 >= 0)
+        assert np.all(sr.dhi_w_m2 >= 0)
+
+    def test_night_is_dark(self):
+        sr = synthesize_solar_resource(BERKELEY)
+        # Midnight hours (local standard time) must have zero GHI.
+        midnight = sr.ghi_w_m2[0::24]
+        assert np.all(midnight == 0.0)
+
+    def test_closure_ghi_components(self):
+        """GHI ≈ DNI·cosθz + DHI (within decomposition caps)."""
+        sr = synthesize_solar_resource(BERKELEY)
+        from repro.sam.solar.geometry import solar_position
+
+        pos = solar_position(
+            sr.times_s, BERKELEY.latitude_deg, BERKELEY.longitude_deg, BERKELEY.timezone_hours
+        )
+        recomposed = sr.dni_w_m2 * pos.cos_zenith + sr.dhi_w_m2
+        day = sr.ghi_w_m2 > 50.0
+        assert np.allclose(recomposed[day], sr.ghi_w_m2[day], rtol=0.15, atol=30.0)
+
+    def test_seasonal_cycle(self):
+        sr = synthesize_solar_resource(BERKELEY)
+        daily = sr.ghi_w_m2.reshape(365, 24).sum(axis=1)
+        summer = daily[150:240].mean()
+        winter = np.concatenate([daily[:60], daily[330:]]).mean()
+        assert summer > 1.5 * winter
+
+    def test_mean_daily_ghi_plausible(self):
+        b = synthesize_solar_resource(BERKELEY).mean_daily_ghi_kwh_m2()
+        h = synthesize_solar_resource(HOUSTON).mean_daily_ghi_kwh_m2()
+        assert 4.2 <= b <= 5.6
+        assert 3.8 <= h <= 5.2
+        assert b > h  # Berkeley is the sunnier site
+
+    def test_rejects_partial_days(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_solar_resource(BERKELEY, n_hours=100)
+
+
+class TestWindResource:
+    def test_deterministic(self):
+        a = synthesize_wind_resource(HOUSTON)
+        b = synthesize_wind_resource(HOUSTON)
+        assert np.array_equal(a.speed_ms, b.speed_ms)
+
+    def test_nonnegative(self):
+        wr = synthesize_wind_resource(BERKELEY)
+        assert np.all(wr.speed_ms >= 0)
+
+    def test_site_contrast(self):
+        h = synthesize_wind_resource(HOUSTON).mean_speed()
+        b = synthesize_wind_resource(BERKELEY).mean_speed()
+        assert h > b + 2.0  # Houston is the wind site
+
+    def test_autocorrelation_present(self):
+        wr = synthesize_wind_resource(HOUSTON)
+        v = wr.speed_ms - wr.speed_ms.mean()
+        rho1 = float(np.dot(v[:-1], v[1:]) / np.dot(v, v))
+        assert rho1 > 0.7  # persistent weather, not white noise
+
+    def test_houston_nocturnal_diurnal_pattern(self):
+        wr = synthesize_wind_resource(HOUSTON)
+        by_hour = wr.speed_ms.reshape(-1, 24).mean(axis=0)
+        night = by_hour[[0, 1, 2, 3]].mean()
+        afternoon = by_hour[[13, 14, 15, 16]].mean()
+        assert night > afternoon
+
+
+class TestWorkload:
+    def test_mean_calibrated_exactly(self):
+        wl = synthesize_datacenter_trace()
+        assert wl.mean_power_w() == pytest.approx(1.62e6, rel=1e-9)
+
+    def test_always_positive_hpc_base_load(self):
+        wl = synthesize_datacenter_trace()
+        assert wl.power_w.min() > 0.25 * wl.mean_power_w()
+
+    def test_no_diurnal_cycle(self):
+        """Batch HPC demand must not follow the sun (key problem feature)."""
+        wl = synthesize_datacenter_trace()
+        by_hour = wl.power_w.reshape(-1, 24).mean(axis=0)
+        assert by_hour.std() / by_hour.mean() < 0.05
+
+    def test_custom_mean(self):
+        wl = synthesize_datacenter_trace(mean_power_w=5e6)
+        assert wl.mean_power_w() == pytest.approx(5e6)
+
+    def test_annual_energy(self):
+        wl = constant_trace(1e6, n_hours=8760)
+        assert wl.annual_energy_kwh() == pytest.approx(8_760_000.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_datacenter_trace(mean_power_w=-1.0)
+        with pytest.raises(ConfigurationError):
+            synthesize_datacenter_trace(base_fraction=1.5)
+
+
+class TestCarbonIntensity:
+    def test_means_match_paper_baselines(self):
+        """38 880 kWh/day × mean CI must give the tables' baselines."""
+        daily_kwh = 1.62e3 * 24.0
+        for region, expected_t_day in (("ERCOT", 15.54), ("CAISO", 9.33)):
+            ci = synthesize_carbon_intensity(region)
+            baseline = daily_kwh * ci.mean() / 1e6
+            assert baseline == pytest.approx(expected_t_day, abs=0.01)
+
+    def test_caiso_duck_curve(self):
+        ci = synthesize_carbon_intensity("CAISO")
+        by_hour = ci.intensity_g_per_kwh.reshape(-1, 24).mean(axis=0)
+        midday = by_hour[11:14].mean()
+        evening = by_hour[18:21].mean()
+        assert evening > 1.3 * midday  # solar dip + evening ramp
+
+    def test_ercot_night_dips(self):
+        ci = synthesize_carbon_intensity("ERCOT")
+        by_hour = ci.intensity_g_per_kwh.reshape(-1, 24).mean(axis=0)
+        assert by_hour[[0, 1, 2, 3]].mean() < by_hour[[15, 16, 17]].mean()
+
+    def test_ercot_dirtier_than_caiso(self):
+        assert REGION_MEANS_G_PER_KWH["ERCOT"] > REGION_MEANS_G_PER_KWH["CAISO"]
+
+    def test_positive(self):
+        ci = synthesize_carbon_intensity("CAISO")
+        assert np.all(ci.intensity_g_per_kwh > 0)
+
+    def test_unknown_region(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_carbon_intensity("EU")
+
+    def test_custom_mean(self):
+        ci = synthesize_carbon_intensity("CAISO", mean_g_per_kwh=100.0)
+        assert ci.mean() == pytest.approx(100.0)
+
+
+class TestDunkelflaute:
+    def test_events_shared_between_generators(self):
+        """Solar and wind must see the same event windows."""
+        a = dunkelflaute_events(HOUSTON, 2024)
+        b = dunkelflaute_events(HOUSTON, 2024)
+        assert a == b
+        assert len(a) >= 3
+
+    def test_events_in_winter(self):
+        for event in dunkelflaute_events(HOUSTON, 2024):
+            day = event.start_hour // 24
+            assert day >= 300 or day < 61
+
+    def test_apply_attenuates(self):
+        events = dunkelflaute_events(HOUSTON, 2024)
+        series = np.ones(8760)
+        apply_events(series, events, "wind")
+        event = events[0]
+        mid = event.start_hour + event.duration_hours // 2
+        assert series[mid] == pytest.approx(event.wind_factor)
+        # outside events untouched
+        assert series[200 * 24] == 1.0
+
+    def test_apply_rejects_unknown_channel(self):
+        with pytest.raises(ConfigurationError):
+            apply_events(np.ones(10), [], "tidal")
+
+    def test_wind_resource_contains_lulls(self):
+        """The becalmed stretches must survive into the resource."""
+        wr = synthesize_wind_resource(HOUSTON)
+        events = dunkelflaute_events(HOUSTON, 2024)
+        event = max(events, key=lambda e: e.duration_hours)
+        lull = wr.speed_ms[event.start_hour + 6 : event.start_hour + event.duration_hours - 6]
+        assert lull.mean() < 0.4 * wr.mean_speed()

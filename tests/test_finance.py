@@ -1,0 +1,103 @@
+"""Financial evaluation: CAPEX, NPC, levelized cost (repro.core.finance)."""
+
+import numpy as np
+import pytest
+
+from repro.core.composition import MicrogridComposition
+from repro.core.fastsim import BatchEvaluator
+from repro.core.finance import (
+    CostParameters,
+    annual_om_usd,
+    capex_usd,
+    cost_carbon_points,
+    levelized_cost_usd_per_mwh,
+    net_present_cost_usd,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestCostParameters:
+    def test_annuity_factor_zero_rate(self):
+        p = CostParameters(discount_rate=0.0, horizon_years=20.0)
+        assert p.annuity_factor() == pytest.approx(20.0)
+
+    def test_annuity_factor_discounting(self):
+        p = CostParameters(discount_rate=0.07, horizon_years=20.0)
+        assert 10.0 < p.annuity_factor() < 11.0  # standard value ≈ 10.59
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostParameters(discount_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            CostParameters(horizon_years=0.0)
+        with pytest.raises(ConfigurationError):
+            CostParameters(solar_capex_usd_per_kw=-1.0)
+
+
+class TestCapexOm:
+    def test_capex_linear(self):
+        comp = MicrogridComposition.from_mw(12.0, 8.0, 22.5)
+        p = CostParameters()
+        expected = (
+            8_000.0 * p.solar_capex_usd_per_kw
+            + 12_000.0 * p.wind_capex_usd_per_kw
+            + 22_500.0 * p.battery_capex_usd_per_kwh
+        )
+        assert capex_usd(comp, p) == pytest.approx(expected)
+
+    def test_grid_only_costs_nothing_upfront(self):
+        assert capex_usd(MicrogridComposition(0, 0.0, 0)) == 0.0
+        assert annual_om_usd(MicrogridComposition(0, 0.0, 0)) == 0.0
+
+
+class TestNpcLcoe:
+    @pytest.fixture(scope="class")
+    def evaluated(self, houston):
+        be = BatchEvaluator(houston)
+        return {
+            "baseline": be.evaluate_one(MicrogridComposition(0, 0.0, 0)),
+            "mid": be.evaluate_one(MicrogridComposition.from_mw(9.0, 8.0, 22.5)),
+            "max": be.evaluate_one(MicrogridComposition.from_mw(30.0, 40.0, 60.0)),
+        }
+
+    def test_baseline_npc_is_pure_grid_bill(self, evaluated):
+        e = evaluated["baseline"]
+        p = CostParameters()
+        expected = e.metrics.electricity_cost_usd * p.annuity_factor()
+        assert net_present_cost_usd(e, p) == pytest.approx(expected)
+
+    def test_npc_components_add_up(self, evaluated):
+        e = evaluated["mid"]
+        p = CostParameters()
+        npc = net_present_cost_usd(e, p)
+        assert npc == pytest.approx(
+            capex_usd(e.composition, p)
+            + (annual_om_usd(e.composition, p) + e.metrics.electricity_cost_usd)
+            * p.annuity_factor()
+        )
+
+    def test_lcoe_positive_and_plausible(self, evaluated):
+        # The heavily over-built composition is expensive (paper's point:
+        # the last percent of coverage costs dearly), but even it should
+        # stay under ~$600/MWh; the others well under.
+        assert 10.0 < levelized_cost_usd_per_mwh(evaluated["baseline"]) < 200.0
+        assert 10.0 < levelized_cost_usd_per_mwh(evaluated["mid"]) < 300.0
+        assert 100.0 < levelized_cost_usd_per_mwh(evaluated["max"]) < 600.0
+
+    def test_renewables_cut_grid_bill(self, evaluated):
+        assert (
+            evaluated["mid"].metrics.electricity_cost_usd
+            < evaluated["baseline"].metrics.electricity_cost_usd
+        )
+
+    def test_cost_carbon_points_shape(self, evaluated):
+        points = cost_carbon_points(list(evaluated.values()))
+        assert points.shape == (3, 2)
+        assert np.all(points[:, 1] >= 0)
+
+    def test_cost_carbon_tradeoff_exists(self, evaluated):
+        """Cheapest option is not the cleanest (otherwise no trade-off)."""
+        points = cost_carbon_points(list(evaluated.values()))
+        cheapest = int(np.argmin(points[:, 0]))
+        cleanest = int(np.argmin(points[:, 1]))
+        assert cheapest != cleanest

@@ -1,0 +1,147 @@
+"""Forecast generation and the predictive charge controller."""
+
+import numpy as np
+import pytest
+
+from repro.cosim import (
+    Actor,
+    CLCBattery,
+    ConstantSignal,
+    GridConnection,
+    Microgrid,
+    PredictiveChargeController,
+)
+from repro.data.forecast import ForecastModel
+from repro.exceptions import ConfigurationError
+
+HOUR = 3600.0
+
+
+def truth_profile(n=240):
+    hours = np.arange(n)
+    return 1_000.0 + 300.0 * np.sin(2 * np.pi * hours / 24.0)
+
+
+class TestForecastModel:
+    def test_deterministic_per_issue(self):
+        model = ForecastModel(truth_profile(), name="t")
+        a = model.issue(10, 24)
+        b = model.issue(10, 24)
+        assert np.array_equal(a, b)
+
+    def test_distinct_issues_differ(self):
+        model = ForecastModel(truth_profile(), name="t")
+        assert not np.array_equal(model.issue(10, 24), model.issue(11, 24))
+
+    def test_error_grows_with_lead(self):
+        model = ForecastModel(truth_profile(), name="t", error_at_1h=0.05,
+                              error_growth_per_sqrt_hour=0.05)
+        short = model.rms_error(1)
+        long = model.rms_error(24)
+        assert long > short
+
+    def test_short_lead_accurate(self):
+        model = ForecastModel(truth_profile(), name="t")
+        assert model.rms_error(1) < 0.12
+
+    def test_nonnegative_clipping(self):
+        truth = np.full(100, 1.0)
+        model = ForecastModel(truth, name="tiny", error_at_1h=5.0)
+        fc = model.issue(0, 48)
+        assert np.all(fc >= 0.0)
+
+    def test_perfect_forecast_limit(self):
+        model = ForecastModel(truth_profile(), name="perfect", error_at_1h=0.0,
+                              error_growth_per_sqrt_hour=0.0)
+        fc = model.issue(5, 12)
+        expected = truth_profile()[6:18]
+        assert np.allclose(fc, expected)
+
+    def test_wraps_around_year(self):
+        truth = truth_profile(48)
+        model = ForecastModel(truth, name="wrap", error_at_1h=0.0,
+                              error_growth_per_sqrt_hour=0.0)
+        fc = model.issue(47, 2)
+        assert fc[0] == truth[0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ForecastModel(np.empty(0))
+        model = ForecastModel(truth_profile())
+        with pytest.raises(ConfigurationError):
+            model.issue(0, 0)
+        with pytest.raises(ConfigurationError):
+            model.rms_error(0)
+
+
+class TestPredictiveChargeController:
+    def _setup(self, net_load, ci, ci_now_value):
+        """Microgrid with zero local net balance; controller acts alone."""
+        battery = CLCBattery(capacity_wh=100_000.0, initial_soc=0.2)
+        mg = Microgrid(
+            actors=[Actor("noop", ConstantSignal(0.0))], storage=battery
+        )
+        grid = GridConnection(ConstantSignal(ci_now_value))
+        ctrl = PredictiveChargeController(
+            net_load_forecast=ForecastModel(net_load, name="net", error_at_1h=0.0,
+                                            error_growth_per_sqrt_hour=0.0),
+            ci_forecast=ForecastModel(ci, name="ci", error_at_1h=0.0,
+                                      error_growth_per_sqrt_hour=0.0),
+            ci_now=ConstantSignal(ci_now_value),
+            charge_power_w=20_000.0,
+            advantage_g_per_kwh=50.0,
+            horizon_hours=12,
+            reissue_hours=1,
+            grid=grid,
+        )
+        return mg, grid, ctrl, battery
+
+    def test_buys_ahead_of_dirty_deficit(self):
+        # Upcoming deficit at dirty hours (CI 500) while now is clean (100).
+        net_load = np.full(240, 5_000.0)
+        ci = np.full(240, 500.0)
+        mg, grid, ctrl, battery = self._setup(net_load, ci, ci_now_value=100.0)
+        soc_before = battery.soc()
+        ctrl.on_step(mg, 0.0, HOUR)
+        assert battery.soc() > soc_before
+        assert grid.import_energy_wh > 0.0
+
+    def test_idle_without_advantage(self):
+        # Future no dirtier than now → don't buy.
+        net_load = np.full(240, 5_000.0)
+        ci = np.full(240, 110.0)
+        mg, grid, ctrl, battery = self._setup(net_load, ci, ci_now_value=100.0)
+        ctrl.on_step(mg, 0.0, HOUR)
+        assert ctrl.grid_charge_energy_wh == 0.0
+
+    def test_idle_without_upcoming_deficit(self):
+        net_load = np.full(240, -5_000.0)  # surplus everywhere
+        ci = np.full(240, 500.0)
+        mg, grid, ctrl, battery = self._setup(net_load, ci, ci_now_value=100.0)
+        ctrl.on_step(mg, 0.0, HOUR)
+        assert ctrl.grid_charge_energy_wh == 0.0
+
+    def test_stops_at_target_soc(self):
+        net_load = np.full(240, 5_000.0)
+        ci = np.full(240, 500.0)
+        mg, grid, ctrl, battery = self._setup(net_load, ci, ci_now_value=100.0)
+        for i in range(60):
+            ctrl.on_step(mg, i * HOUR, HOUR)
+        assert battery.soc() <= ctrl.target_soc + 0.05
+
+    def test_emissions_accounted(self):
+        net_load = np.full(240, 5_000.0)
+        ci = np.full(240, 500.0)
+        mg, grid, ctrl, battery = self._setup(net_load, ci, ci_now_value=100.0)
+        ctrl.on_step(mg, 0.0, HOUR)
+        expected_kg = grid.import_energy_wh / 1_000.0 * 100.0 / 1_000.0
+        assert grid.emissions_kg == pytest.approx(expected_kg)
+
+    def test_validation(self):
+        model = ForecastModel(truth_profile())
+        with pytest.raises(ConfigurationError):
+            PredictiveChargeController(model, model, ConstantSignal(0.0),
+                                       charge_power_w=-1.0)
+        with pytest.raises(ConfigurationError):
+            PredictiveChargeController(model, model, ConstantSignal(0.0),
+                                       charge_power_w=1.0, horizon_hours=0)

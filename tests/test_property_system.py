@@ -1,0 +1,174 @@
+"""System-level property-based tests (hypothesis).
+
+These go beyond per-module checks: they fuzz whole microgrid steps,
+batch evaluations, and config pipelines, asserting the conservation laws
+and orderings the entire reproduction rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.confsys import Config, apply_overrides
+from repro.core.composition import MicrogridComposition
+from repro.core.embodied import embodied_carbon_tonnes
+from repro.core.fastsim import BatchEvaluator
+from repro.core.scenario import build_scenario
+from repro.cosim import (
+    Actor,
+    CLCBattery,
+    ConstantSignal,
+    DefaultPolicy,
+    IslandedPolicy,
+    Microgrid,
+)
+
+HOUR = 3600.0
+
+# ---------------------------------------------------------------------------
+# Microgrid step invariants
+# ---------------------------------------------------------------------------
+
+powers = st.floats(min_value=0.0, max_value=5e6, allow_nan=False)
+socs = st.floats(min_value=0.05, max_value=0.95)
+capacities = st.floats(min_value=0.0, max_value=60e6)
+
+
+@given(production=powers, consumption=powers, capacity=capacities, soc=socs)
+@settings(max_examples=150, deadline=None)
+def test_property_power_balance_any_state(production, consumption, capacity, soc):
+    """Conservation: supply == use for arbitrary states (grid-connected)."""
+    storage = CLCBattery(capacity_wh=capacity, initial_soc=soc) if capacity > 0 else None
+    mg = Microgrid(
+        actors=[
+            Actor("gen", ConstantSignal(production)),
+            Actor("load", ConstantSignal(consumption), is_consumer=True),
+        ],
+        storage=storage,
+        policy=DefaultPolicy(),
+    )
+    r = mg.step(0.0, HOUR)
+    supply = r.production_w + r.grid_import_w + r.storage_discharge_w
+    use = r.consumption_w + r.grid_export_w + r.storage_charge_w
+    assert supply == pytest.approx(use, abs=1e-3)
+    # No simultaneous import & export, charge & discharge.
+    assert min(r.grid_import_w, r.grid_export_w) == 0.0
+    assert min(r.storage_charge_w, r.storage_discharge_w) == 0.0
+
+
+@given(production=powers, consumption=powers, capacity=capacities, soc=socs)
+@settings(max_examples=100, deadline=None)
+def test_property_islanded_never_imports(production, consumption, capacity, soc):
+    storage = CLCBattery(capacity_wh=capacity, initial_soc=soc) if capacity > 0 else None
+    mg = Microgrid(
+        actors=[
+            Actor("gen", ConstantSignal(production)),
+            Actor("load", ConstantSignal(consumption), is_consumer=True),
+        ],
+        storage=storage,
+        policy=IslandedPolicy(),
+    )
+    r = mg.step(0.0, HOUR)
+    assert r.grid_import_w == 0.0
+    supply = r.production_w + r.storage_discharge_w + r.unserved_w
+    use = r.consumption_w + r.grid_export_w + r.storage_charge_w
+    assert supply == pytest.approx(use, abs=1e-3)
+
+
+# ---------------------------------------------------------------------------
+# Batch-evaluator invariants on the real (short) scenario
+# ---------------------------------------------------------------------------
+
+comp_strategy = st.builds(
+    MicrogridComposition,
+    n_turbines=st.integers(min_value=0, max_value=10),
+    solar_kw=st.sampled_from([0.0, 4_000.0, 12_000.0, 24_000.0, 40_000.0]),
+    battery_units=st.integers(min_value=0, max_value=8),
+)
+
+
+@pytest.fixture(scope="module")
+def short_evaluator():
+    return BatchEvaluator(build_scenario("houston", n_hours=24 * 21))
+
+
+@given(comp=comp_strategy)
+@settings(max_examples=40, deadline=None)
+def test_property_metrics_well_formed(short_evaluator, comp):
+    """Any composition yields physically consistent aggregate metrics."""
+    e = short_evaluator.evaluate_one(comp)
+    m = e.metrics
+    assert 0.0 <= m.coverage <= 1.0
+    assert m.grid_import_wh >= 0 and m.grid_export_wh >= 0
+    assert m.operational_emissions_kg >= 0
+    # Energy closure: gen + import = demand + export + battery net absorb.
+    battery_net = m.battery_charge_wh - m.battery_discharge_wh
+    lhs = m.onsite_generation_wh + m.grid_import_wh
+    rhs = m.demand_energy_wh + m.grid_export_wh + battery_net
+    assert lhs == pytest.approx(rhs, rel=1e-6, abs=1.0)
+    # Embodied accounting is exact and deterministic.
+    assert e.embodied_tonnes == pytest.approx(embodied_carbon_tonnes(comp))
+
+
+@given(
+    comp=comp_strategy,
+    extra_batteries=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_more_storage_never_increases_import(short_evaluator, comp, extra_batteries):
+    """Adding battery units can only reduce (or keep) grid imports."""
+    bigger = MicrogridComposition(
+        comp.n_turbines, comp.solar_kw, min(comp.battery_units + extra_batteries, 8)
+    )
+    if bigger.battery_units == comp.battery_units:
+        return
+    small = short_evaluator.evaluate_one(comp)
+    large = short_evaluator.evaluate_one(bigger)
+    assert large.metrics.grid_import_wh <= small.metrics.grid_import_wh + 1.0
+
+
+@given(comp=comp_strategy, extra_turbines=st.integers(min_value=1, max_value=5))
+@settings(max_examples=25, deadline=None)
+def test_property_more_wind_never_decreases_coverage(short_evaluator, comp, extra_turbines):
+    bigger = MicrogridComposition(
+        min(comp.n_turbines + extra_turbines, 10), comp.solar_kw, comp.battery_units
+    )
+    if bigger.n_turbines == comp.n_turbines:
+        return
+    small = short_evaluator.evaluate_one(comp)
+    large = short_evaluator.evaluate_one(bigger)
+    assert large.metrics.coverage >= small.metrics.coverage - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Config pipeline round trips
+# ---------------------------------------------------------------------------
+
+keys = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+scalars = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    st.booleans(),
+    st.text(alphabet="xyz", min_size=1, max_size=6),
+)
+
+
+@given(path=st.lists(keys, min_size=1, max_size=3), value=scalars)
+@settings(max_examples=80)
+def test_property_config_set_get_roundtrip(path, value):
+    dotted = ".".join(path)
+    cfg = Config({}).updated(dotted, value)
+    got = cfg.require(dotted)
+    if isinstance(value, float):
+        assert got == pytest.approx(value)
+    else:
+        assert got == value
+
+
+@given(path=st.lists(keys, min_size=1, max_size=3), value=st.integers(-99, 99))
+@settings(max_examples=60)
+def test_property_override_string_roundtrip(path, value):
+    """`key=value` overrides parse back to the exact value for ints."""
+    dotted = ".".join(path)
+    cfg = apply_overrides(Config({}), [f"{dotted}={value}"])
+    assert cfg.require(dotted) == value

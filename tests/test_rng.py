@@ -1,0 +1,37 @@
+"""Deterministic seeding (repro.rng)."""
+
+import numpy as np
+
+from repro.rng import ROOT_SEED, generator_for, seed_for
+
+
+class TestSeedFor:
+    def test_deterministic(self):
+        assert seed_for("wind", "houston", 2024) == seed_for("wind", "houston", 2024)
+
+    def test_distinct_names_distinct_seeds(self):
+        assert seed_for("wind", "houston") != seed_for("wind", "berkeley")
+        assert seed_for("wind") != seed_for("solar")
+
+    def test_component_boundaries_matter(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert seed_for("ab", "c") != seed_for("a", "bc")
+
+    def test_root_seed_changes_everything(self):
+        assert seed_for("x", root=1) != seed_for("x", root=2)
+
+    def test_range(self):
+        s = seed_for("anything", 123, "deep", root=ROOT_SEED)
+        assert 0 <= s < 2**63
+
+
+class TestGeneratorFor:
+    def test_streams_reproducible(self):
+        a = generator_for("test", 1).standard_normal(8)
+        b = generator_for("test", 1).standard_normal(8)
+        assert np.array_equal(a, b)
+
+    def test_streams_independent(self):
+        a = generator_for("test", 1).standard_normal(8)
+        b = generator_for("test", 2).standard_normal(8)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,302 @@
+"""Solar model chain: geometry, clear sky, irradiance, temperature,
+inverter, losses, PVWatts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data import BERKELEY, HOUSTON, synthesize_solar_resource
+from repro.exceptions import ConfigurationError
+from repro.sam.solar.clearsky import clearsky_dhi, haurwitz_ghi, ineichen_dni, relative_airmass
+from repro.sam.solar.geometry import (
+    declination_deg,
+    equation_of_time_minutes,
+    extraterrestrial_normal_w_m2,
+    solar_position,
+    sunrise_sunset_hours,
+)
+from repro.sam.solar.inverter import InverterModel
+from repro.sam.solar.irradiance import erbs_decomposition, poa_irradiance
+from repro.sam.solar.losses import DEFAULT_LOSSES, SystemLosses
+from repro.sam.solar.pvwatts import PVWattsModel, PVWattsParameters, per_kw_profile
+from repro.sam.solar.temperature import cell_temperature_noct, cell_temperature_sapm
+
+
+def noon_position(lat=37.87, day=172):
+    """Solar position at local solar noon on a given day."""
+    # local noon in epoch seconds for a site at the timezone meridian
+    t = np.array([((day - 1) * 24 + 12) * 3600.0])
+    return solar_position(t, lat, -120.0, -8.0)
+
+
+class TestGeometry:
+    def test_declination_range_and_solstices(self):
+        days = np.arange(1.0, 366.0)
+        decl = declination_deg(days)
+        assert decl.max() == pytest.approx(23.45, abs=0.6)
+        assert decl.min() == pytest.approx(-23.45, abs=0.6)
+        # June solstice around day 172, December around day 355.
+        assert abs(int(days[np.argmax(decl)]) - 172) <= 3
+        assert abs(int(days[np.argmin(decl)]) - 355) <= 10
+
+    def test_equation_of_time_bounds(self):
+        eot = equation_of_time_minutes(np.arange(1.0, 366.0))
+        assert eot.max() < 18.0 and eot.min() > -16.0
+
+    def test_extraterrestrial_seasonal(self):
+        # Earth is closest to the sun in early January.
+        ext = extraterrestrial_normal_w_m2(np.arange(1.0, 366.0))
+        assert np.argmax(ext) < 20 or np.argmax(ext) > 350
+        assert 1310.0 < ext.min() < ext.max() < 1420.0
+
+    def test_summer_noon_zenith_berkeley(self):
+        pos = noon_position(lat=37.87, day=172)
+        # zenith ≈ |lat − decl| ≈ 37.87 − 23.4 ≈ 14.4°
+        assert pos.zenith_deg[0] == pytest.approx(14.4, abs=1.5)
+
+    def test_noon_azimuth_south(self):
+        pos = noon_position(lat=37.87, day=80)
+        assert pos.azimuth_deg[0] == pytest.approx(180.0, abs=5.0)
+
+    def test_night_cos_zenith_clipped(self):
+        t = np.array([0.0])  # local midnight
+        pos = solar_position(t, 37.87, -120.0, -8.0)
+        assert pos.cos_zenith[0] == 0.0
+        assert pos.zenith_deg[0] > 90.0
+
+    def test_sunrise_sunset_symmetry(self):
+        rise, set_ = sunrise_sunset_hours(80.0, 37.87)  # near equinox
+        assert rise == pytest.approx(6.0, abs=0.5)
+        assert set_ == pytest.approx(18.0, abs=0.5)
+
+    def test_polar_day_and_night(self):
+        assert sunrise_sunset_hours(172.0, 80.0) == (0.0, 24.0)
+        assert sunrise_sunset_hours(355.0, 80.0) == (12.0, 12.0)
+
+
+class TestClearSky:
+    def test_airmass_vertical(self):
+        assert relative_airmass(np.array([0.0]))[0] == pytest.approx(1.0, abs=0.01)
+
+    def test_airmass_monotone(self):
+        zen = np.array([0.0, 30.0, 60.0, 80.0, 85.0])
+        am = relative_airmass(zen)
+        assert np.all(np.diff(am) > 0)
+
+    def test_haurwitz_overhead_sun(self):
+        ghi = haurwitz_ghi(np.array([0.0]))[0]
+        assert 1000.0 < ghi < 1100.0
+
+    def test_haurwitz_zero_below_horizon(self):
+        assert haurwitz_ghi(np.array([95.0]))[0] == 0.0
+
+    def test_ineichen_turbidity_attenuates(self):
+        zen = np.array([30.0])
+        clean = ineichen_dni(zen, linke_turbidity=2.0)[0]
+        hazy = ineichen_dni(zen, linke_turbidity=5.0)[0]
+        assert clean > hazy > 0.0
+
+    def test_clearsky_dhi_closure(self):
+        zen = np.array([40.0])
+        ghi = haurwitz_ghi(zen)
+        dni = ineichen_dni(zen)
+        dhi = clearsky_dhi(ghi, dni, zen)
+        assert dhi[0] >= 0.0
+
+
+class TestErbs:
+    def test_clear_sky_mostly_beam(self):
+        zen = np.array([20.0])
+        ext = extraterrestrial_normal_w_m2(np.array([172.0]))
+        ghi = 0.75 * ext * np.cos(np.radians(zen))
+        dni, dhi = erbs_decomposition(ghi, zen, ext)
+        assert dhi[0] / ghi[0] < 0.25  # clear → low diffuse fraction
+        assert dni[0] > 0.0
+
+    def test_overcast_all_diffuse(self):
+        zen = np.array([40.0])
+        ext = extraterrestrial_normal_w_m2(np.array([172.0]))
+        ghi = 0.10 * ext * np.cos(np.radians(zen))
+        dni, dhi = erbs_decomposition(ghi, zen, ext)
+        assert dhi[0] / ghi[0] > 0.9
+
+    def test_night_zeros(self):
+        dni, dhi = erbs_decomposition(
+            np.array([0.0]), np.array([100.0]), np.array([1361.0])
+        )
+        assert dni[0] == 0.0 and dhi[0] == 0.0
+
+
+class TestPoa:
+    def _clear_day_inputs(self):
+        t = np.array([((171) * 24 + 12) * 3600.0])
+        pos = solar_position(t, 37.87, -120.0, -8.0)
+        ghi = haurwitz_ghi(pos.zenith_deg)
+        dni, dhi = erbs_decomposition(ghi, pos.zenith_deg, pos.extraterrestrial_w_m2)
+        return pos, ghi, dni, dhi
+
+    def test_components_nonnegative(self):
+        pos, ghi, dni, dhi = self._clear_day_inputs()
+        poa = poa_irradiance(pos, ghi, dni, dhi, tilt_deg=38.0)
+        assert poa.beam[0] >= 0 and poa.sky_diffuse[0] >= 0 and poa.ground_reflected[0] >= 0
+
+    def test_hdkr_exceeds_isotropic_clear_noon(self):
+        """Circumsolar enhancement: HDKR ≥ isotropic under beam-rich sky."""
+        pos, ghi, dni, dhi = self._clear_day_inputs()
+        iso = poa_irradiance(pos, ghi, dni, dhi, tilt_deg=38.0, model="isotropic")
+        hdkr = poa_irradiance(pos, ghi, dni, dhi, tilt_deg=38.0, model="hdkr")
+        assert hdkr.total[0] >= iso.total[0]
+
+    def test_horizontal_equals_ghi(self):
+        """At tilt 0 the POA total must equal GHI (up to model epsilon)."""
+        pos, ghi, dni, dhi = self._clear_day_inputs()
+        poa = poa_irradiance(pos, ghi, dni, dhi, tilt_deg=0.0, model="isotropic")
+        assert poa.total[0] == pytest.approx(ghi[0], rel=0.05)
+
+    def test_invalid_inputs(self):
+        pos, ghi, dni, dhi = self._clear_day_inputs()
+        with pytest.raises(ConfigurationError):
+            poa_irradiance(pos, ghi, dni, dhi, tilt_deg=120.0)
+        with pytest.raises(ConfigurationError):
+            poa_irradiance(pos, ghi, dni, dhi, tilt_deg=30.0, model="perez99")
+        with pytest.raises(ConfigurationError):
+            poa_irradiance(pos, ghi, dni, dhi, tilt_deg=30.0, albedo=2.0)
+
+
+class TestCellTemperature:
+    def test_noct_reference_point(self):
+        # At NOCT test conditions the model must return NOCT.
+        t = cell_temperature_noct(np.array([800.0]), np.array([20.0]), noct_c=45.0)
+        assert t[0] == pytest.approx(45.0)
+
+    def test_noct_dark_equals_ambient(self):
+        t = cell_temperature_noct(np.array([0.0]), np.array([12.0]))
+        assert t[0] == pytest.approx(12.0)
+
+    def test_sapm_wind_cools(self):
+        still = cell_temperature_sapm(np.array([800.0]), np.array([20.0]), 0.5)
+        breezy = cell_temperature_sapm(np.array([800.0]), np.array([20.0]), 8.0)
+        assert breezy[0] < still[0]
+
+
+class TestInverter:
+    def test_clipping_at_nameplate(self):
+        inv = InverterModel(ac_rated_w=1000.0)
+        ac = inv.ac_power_w(np.array([5000.0]))
+        assert ac[0] == pytest.approx(1000.0)
+
+    def test_zero_in_zero_out(self):
+        inv = InverterModel(ac_rated_w=1000.0)
+        assert inv.ac_power_w(np.array([0.0]))[0] == 0.0
+
+    def test_part_load_less_efficient(self):
+        inv = InverterModel(ac_rated_w=1000.0)
+        p_dc0 = 1000.0 / 0.96
+        full = inv.ac_power_w(np.array([p_dc0 * 0.75]))[0] / (p_dc0 * 0.75)
+        trickle = inv.ac_power_w(np.array([p_dc0 * 0.02]))[0] / (p_dc0 * 0.02)
+        assert full > trickle
+
+    def test_efficiency_never_above_one(self):
+        inv = InverterModel(ac_rated_w=1000.0)
+        dc = np.linspace(1.0, 3000.0, 500)
+        ac = inv.ac_power_w(dc)
+        assert np.all(ac <= dc + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InverterModel(ac_rated_w=0.0)
+        with pytest.raises(ConfigurationError):
+            InverterModel(ac_rated_w=100.0, nominal_efficiency=1.2)
+
+
+class TestLosses:
+    def test_default_total_near_paper_value(self):
+        # PVWatts default losses ≈ 12–14 %.
+        assert 0.10 < DEFAULT_LOSSES.total_loss_fraction < 0.16
+
+    def test_multiplicative_combination(self):
+        losses = SystemLosses(
+            soiling=0.5, shading=0.5, snow=0.0, mismatch=0.0, wiring=0.0,
+            connections=0.0, light_induced_degradation=0.0, nameplate_rating=0.0,
+            age=0.0, availability=0.0,
+        )
+        assert losses.total_derate == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemLosses(soiling=1.5)
+
+
+class TestPVWatts:
+    @pytest.fixture(scope="class")
+    def berkeley_resource(self):
+        return synthesize_solar_resource(BERKELEY)
+
+    def test_output_linear_in_capacity(self, berkeley_resource):
+        """AC output must scale linearly with nameplate — the property the
+        fast batch evaluator depends on."""
+        small = PVWattsModel(PVWattsParameters(dc_capacity_kw=1000.0)).run(berkeley_resource)
+        large = PVWattsModel(PVWattsParameters(dc_capacity_kw=4000.0)).run(berkeley_resource)
+        assert np.allclose(large.ac_power_w, 4.0 * small.ac_power_w, rtol=1e-9)
+
+    def test_per_kw_profile_matches_model(self, berkeley_resource):
+        per_kw = per_kw_profile(berkeley_resource)
+        direct = PVWattsModel(PVWattsParameters(dc_capacity_kw=1.0)).run(berkeley_resource)
+        assert np.allclose(per_kw, direct.ac_power_w)
+
+    def test_capacity_factor_band(self, berkeley_resource):
+        res = PVWattsModel(PVWattsParameters(dc_capacity_kw=1000.0)).run(berkeley_resource)
+        cf = res.capacity_factor(1000.0)
+        assert 0.14 < cf < 0.23  # realistic fixed-tilt California
+
+    def test_sites_ranked(self):
+        b = PVWattsModel(PVWattsParameters(dc_capacity_kw=1000.0)).run(
+            synthesize_solar_resource(BERKELEY)
+        )
+        h = PVWattsModel(PVWattsParameters(dc_capacity_kw=1000.0)).run(
+            synthesize_solar_resource(HOUSTON)
+        )
+        assert b.capacity_factor(1000.0) > h.capacity_factor(1000.0)
+
+    def test_zero_capacity_zero_output(self, berkeley_resource):
+        res = PVWattsModel(PVWattsParameters(dc_capacity_kw=0.0)).run(berkeley_resource)
+        assert np.all(res.ac_power_w == 0.0)
+
+    def test_night_zero(self, berkeley_resource):
+        res = PVWattsModel(PVWattsParameters(dc_capacity_kw=1000.0)).run(berkeley_resource)
+        assert np.all(res.ac_power_w[0::24] == 0.0)  # local midnight
+
+    def test_temperature_model_choice(self, berkeley_resource):
+        noct = PVWattsModel(
+            PVWattsParameters(dc_capacity_kw=1000.0, temperature_model="noct")
+        ).run(berkeley_resource)
+        sapm = PVWattsModel(
+            PVWattsParameters(dc_capacity_kw=1000.0, temperature_model="sapm")
+        ).run(berkeley_resource)
+        # Different models, same order of magnitude.
+        assert sapm.annual_energy_kwh == pytest.approx(noct.annual_energy_kwh, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PVWattsParameters(dc_capacity_kw=-1.0)
+        with pytest.raises(ConfigurationError):
+            PVWattsParameters(dc_capacity_kw=1.0, dc_ac_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            PVWattsParameters(dc_capacity_kw=1.0, temperature_model="magic")
+        with pytest.raises(ConfigurationError):
+            PVWattsParameters(dc_capacity_kw=1.0, gamma_pdc_per_c=0.01)
+
+
+@given(st.floats(min_value=0.0, max_value=89.0))
+def test_property_haurwitz_bounded_by_solar_constant(zenith):
+    ghi = haurwitz_ghi(np.array([zenith]))[0]
+    assert 0.0 <= ghi <= 1361.0
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1200.0),
+    st.floats(min_value=-10.0, max_value=45.0),
+)
+def test_property_noct_cell_hotter_than_ambient(poa, ambient):
+    t = cell_temperature_noct(np.array([poa]), np.array([ambient]))[0]
+    assert t >= ambient - 1e-9

@@ -1,0 +1,201 @@
+"""Wind model chain: shear, density, power curve, wake, farm model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data import BERKELEY, HOUSTON, synthesize_wind_resource
+from repro.exceptions import ConfigurationError
+from repro.sam.wind.density import (
+    STANDARD_AIR_DENSITY,
+    air_density_kg_m3,
+    density_corrected_speed,
+)
+from repro.sam.wind.powercurve import (
+    GENERIC_3MW_TURBINE,
+    PowerCurve,
+    TurbineSpec,
+    make_turbine,
+)
+from repro.sam.wind.shear import extrapolate_log_law, extrapolate_power_law
+from repro.sam.wind.wake import constant_wake_loss, jensen_array_efficiency
+from repro.sam.wind.windpower import (
+    WindFarmModel,
+    WindFarmParameters,
+    per_turbine_profile,
+)
+
+
+class TestShear:
+    def test_power_law_same_height_identity(self):
+        v = np.array([5.0, 8.0])
+        out = extrapolate_power_law(v, 100.0, 100.0, 0.14)
+        assert np.allclose(out, v)
+
+    def test_power_law_higher_is_windier(self):
+        v = np.array([6.0])
+        assert extrapolate_power_law(v, 50.0, 120.0, 0.14)[0] > 6.0
+
+    def test_log_law_higher_is_windier(self):
+        v = np.array([6.0])
+        assert extrapolate_log_law(v, 50.0, 120.0, 0.03)[0] > 6.0
+
+    def test_log_law_rejects_below_roughness(self):
+        with pytest.raises(ConfigurationError):
+            extrapolate_log_law(np.array([6.0]), 0.01, 100.0, 0.03)
+
+    def test_power_law_validation(self):
+        with pytest.raises(ConfigurationError):
+            extrapolate_power_law(np.array([6.0]), -1.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            extrapolate_power_law(np.array([6.0]), 100.0, 100.0, shear_exponent=0.9)
+
+
+class TestDensity:
+    def test_sea_level_standard(self):
+        rho = air_density_kg_m3(0.0, 15.0)
+        assert rho == pytest.approx(STANDARD_AIR_DENSITY, rel=0.01)
+
+    def test_altitude_thins_air(self):
+        assert air_density_kg_m3(2000.0, 15.0) < air_density_kg_m3(0.0, 15.0)
+
+    def test_heat_thins_air(self):
+        assert air_density_kg_m3(0.0, 40.0) < air_density_kg_m3(0.0, 0.0)
+
+    def test_correction_neutral_at_standard(self):
+        v = np.array([8.0])
+        assert density_corrected_speed(v, STANDARD_AIR_DENSITY)[0] == pytest.approx(8.0)
+
+    def test_thin_air_reduces_effective_speed(self):
+        v = np.array([8.0])
+        assert density_corrected_speed(v, 1.0)[0] < 8.0
+
+    def test_elevation_bounds(self):
+        with pytest.raises(ConfigurationError):
+            air_density_kg_m3(10_000.0)
+
+
+class TestPowerCurve:
+    def test_generic_3mw_anatomy(self):
+        curve = GENERIC_3MW_TURBINE.power_curve
+        assert curve.rated_power_w == pytest.approx(3e6)
+        assert curve.cut_in_ms == pytest.approx(3.5, abs=0.6)
+        assert curve.cut_out_ms == pytest.approx(25.0, abs=0.6)
+
+    def test_zero_below_cut_in(self):
+        curve = GENERIC_3MW_TURBINE.power_curve
+        assert np.all(curve.power_at(np.array([0.0, 1.0, 2.0, 2.9])) == 0.0)
+
+    def test_rated_plateau(self):
+        curve = GENERIC_3MW_TURBINE.power_curve
+        v = np.array([12.0, 15.0, 20.0, 24.0])
+        assert np.allclose(curve.power_at(v), 3e6)
+
+    def test_zero_above_cut_out(self):
+        curve = GENERIC_3MW_TURBINE.power_curve
+        assert curve.power_at(np.array([30.0]))[0] == 0.0
+
+    def test_monotone_below_rated(self):
+        curve = GENERIC_3MW_TURBINE.power_curve
+        v = np.linspace(3.0, 10.5, 50)
+        p = curve.power_at(v)
+        assert np.all(np.diff(p) >= -1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerCurve(np.array([1.0]), np.array([1.0]))  # too short
+        with pytest.raises(ConfigurationError):
+            PowerCurve(np.array([2.0, 1.0]), np.array([0.0, 1.0]))  # not increasing
+        with pytest.raises(ConfigurationError):
+            PowerCurve(np.array([1.0, 2.0]), np.array([0.0, -1.0]))  # negative power
+
+    def test_make_turbine_scales(self):
+        t5 = make_turbine(5000.0)
+        assert t5.rated_power_kw == pytest.approx(5000.0)
+        assert t5.rotor_diameter_m > GENERIC_3MW_TURBINE.rotor_diameter_m
+
+    def test_embodied_footprint_matches_paper(self):
+        assert GENERIC_3MW_TURBINE.embodied_kg_co2 == pytest.approx(1_046_000.0)
+
+
+class TestWake:
+    def test_single_turbine_no_loss(self):
+        assert jensen_array_efficiency(1) == 1.0
+        assert constant_wake_loss(1) == 1.0
+
+    def test_efficiency_decreases_with_count(self):
+        effs = [jensen_array_efficiency(n) for n in range(1, 11)]
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+
+    def test_wider_spacing_less_loss(self):
+        assert jensen_array_efficiency(10, spacing_diameters=10.0) > jensen_array_efficiency(
+            10, spacing_diameters=5.0
+        )
+
+    def test_ten_turbine_loss_realistic(self):
+        eff = jensen_array_efficiency(10)
+        assert 0.90 < eff < 0.99  # typical array losses are 2–10 %
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            jensen_array_efficiency(5, spacing_diameters=0.0)
+        with pytest.raises(ConfigurationError):
+            jensen_array_efficiency(5, thrust_coefficient=1.5)
+        with pytest.raises(ConfigurationError):
+            constant_wake_loss(5, loss_fraction=1.0)
+
+
+class TestWindFarm:
+    @pytest.fixture(scope="class")
+    def houston_resource(self):
+        return synthesize_wind_resource(HOUSTON)
+
+    def test_farm_output_bounded_by_nameplate(self, houston_resource):
+        params = WindFarmParameters(n_turbines=4)
+        res = WindFarmModel(params).run(houston_resource)
+        assert res.ac_power_w.max() <= 4 * 3e6 + 1e-6
+
+    def test_zero_turbines_zero_output(self, houston_resource):
+        res = WindFarmModel(WindFarmParameters(n_turbines=0)).run(houston_resource)
+        assert np.all(res.ac_power_w == 0.0)
+
+    def test_capacity_factor_bands(self, houston_resource):
+        h = WindFarmModel(WindFarmParameters(n_turbines=4)).run(houston_resource)
+        assert 0.32 < h.capacity_factor(12_000.0) < 0.50  # Gulf coast
+        b = WindFarmModel(WindFarmParameters(n_turbines=4)).run(
+            synthesize_wind_resource(BERKELEY)
+        )
+        assert 0.08 < b.capacity_factor(12_000.0) < 0.22  # Bay Area
+
+    def test_per_turbine_profile_composition(self, houston_resource):
+        """farm(n) == per_turbine × n × wake_eff(n) × 1 (availability in both)."""
+        per = per_turbine_profile(houston_resource)
+        farm = WindFarmModel(WindFarmParameters(n_turbines=6)).run(houston_resource)
+        expected = per * 6 * jensen_array_efficiency(6)
+        assert np.allclose(farm.ac_power_w, expected, rtol=1e-9)
+
+    def test_wake_model_none(self, houston_resource):
+        waked = WindFarmModel(WindFarmParameters(n_turbines=6)).run(houston_resource)
+        free = WindFarmModel(
+            WindFarmParameters(n_turbines=6, wake_model="none")
+        ).run(houston_resource)
+        assert free.annual_energy_kwh > waked.annual_energy_kwh
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WindFarmParameters(n_turbines=-1)
+        with pytest.raises(ConfigurationError):
+            WindFarmParameters(n_turbines=1, availability=0.0)
+        with pytest.raises(ConfigurationError):
+            WindFarmParameters(n_turbines=1, wake_model="voodoo")
+
+
+@given(st.floats(min_value=0.0, max_value=40.0))
+def test_property_power_curve_bounded(speed):
+    p = GENERIC_3MW_TURBINE.power_curve.power_at(np.array([speed]))[0]
+    assert 0.0 <= p <= 3e6
+
+
+@given(st.integers(min_value=1, max_value=50))
+def test_property_wake_efficiency_in_unit_interval(n):
+    assert 0.0 < jensen_array_efficiency(n) <= 1.0

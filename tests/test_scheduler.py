@@ -1,0 +1,158 @@
+"""Carbon-aware batch scheduling (repro.cosim.scheduler)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cosim import Actor, ConstantSignal, Microgrid, TraceSignal
+from repro.cosim.scheduler import (
+    BatchJob,
+    CarbonAwareBatchScheduler,
+    FlexibleLoad,
+    run_at_release_schedule,
+)
+from repro.exceptions import ConfigurationError
+from repro.timeseries import TimeSeries
+
+HOUR = 3600.0
+
+
+def ci_signal(values):
+    return TraceSignal(TimeSeries(np.asarray(values, float), step_s=HOUR), wrap=True)
+
+
+def microgrid_with(flex):
+    return Microgrid(actors=[flex, Actor("gen", ConstantSignal(0.0))])
+
+
+def drive(scheduler, microgrid, hours):
+    served = []
+    for i in range(hours):
+        scheduler.on_step(microgrid, i * HOUR, HOUR)
+        served.append(microgrid.step(i * HOUR, HOUR).consumption_w)
+    return np.array(served)
+
+
+class TestBatchJob:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchJob("j", energy_wh=0.0, release_hour=0, deadline_hour=4, max_power_w=10)
+        with pytest.raises(ConfigurationError):
+            BatchJob("j", energy_wh=10, release_hour=4, deadline_hour=2, max_power_w=10)
+        with pytest.raises(ConfigurationError):
+            # 100 Wh in a 2 h window at 10 W max → infeasible.
+            BatchJob("j", energy_wh=100, release_hour=0, deadline_hour=2, max_power_w=10)
+
+    def test_urgency_floor_rises_as_deadline_nears(self):
+        job = BatchJob("j", energy_wh=40.0, release_hour=0, deadline_hour=8, max_power_w=10.0)
+        early = job.urgency_power_w(0.0)   # 8 h slack for 4 h of work
+        late = job.urgency_power_w(5.0)    # 3 h slack for 4 h of work → must run
+        assert late > early
+        assert late == pytest.approx(10.0, abs=1e-6) or late > 9.0
+
+    def test_not_urgent_before_release(self):
+        job = BatchJob("j", energy_wh=10.0, release_hour=5, deadline_hour=10, max_power_w=10.0)
+        assert job.urgency_power_w(2.0) == 0.0
+
+
+class TestScheduler:
+    def test_jobs_complete_by_deadline_under_dirty_grid(self):
+        """Even with always-dirty power, the EDF floor finishes every job."""
+        flex = FlexibleLoad()
+        jobs = [
+            BatchJob("a", energy_wh=30_000.0, release_hour=0, deadline_hour=10,
+                     max_power_w=5_000.0),
+            BatchJob("b", energy_wh=20_000.0, release_hour=4, deadline_hour=12,
+                     max_power_w=5_000.0),
+        ]
+        sched = CarbonAwareBatchScheduler(flex, jobs, ci_signal([900.0] * 24),
+                                          ci_threshold_g_per_kwh=100.0)
+        mg = microgrid_with(flex)
+        drive(sched, mg, 14)
+        assert sched.all_finished()
+        assert not sched.missed_deadlines(14.0)
+
+    def test_runs_eagerly_under_clean_grid(self):
+        flex = FlexibleLoad()
+        jobs = [BatchJob("a", energy_wh=10_000.0, release_hour=0, deadline_hour=24,
+                         max_power_w=5_000.0)]
+        sched = CarbonAwareBatchScheduler(flex, jobs, ci_signal([50.0] * 24),
+                                          ci_threshold_g_per_kwh=100.0)
+        mg = microgrid_with(flex)
+        served = drive(sched, mg, 24)
+        # Clean from hour 0 → job done in the first 2 hours at max power.
+        assert served[0] == pytest.approx(5_000.0)
+        assert served[1] == pytest.approx(5_000.0)
+        assert served[2] == 0.0
+
+    def test_waits_for_clean_window(self):
+        """Dirty morning, clean afternoon: the job shifts to the afternoon."""
+        ci = [800.0] * 12 + [50.0] * 12
+        flex = FlexibleLoad()
+        jobs = [BatchJob("a", energy_wh=10_000.0, release_hour=0, deadline_hour=24,
+                         max_power_w=5_000.0)]
+        sched = CarbonAwareBatchScheduler(flex, jobs, ci_signal(ci),
+                                          ci_threshold_g_per_kwh=100.0)
+        mg = microgrid_with(flex)
+        served = drive(sched, mg, 24)
+        assert served[:10].sum() == pytest.approx(0.0)  # waits (no urgency yet)
+        assert served[12:].sum() > 0.0
+        assert sched.all_finished()
+
+    def test_carbon_aware_beats_run_at_release(self):
+        """The §4.3 claim: shifting into clean hours cuts attributed CO2."""
+        ci = np.array(([700.0] * 12 + [80.0] * 12) * 3, dtype=float)
+        def make_jobs():
+            return [
+                BatchJob(f"j{k}", energy_wh=15_000.0, release_hour=2 + 12 * k,
+                         deadline_hour=2 + 12 * k + 30, max_power_w=5_000.0)
+                for k in range(3)
+            ]
+
+        flex = FlexibleLoad()
+        sched = CarbonAwareBatchScheduler(flex, make_jobs(), ci_signal(ci),
+                                          ci_threshold_g_per_kwh=150.0)
+        mg = microgrid_with(flex)
+        drive(sched, mg, len(ci))
+        assert sched.all_finished()
+
+        naive_kg = run_at_release_schedule(make_jobs(), ci)
+        assert sched.emissions_proxy_kg < 0.6 * naive_kg
+
+    def test_energy_conservation(self):
+        flex = FlexibleLoad()
+        jobs = [BatchJob("a", energy_wh=12_345.0, release_hour=0, deadline_hour=20,
+                         max_power_w=2_000.0)]
+        sched = CarbonAwareBatchScheduler(flex, jobs, ci_signal([50.0] * 24),
+                                          ci_threshold_g_per_kwh=100.0)
+        mg = microgrid_with(flex)
+        served = drive(sched, mg, 24)
+        assert served.sum() == pytest.approx(12_345.0, rel=1e-9)
+        assert sched.scheduled_energy_wh == pytest.approx(12_345.0, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CarbonAwareBatchScheduler(FlexibleLoad(), [], ConstantSignal(0.0), -1.0)
+
+
+@given(
+    energy_kwh=st.floats(min_value=1.0, max_value=40.0),
+    window_h=st.integers(min_value=10, max_value=48),
+    release=st.integers(min_value=0, max_value=12),
+    dirty_hours=st.integers(min_value=0, max_value=48),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_deadlines_always_met(energy_kwh, window_h, release, dirty_hours):
+    """For any feasible job and any CI pattern, the deadline is met."""
+    max_power = 5_000.0
+    energy_wh = min(energy_kwh * 1_000.0, max_power * window_h)
+    job = BatchJob("p", energy_wh=energy_wh, release_hour=release,
+                   deadline_hour=release + window_h, max_power_w=max_power)
+    ci = np.array([900.0] * dirty_hours + [50.0] * 96)
+    flex = FlexibleLoad()
+    sched = CarbonAwareBatchScheduler(flex, [job], ci_signal(ci), 100.0)
+    mg = microgrid_with(flex)
+    for i in range(release + window_h + 1):
+        sched.on_step(mg, i * HOUR, HOUR)
+        mg.step(i * HOUR, HOUR)
+    assert job.finished

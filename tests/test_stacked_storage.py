@@ -1,0 +1,114 @@
+"""StackedStorage: battery + long-duration tier composition."""
+
+import pytest
+
+from repro.cosim import (
+    Actor,
+    CLCBattery,
+    ConstantSignal,
+    IdealBattery,
+    LongDurationStorage,
+    Microgrid,
+    StackedStorage,
+)
+from repro.exceptions import ConfigurationError
+
+HOUR = 3600.0
+
+
+def stack(batt_wh=1_000.0, ldes_wh=10_000.0):
+    battery = IdealBattery(capacity_wh=batt_wh, initial_soc=0.0)
+    ldes = LongDurationStorage(
+        capacity_wh=ldes_wh, charge_power_w=500.0, discharge_power_w=500.0,
+        eta_charge=1.0, eta_discharge=1.0, initial_soc=0.0,
+    )
+    return StackedStorage([battery, ldes]), battery, ldes
+
+
+class TestDispatchOrder:
+    def test_charge_fills_first_tier_first(self):
+        s, battery, ldes = stack()
+        s.update(800.0, HOUR)
+        assert battery.energy_wh == pytest.approx(800.0)
+        assert ldes.energy_wh == 0.0
+
+    def test_charge_overflows_to_second_tier(self):
+        s, battery, ldes = stack(batt_wh=1_000.0)
+        accepted = s.update(1_400.0, HOUR)
+        assert battery.energy_wh == pytest.approx(1_000.0)
+        assert ldes.energy_wh == pytest.approx(400.0)
+        assert accepted == pytest.approx(1_400.0)
+
+    def test_second_tier_power_limit_respected(self):
+        s, battery, ldes = stack(batt_wh=1_000.0)
+        accepted = s.update(5_000.0, HOUR)
+        # battery takes 1000, LDES capped at 500 W.
+        assert accepted == pytest.approx(1_500.0)
+
+    def test_discharge_drains_first_tier_first(self):
+        s, battery, ldes = stack()
+        s.update(1_400.0, HOUR)  # battery 1000, ldes 400
+        delivered = -s.update(-600.0, HOUR)
+        assert delivered == pytest.approx(600.0)
+        assert battery.energy_wh == pytest.approx(400.0)
+        assert ldes.energy_wh == pytest.approx(400.0)
+
+    def test_discharge_cascades(self):
+        s, battery, ldes = stack()
+        s.update(1_400.0, HOUR)
+        delivered = -s.update(-1_300.0, HOUR)
+        # battery gives 1000, LDES gives 300 (within its 500 W limit)
+        assert delivered == pytest.approx(1_300.0)
+        assert ldes.energy_wh == pytest.approx(100.0)
+
+
+class TestAggregates:
+    def test_capacity_and_soc(self):
+        s, battery, ldes = stack(batt_wh=1_000.0, ldes_wh=9_000.0)
+        assert s.capacity_wh == pytest.approx(10_000.0)
+        s.update(2_000.0, HOUR)  # 1000 battery (full) + 500 LDES (limit)
+        assert s.energy_wh == pytest.approx(1_500.0)
+        assert s.soc() == pytest.approx(0.15)
+
+    def test_reset(self):
+        s, battery, ldes = stack()
+        s.update(1_400.0, HOUR)
+        s.reset()
+        assert s.energy_wh == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StackedStorage([])
+
+
+class TestInMicrogrid:
+    def test_microgrid_balance_with_stack(self):
+        """The stack plugs into a microgrid without policy changes."""
+        s, _, _ = stack()
+        mg = Microgrid(
+            actors=[
+                Actor("gen", ConstantSignal(2_000.0)),
+                Actor("load", ConstantSignal(1_000.0), is_consumer=True),
+            ],
+            storage=s,
+        )
+        r = mg.step(0.0, HOUR)
+        # 1000 surplus → battery absorbs 1000 (first tier headroom).
+        assert r.storage_charge_w == pytest.approx(1_000.0)
+        assert r.grid_export_w == pytest.approx(0.0)
+
+    def test_long_lull_served_by_ldes(self):
+        """Battery covers the first hour of a lull, LDES the long tail —
+        the §3.3 hydrogen/pumped-hydro use case."""
+        battery = CLCBattery(capacity_wh=2_000.0, initial_soc=0.95)
+        ldes = LongDurationStorage(
+            capacity_wh=50_000.0, charge_power_w=1_000.0, discharge_power_w=1_000.0,
+            initial_soc=0.9,
+        )
+        mg = Microgrid(
+            actors=[Actor("load", ConstantSignal(1_000.0), is_consumer=True)],
+            storage=StackedStorage([battery, ldes]),
+        )
+        imports = [mg.step(i * HOUR, HOUR).grid_import_w for i in range(24)]
+        # The stack keeps the site off-grid for many hours.
+        assert sum(1 for p in imports if p < 1e-6) >= 20

@@ -1,0 +1,87 @@
+"""Coverage for remaining corners: tariffs, inverter diagnostics,
+grid-sampler ordering, study callbacks, PVWatts result helpers."""
+
+import numpy as np
+import pytest
+
+from repro.blackbox import GridSampler, RandomSampler, create_study
+from repro.data.tariffs import CAISO_TOU, ERCOT_TOU, TouTariff, tou_tariff_for
+from repro.exceptions import ConfigurationError
+from repro.sam.solar.inverter import InverterModel
+
+
+class TestTariffs:
+    def test_lookup(self):
+        assert tou_tariff_for("caiso") is CAISO_TOU
+        assert tou_tariff_for("ERCOT") is ERCOT_TOU
+        with pytest.raises(ConfigurationError):
+            tou_tariff_for("PJM")
+
+    def test_price_by_hour_structure(self):
+        prices = CAISO_TOU.price_by_hour_of_day()
+        assert prices.shape == (24,)
+        # Off-peak at night, on-peak in the evening window.
+        assert prices[2] == CAISO_TOU.off_peak_usd_kwh
+        assert prices[18] == CAISO_TOU.on_peak_usd_kwh
+        assert prices[10] == CAISO_TOU.mid_peak_usd_kwh
+
+    def test_hourly_prices_tile(self):
+        prices = CAISO_TOU.hourly_prices(50)
+        assert prices.shape == (50,)
+        assert prices[0] == prices[24]
+        assert prices[2] == prices[26]
+
+    def test_caiso_pricier_than_ercot(self):
+        assert CAISO_TOU.price_by_hour_of_day().mean() > ERCOT_TOU.price_by_hour_of_day().mean()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TouTariff("bad", off_peak_usd_kwh=0.3, mid_peak_usd_kwh=0.2,
+                      on_peak_usd_kwh=0.1)
+        with pytest.raises(ConfigurationError):
+            TouTariff("bad", off_peak_usd_kwh=0.1, mid_peak_usd_kwh=0.2,
+                      on_peak_usd_kwh=0.3, on_peak_hours=((20, 30),))
+
+
+class TestInverterDiagnostics:
+    def test_clipping_fraction(self):
+        inv = InverterModel(ac_rated_w=1_000.0)
+        dc = np.array([0.0, 500.0, 2_000.0, 3_000.0])
+        frac = inv.clipping_fraction(dc)
+        # 3 producing samples, 2 clip.
+        assert frac == pytest.approx(2.0 / 3.0)
+
+    def test_clipping_fraction_no_production(self):
+        inv = InverterModel(ac_rated_w=1_000.0)
+        assert inv.clipping_fraction(np.zeros(5)) == 0.0
+
+
+class TestGridSamplerOrdering:
+    def test_point_enumeration_row_major(self):
+        g = GridSampler({"a": [0, 1], "b": [10, 20, 30]})
+        points = [g.point(i) for i in range(len(g))]
+        assert points[0] == {"a": 0, "b": 10}
+        assert points[1] == {"a": 0, "b": 20}
+        assert points[3] == {"a": 1, "b": 10}
+        assert len({tuple(sorted(p.items())) for p in points}) == 6
+
+    def test_point_wraps_modulo(self):
+        g = GridSampler({"a": [0, 1]})
+        assert g.point(2) == g.point(0)
+
+
+class TestStudyCallbacks:
+    def test_callbacks_invoked_per_trial(self):
+        seen = []
+        study = create_study(direction="minimize", sampler=RandomSampler(seed=0))
+        study.optimize(
+            lambda t: t.suggest_float("x", 0, 1),
+            n_trials=5,
+            callbacks=[lambda s, t: seen.append(t.number)],
+        )
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_minimized_values_sign_handling(self):
+        study = create_study(directions=["minimize", "maximize"])
+        arr = study.minimized_values([(1.0, 2.0), (3.0, 4.0)])
+        assert np.allclose(arr, [[1.0, -2.0], [3.0, -4.0]])

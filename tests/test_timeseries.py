@@ -1,0 +1,169 @@
+"""TimeSeries container behaviour (repro.timeseries)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import DataError
+from repro.timeseries import HourOfYearIndex, TimeSeries, hourly_times_s
+
+
+def make(values, step=3600.0, start=0.0):
+    return TimeSeries(np.asarray(values, dtype=float), step_s=step, start_s=start, name="t")
+
+
+class TestConstruction:
+    def test_values_coerced_to_float64_contiguous(self):
+        ts = make([1, 2, 3])
+        assert ts.values.dtype == np.float64
+        assert ts.values.flags["C_CONTIGUOUS"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            make([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataError):
+            TimeSeries(np.zeros((2, 2)))
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(DataError):
+            make([1.0], step=0.0)
+
+    def test_span_properties(self):
+        ts = make([1, 2, 3, 4], step=1800.0, start=100.0)
+        assert ts.end_s == pytest.approx(100.0 + 4 * 1800.0)
+        assert ts.duration_s == pytest.approx(4 * 1800.0)
+        assert len(ts) == 4
+
+
+class TestLookup:
+    def test_at_left_labelled(self):
+        ts = make([10.0, 20.0, 30.0])
+        assert ts.at(0.0) == 10.0
+        assert ts.at(3599.9) == 10.0
+        assert ts.at(3600.0) == 20.0
+
+    def test_at_out_of_range_raises(self):
+        ts = make([1.0, 2.0])
+        with pytest.raises(DataError):
+            ts.at(-0.1)
+        with pytest.raises(DataError):
+            ts.at(2 * 3600.0)
+
+    def test_interp_midpoint(self):
+        ts = make([0.0, 10.0])
+        # centers at 1800 and 5400; midpoint 3600 → 5.0
+        assert ts.interp(3600.0) == pytest.approx(5.0)
+
+    def test_times_s(self):
+        ts = make([1, 2, 3], step=60.0, start=5.0)
+        assert np.allclose(ts.times_s, [5.0, 65.0, 125.0])
+
+
+class TestBulkOps:
+    def test_total_energy_hourly(self):
+        # 1 kW for 3 hours = 3 kWh = 3000 Wh.
+        ts = make([1000.0, 1000.0, 1000.0])
+        assert ts.total_energy_wh() == pytest.approx(3000.0)
+
+    def test_total_energy_subhourly(self):
+        # 1 kW in 15-min samples: 4 samples = 1 kWh.
+        ts = make([1000.0] * 4, step=900.0)
+        assert ts.total_energy_wh() == pytest.approx(1000.0)
+
+    def test_downsample_preserves_energy(self):
+        ts = make([1.0, 3.0, 5.0, 7.0], step=900.0)
+        coarse = ts.resample(1800.0)
+        assert coarse.total_energy_wh() == pytest.approx(ts.total_energy_wh())
+        assert np.allclose(coarse.values, [2.0, 6.0])
+
+    def test_upsample_repeats(self):
+        ts = make([2.0, 4.0])
+        fine = ts.resample(1800.0)
+        assert np.allclose(fine.values, [2.0, 2.0, 4.0, 4.0])
+        assert fine.total_energy_wh() == pytest.approx(ts.total_energy_wh())
+
+    def test_resample_same_step_copies(self):
+        ts = make([1.0, 2.0])
+        same = ts.resample(3600.0)
+        same.values[0] = 99.0
+        assert ts.values[0] == 1.0
+
+    def test_resample_non_integer_ratio_raises(self):
+        ts = make([1.0, 2.0])
+        with pytest.raises(DataError):
+            ts.resample(2500.0)
+
+    def test_slice(self):
+        ts = make([0.0, 1.0, 2.0, 3.0])
+        sub = ts.slice(3600.0, 3 * 3600.0)
+        assert np.allclose(sub.values, [1.0, 2.0])
+        assert sub.start_s == pytest.approx(3600.0)
+
+    def test_map_and_scale(self):
+        ts = make([1.0, -2.0])
+        assert np.allclose(ts.map(np.abs).values, [1.0, 2.0])
+        assert np.allclose(ts.scale(3.0).values, [3.0, -6.0])
+
+
+class TestArithmetic:
+    def test_add_aligned(self):
+        a, b = make([1.0, 2.0]), make([10.0, 20.0])
+        assert np.allclose((a + b).values, [11.0, 22.0])
+
+    def test_sub_aligned(self):
+        a, b = make([5.0, 5.0]), make([2.0, 3.0])
+        assert np.allclose((a - b).values, [3.0, 2.0])
+
+    def test_misaligned_raises(self):
+        a = make([1.0, 2.0])
+        b = make([1.0, 2.0], start=3600.0)
+        with pytest.raises(DataError):
+            _ = a + b
+
+
+class TestHourOfYearIndex:
+    def test_wraps_across_years(self):
+        idx = HourOfYearIndex()
+        t = (8760 + 5) * 3600.0
+        assert idx.hour_of_year(t) == pytest.approx(5.0)
+
+    def test_day_of_year_starts_at_one(self):
+        idx = HourOfYearIndex()
+        assert idx.day_of_year(0.0) == pytest.approx(1.0)
+        assert idx.day_of_year(23 * 3600.0) == pytest.approx(1.0)
+        assert idx.day_of_year(24 * 3600.0) == pytest.approx(2.0)
+
+    def test_hour_of_day(self):
+        idx = HourOfYearIndex()
+        assert idx.hour_of_day(25 * 3600.0) == pytest.approx(1.0)
+
+
+class TestHourlyTimes:
+    def test_shape_and_step(self):
+        t = hourly_times_s(48)
+        assert t.shape == (48,)
+        assert np.allclose(np.diff(t), 3600.0)
+
+
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=4, max_size=64),
+)
+def test_property_downsample_energy_conserved(values):
+    """Downsampling by 2 preserves integrated energy for any series."""
+    n = len(values) - len(values) % 2
+    if n < 2:
+        return
+    ts = make(values[:n], step=900.0)
+    coarse = ts.resample(1800.0)
+    assert coarse.total_energy_wh() == pytest.approx(ts.total_energy_wh(), rel=1e-9, abs=1e-6)
+
+
+@given(st.floats(min_value=0.0, max_value=364.999), st.integers(min_value=0, max_value=5))
+def test_property_piecewise_constant_lookup(day_frac, year):
+    """at() always returns the sample covering the queried instant."""
+    values = np.arange(365.0)
+    ts = TimeSeries(values, step_s=86_400.0)
+    t = day_frac * 86_400.0
+    assert ts.at(t) == values[int(day_frac)]
