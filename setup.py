@@ -1,10 +1,53 @@
-"""Legacy setup shim.
+"""Packaging for the ``repro`` reproduction package.
 
-The offline environment lacks the ``wheel`` package, so PEP 517 editable
-installs fail; this shim lets ``pip install -e .`` fall back to
-``setup.py develop``.  All metadata lives in pyproject.toml.
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) on purpose: PEP 517
+build isolation needs network access (to fetch setuptools/wheel) and
+PEP 660 editable builds need the ``wheel`` package, neither of which the
+offline environment has.
+
+Three equivalent ways to use the package (documented in README.md):
+
+* ``pip install -e .`` — where pip can build editables (needs ``wheel``);
+* ``python setup.py develop`` — same effect, works fully offline with
+  nothing but setuptools (installs the ``repro`` console script too);
+* ``PYTHONPATH=src`` — run from the tree with no install at all.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+HERE = Path(__file__).resolve().parent
+
+# Single-source the version from the package (without importing it, so
+# setup.py works before dependencies are present).
+VERSION = re.search(
+    r'^__version__\s*=\s*"([^"]+)"',
+    (HERE / "src" / "repro" / "__init__.py").read_text(encoding="utf-8"),
+    re.MULTILINE,
+).group(1)
+
+setup(
+    name="repro-microgrid",
+    version=VERSION,
+    description=(
+        "Reproduction of 'Optimizing Microgrid Composition for Sustainable "
+        "Data Centers' (Irion, Wiesner, Bader & Kao, SC Workshops '25)"
+    ),
+    long_description=(HERE / "README.md").read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Physics",
+    ],
+)

@@ -11,7 +11,8 @@ The package rebuilds the paper's full stack from scratch:
   the WIND Toolkit, the Perlmutter power trace, and Electricity Maps
   carbon intensity (see DESIGN.md for the substitution rationale);
 * :mod:`repro.blackbox` — an Optuna-style black-box optimizer with an
-  NSGA-II multi-objective sampler;
+  NSGA-II multi-objective sampler, journaled/resumable study storage
+  (DESIGN.md §3) and process-parallel trial execution (DESIGN.md §4);
 * :mod:`repro.confsys` — a Hydra-style YAML config + sweep system;
 * :mod:`repro.core` — the paper's contribution: microgrid-composition
   optimization trading off embodied vs operational carbon;

@@ -12,7 +12,18 @@ reimplements the subset of Optuna's API the paper exercises:
 * Pareto utilities (non-dominated sorting, crowding distance,
   hypervolume) shared with :mod:`repro.core.pareto`,
 * a median pruner for the "dynamic pruning / early stopping" future-work
-  hook (§4.4).
+  hook (§4.4),
+* **study persistence** (:mod:`repro.blackbox.storage`, DESIGN.md §3) —
+  ``create_study(storage=..., load_if_exists=True)`` resumes a killed
+  study from an append-only journal,
+* **parallel trial execution** (:mod:`repro.blackbox.parallel`,
+  DESIGN.md §4) — :class:`ParallelStudyRunner` fans independent trials
+  out across processes with deterministic per-trial RNG seeding.
+
+Storage-aware APIs: ``create_study`` / ``Study.ask`` / ``Study.tell``
+(record through a backend), ``ParallelStudyRunner`` (journals batches as
+they complete).  Samplers, pruners, and distributions are pure
+strategies and never touch storage themselves.
 """
 
 from .distributions import (
@@ -32,8 +43,15 @@ from .pruners import MedianPruner, NopPruner
 from .samplers import GridSampler, NSGA2Sampler, RandomSampler, ScalarizationSampler, TPESampler
 from .study import Study, StudyDirection, create_study
 from .trial import FrozenTrial, Trial, TrialState
+from .storage import InMemoryStorage, JournalStorage, StoredStudy, StudyStorage
+from .parallel import ParallelStudyRunner
 
 __all__ = [
+    "StudyStorage",
+    "StoredStudy",
+    "InMemoryStorage",
+    "JournalStorage",
+    "ParallelStudyRunner",
     "Distribution",
     "FloatDistribution",
     "IntDistribution",

@@ -129,6 +129,46 @@ class IntDistribution(Distribution):
         return self._snap(float(value) + jump)
 
 
+def distribution_to_dict(dist: Distribution) -> dict[str, Any]:
+    """JSON-ready encoding of a distribution (storage layer, DESIGN.md §3)."""
+    if isinstance(dist, FloatDistribution):
+        return {
+            "type": "float",
+            "low": dist.low,
+            "high": dist.high,
+            "step": dist.step,
+            "log": dist.log,
+        }
+    if isinstance(dist, IntDistribution):
+        return {"type": "int", "low": dist.low, "high": dist.high, "step": dist.step}
+    if isinstance(dist, CategoricalDistribution):
+        return {"type": "categorical", "choices": list(dist.choices)}
+    raise OptimizationError(f"cannot serialize distribution {dist!r}")
+
+
+def distribution_from_dict(data: dict[str, Any]) -> Distribution:
+    """Inverse of :func:`distribution_to_dict`.
+
+    Categorical choices round-trip through JSON, so non-JSON choice types
+    (e.g. tuples) come back as their JSON equivalents (lists).
+    """
+    kind = data.get("type")
+    if kind == "float":
+        return FloatDistribution(
+            float(data["low"]),
+            float(data["high"]),
+            step=None if data.get("step") is None else float(data["step"]),
+            log=bool(data.get("log", False)),
+        )
+    if kind == "int":
+        return IntDistribution(
+            int(data["low"]), int(data["high"]), step=int(data.get("step", 1))
+        )
+    if kind == "categorical":
+        return CategoricalDistribution(data["choices"])
+    raise OptimizationError(f"unknown serialized distribution type {kind!r}")
+
+
 @dataclass(frozen=True)
 class CategoricalDistribution(Distribution):
     """Finite unordered set of choices."""

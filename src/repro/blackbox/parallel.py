@@ -1,0 +1,203 @@
+"""Parallel trial execution: fan independent trials out across processes.
+
+The paper's search "parallelize[s] ... across a cluster of compute
+nodes" through Hydra; the co-simulated sweep it replaces took >24 h
+serially.  :class:`ParallelStudyRunner` is the process-level equivalent
+(DESIGN.md §4): it reuses :mod:`repro.confsys.launcher`'s worker-pool
+machinery to evaluate a *batch* of independent trials concurrently
+while keeping all **sampling in the parent process**, so results are
+bit-identical regardless of worker count or scheduling.
+
+Determinism contract:
+
+* Parameters are suggested in the parent, in trial order, from the
+  study's declared search space — workers only ever see a plain params
+  dict and return objective values.
+* The sampler is switched to deterministic per-trial RNG streams
+  (:meth:`repro.blackbox.samplers.base.Sampler.begin_trial`, seeded via
+  :func:`repro.rng.seed_for`), so the draw for trial *n* depends only on
+  the sampler seed, the trial number, and the completed-trial history —
+  not on wall-clock interleaving.
+* Batches default to the sampler's ``population_size``, which makes one
+  batch one NSGA-II generation: the sampler only consults *completed*
+  trials when breeding, so generation-batched evaluation is semantically
+  identical to the serial generational loop.
+
+The runner composes with storage (DESIGN.md §3): give the study a
+:class:`~repro.blackbox.storage.StudyStorage` and every batch is
+journaled as it completes, making a killed parallel run resumable.
+
+The objective must be picklable (a module-level function, or an
+instance of a module-level class such as
+:class:`repro.core.study_runner.CompositionObjective`) and maps a params
+dict to a float or a sequence of floats.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from typing import Any, Callable, Sequence
+
+from ..exceptions import OptimizationError, TrialPruned
+from .distributions import Distribution
+from .study import Study
+from .trial import TrialState
+
+ParamsObjective = Callable[[dict[str, Any]], "float | Sequence[float]"]
+
+
+def _evaluate_trial_chunk(
+    job: tuple[ParamsObjective, list[dict[str, Any]]]
+) -> list[tuple[str, Any]]:
+    """Worker-side shim: run one objective over a chunk of trials.
+
+    Jobs carry a *chunk* of params dicts rather than one, so the
+    objective — which may embed a full scenario — is pickled once per
+    worker chunk instead of once per trial.
+
+    Each outcome is returned as ``(tag, payload)`` data instead of
+    raising, which keeps one failed trial from tearing down the whole
+    pool; the parent re-raises uncaught exceptions after recording the
+    trial as FAILED.  An exception is shipped back as a live object only
+    if it survives a pickle round trip *here in the worker* — an
+    exception that pickles but fails to reconstruct (e.g. a multi-arg
+    ``__init__`` calling ``super().__init__`` with one argument) would
+    otherwise kill the pool's result-handler thread and hang the parent
+    forever.  Anything that doesn't round-trip degrades to an
+    :class:`OptimizationError` carrying the original type, message, and
+    traceback text.
+    """
+    objective, params_chunk = job
+    outcomes: list[tuple[str, Any]] = []
+    for params in params_chunk:
+        try:
+            outcomes.append(("ok", objective(params)))
+        except TrialPruned:
+            outcomes.append(("pruned", None))
+        except Exception as exc:  # noqa: BLE001 - transported to the parent
+            try:
+                pickle.loads(pickle.dumps(exc))
+                outcomes.append(("error", exc))
+            except Exception:
+                outcomes.append(
+                    (
+                        "error",
+                        OptimizationError(
+                            f"objective raised unpicklable {type(exc).__name__}: "
+                            f"{exc}\noriginal traceback:\n{traceback.format_exc()}"
+                        ),
+                    )
+                )
+    return outcomes
+
+
+class ParallelStudyRunner:
+    """Drives a study by evaluating batches of trials across processes.
+
+    Parameters
+    ----------
+    study:
+        The (possibly storage-backed) study to drive.
+    space:
+        Declared search space ``{name: Distribution}``.  Unlike the pure
+        define-by-run loop, parallel execution needs parameters
+        materialized *before* the objective runs, so the space is given
+        up front (exactly how ``ParameterSpace.suggest`` declares it).
+    launcher:
+        A :class:`~repro.confsys.launcher.SerialLauncher` or
+        :class:`~repro.confsys.launcher.MultiprocessingLauncher`;
+        defaults to serial (same code path, no processes).
+    batch_size:
+        Trials evaluated concurrently per round.  Defaults to the
+        sampler's ``population_size`` (one NSGA-II generation) or the
+        launcher's worker count.
+    """
+
+    def __init__(
+        self,
+        study: Study,
+        space: dict[str, Distribution],
+        launcher=None,
+        batch_size: int | None = None,
+    ) -> None:
+        if not space:
+            raise OptimizationError("parallel execution needs a declared search space")
+        if batch_size is not None and batch_size < 1:
+            raise OptimizationError("batch_size must be >= 1")
+        # Local import keeps repro.blackbox importable before repro.confsys
+        # finishes initializing (confsys.sweeper imports blackbox.study).
+        from ..confsys.launcher import SerialLauncher
+
+        self.study = study
+        self.space = dict(space)
+        self.launcher = launcher if launcher is not None else SerialLauncher()
+        self.batch_size = (
+            batch_size
+            or getattr(study.sampler, "population_size", None)
+            or getattr(self.launcher, "n_workers", 1)
+        )
+
+    def optimize(
+        self,
+        objective: ParamsObjective,
+        n_trials: int,
+        catch: tuple[type[Exception], ...] = (),
+    ) -> Study:
+        """Evaluate trials in launcher-sized batches up to ``n_trials`` total.
+
+        Mirrors ``Study.optimize`` semantics: ``TrialPruned`` marks the
+        trial PRUNED, exceptions in ``catch`` mark it FAILED, anything
+        else is recorded as FAILED and re-raised in the parent.
+
+        ``n_trials`` is the study's *total* trial target: on a study
+        reloaded via ``create_study(load_if_exists=True)`` only the
+        missing trials run.  As in ``run_blackbox``, a trailing partial
+        batch of loaded trials (a generation interrupted mid-journal) is
+        discarded and re-run under the same trial numbers, so a resumed
+        run sees exactly the batch-boundary history an uninterrupted run
+        sees (DESIGN.md §3).
+        """
+        if n_trials <= 0:
+            raise OptimizationError(f"n_trials must be positive, got {n_trials}")
+        sampler = self.study.sampler
+        prior_seeding = sampler.per_trial_seeding
+        # Worker scheduling must never perturb sampling: pin every trial
+        # to its own deterministic RNG stream for the duration of the
+        # run (restored afterwards — the sampler is the caller's).
+        sampler.per_trial_seeding = True
+        try:
+            if len(self.study.trials) < n_trials:
+                self.study.drop_trailing_partial_batch(self.batch_size)
+            remaining = max(n_trials - len(self.study.trials), 0)
+            while remaining > 0:
+                k = min(self.batch_size, remaining)
+                trials = [self.study.ask() for _ in range(k)]
+                for trial in trials:
+                    for name, dist in self.space.items():
+                        trial._suggest(name, dist)
+                outcomes = self._launch_batch(objective, trials)
+                for trial, (tag, payload) in zip(trials, outcomes):
+                    if tag == "ok":
+                        self.study.tell(trial, payload)
+                    elif tag == "pruned":
+                        self.study.tell(trial, state=TrialState.PRUNED)
+                    else:
+                        self.study.tell(trial, state=TrialState.FAILED)
+                        if not (catch and isinstance(payload, catch)):
+                            raise payload
+                remaining -= k
+        finally:
+            sampler.per_trial_seeding = prior_seeding
+        return self.study
+
+    def _launch_batch(self, objective: ParamsObjective, trials) -> list[tuple[str, Any]]:
+        """Fan one batch out in per-worker chunks (order-preserving)."""
+        from ..confsys.launcher import chunk_evenly
+
+        params = [dict(t.params) for t in trials]
+        chunks = chunk_evenly(params, getattr(self.launcher, "n_workers", 1))
+        outcomes = self.launcher.launch(
+            _evaluate_trial_chunk, [(objective, chunk) for chunk in chunks]
+        )
+        return [outcome for chunk in outcomes for outcome in chunk]

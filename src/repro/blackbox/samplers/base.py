@@ -23,12 +23,39 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class Sampler(ABC):
-    """Strategy for proposing parameter values."""
+    """Strategy for proposing parameter values.
+
+    Samplers own one RNG stream (``self.rng``).  By default it is a
+    single sequential stream, so results depend on the exact trial
+    history.  Setting :attr:`per_trial_seeding` switches to
+    deterministic per-trial streams derived via :func:`repro.rng.seed_for`
+    from ``(sampler, seed, trial number)`` — then a resumed study draws
+    exactly the values an uninterrupted run would have drawn, which is
+    what makes storage-backed resume (DESIGN.md §3) and parallel
+    execution (DESIGN.md §4) reproducible.  The storage-aware drivers
+    (``ParallelStudyRunner``, ``OptimizationRunner.run_blackbox`` with a
+    storage) enable it automatically.
+    """
 
     def __init__(self, seed: int | None = None) -> None:
         if seed is None:
             seed = seed_for("sampler", type(self).__name__)
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
+        #: when True, ``begin_trial`` rebinds ``self.rng`` per trial
+        self.per_trial_seeding = False
+
+    def begin_trial(self, trial_number: int) -> None:
+        """Hook invoked when a trial's first parameter is suggested.
+
+        Under :attr:`per_trial_seeding` this rebinds ``self.rng`` to the
+        trial's own deterministic stream; otherwise it is a no-op (the
+        historical single-stream behaviour).
+        """
+        if self.per_trial_seeding:
+            self.rng = np.random.default_rng(
+                seed_for("sampler", type(self).__name__, self.seed, int(trial_number))
+            )
 
     @abstractmethod
     def sample(

@@ -1,0 +1,373 @@
+"""Study persistence: pluggable storage backends for studies and trials.
+
+Real Optuna deployments persist trials so that a killed 350-trial NSGA-II
+search resumes instead of restarting, and so that several workers can
+share one study.  This module provides the same seam (DESIGN.md §3):
+
+* :class:`StudyStorage` — the backend protocol the study layer writes
+  through (``create_study`` / ``load_study`` / trial start + finish
+  records);
+* :class:`InMemoryStorage` — dict-backed, process-local.  Round-trips
+  every record through the same JSON encoding as the journal, so a study
+  that works in memory is guaranteed to journal cleanly;
+* :class:`JournalStorage` — an append-only JSONL journal file with
+  crash-safe replay: every record is one ``json.dumps`` line, appended
+  and fsynced, and replay tolerates a torn final line (the crash case)
+  by ignoring undecodable lines.  Replay is last-write-wins per trial
+  number, which lets a resumed study re-run a partial NSGA-II generation
+  under the same trial numbers (DESIGN.md §3, "generation alignment").
+
+Storage-aware entry points: ``create_study(..., storage=...,
+load_if_exists=True)``, ``Study.ask`` / ``Study.tell`` (which record
+trial starts/finishes), and
+``OptimizationRunner.run_blackbox(storage=...)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import OptimizationError
+from .distributions import distribution_from_dict, distribution_to_dict
+from .trial import FrozenTrial, TrialState
+
+_COMPOSITION_TAG = "__composition__"
+_REPR_TAG = "__repr__"
+
+
+# -- value (de)serialization ----------------------------------------------------
+
+
+def _encode_value(value: Any) -> Any:
+    """JSON-ready encoding of one attribute/parameter value.
+
+    Handles numpy scalars, containers, and
+    :class:`~repro.core.composition.MicrogridComposition` (stored by
+    ``run_blackbox`` as a user attr).  Unknown objects degrade to a
+    tagged ``repr`` string — lossy but journal-safe.
+    """
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _encode_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    # Lazy import: core depends on blackbox, not the other way around.
+    from ..core.composition import MicrogridComposition
+
+    if isinstance(value, MicrogridComposition):
+        return {
+            _COMPOSITION_TAG: {
+                "n_turbines": value.n_turbines,
+                "solar_kw": value.solar_kw,
+                "battery_units": value.battery_units,
+            }
+        }
+    return {_REPR_TAG: repr(value)}
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if _COMPOSITION_TAG in value and len(value) == 1:
+            from ..core.composition import MicrogridComposition
+
+            fields_ = value[_COMPOSITION_TAG]
+            return MicrogridComposition(
+                n_turbines=int(fields_["n_turbines"]),
+                solar_kw=float(fields_["solar_kw"]),
+                battery_units=int(fields_["battery_units"]),
+            )
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def encode_trial(trial: FrozenTrial) -> dict[str, Any]:
+    """JSON-ready encoding of a frozen trial (both backends use this)."""
+    return {
+        "number": trial.number,
+        "state": trial.state.value,
+        "params": {k: _encode_value(v) for k, v in trial.params.items()},
+        "distributions": {
+            k: distribution_to_dict(d) for k, d in trial.distributions.items()
+        },
+        "values": None if trial.values is None else [float(v) for v in trial.values],
+        "intermediate": {str(k): float(v) for k, v in trial.intermediate.items()},
+        "user_attrs": {k: _encode_value(v) for k, v in trial.user_attrs.items()},
+        "system_attrs": {k: _encode_value(v) for k, v in trial.system_attrs.items()},
+    }
+
+
+def decode_trial(record: dict[str, Any]) -> FrozenTrial:
+    """Inverse of :func:`encode_trial`."""
+    values = record.get("values")
+    return FrozenTrial(
+        number=int(record["number"]),
+        state=TrialState(record["state"]),
+        params={k: _decode_value(v) for k, v in record.get("params", {}).items()},
+        distributions={
+            k: distribution_from_dict(d)
+            for k, d in record.get("distributions", {}).items()
+        },
+        values=None if values is None else tuple(float(v) for v in values),
+        intermediate={int(k): float(v) for k, v in record.get("intermediate", {}).items()},
+        user_attrs={k: _decode_value(v) for k, v in record.get("user_attrs", {}).items()},
+        system_attrs={
+            k: _decode_value(v) for k, v in record.get("system_attrs", {}).items()
+        },
+    )
+
+
+# -- the storage protocol --------------------------------------------------------
+
+
+@dataclass
+class StoredStudy:
+    """Replayed state of one persisted study."""
+
+    name: str
+    directions: list[str]
+    metadata: dict[str, Any] = field(default_factory=dict)
+    #: trials keyed by number (last write wins during replay)
+    trials_by_number: dict[int, FrozenTrial] = field(default_factory=dict)
+
+    @property
+    def trials(self) -> list[FrozenTrial]:
+        """All trials in number order (any state)."""
+        return [self.trials_by_number[n] for n in sorted(self.trials_by_number)]
+
+    def finished_trials(self) -> list[FrozenTrial]:
+        """Trials with a terminal state, in number order."""
+        return [t for t in self.trials if t.state.is_finished()]
+
+
+class StudyStorage(ABC):
+    """Backend protocol for persisting studies (DESIGN.md §3).
+
+    The study layer writes through three hooks: ``create_study`` once,
+    ``record_trial_start`` on every ``ask`` and ``record_trial_finish``
+    on every ``tell``.  ``load_study`` replays the backend's state.
+    """
+
+    @abstractmethod
+    def create_study(
+        self, study_name: str, directions: list[str], metadata: dict[str, Any]
+    ) -> None:
+        """Register a new study; raises if the name is already taken."""
+
+    @abstractmethod
+    def load_study(self, study_name: str) -> StoredStudy | None:
+        """Replayed study state, or ``None`` if unknown."""
+
+    @abstractmethod
+    def record_trial_start(self, study_name: str, trial: FrozenTrial) -> None:
+        """Record that a trial was asked (params not yet suggested)."""
+
+    @abstractmethod
+    def record_trial_finish(self, study_name: str, trial: FrozenTrial) -> None:
+        """Record a trial reaching a terminal state (full snapshot)."""
+
+    @abstractmethod
+    def load_all(self) -> dict[str, StoredStudy]:
+        """Replayed state of every study in the backend."""
+
+    def study_names(self) -> list[str]:
+        return sorted(self.load_all())
+
+
+# -- in-memory backend -----------------------------------------------------------
+
+
+class InMemoryStorage(StudyStorage):
+    """Process-local storage — the default behaviour, made explicit.
+
+    Stores the *encoded* records (not live objects), so anything that
+    works against :class:`InMemoryStorage` journals identically under
+    :class:`JournalStorage`, and loaded trials never alias stored ones.
+    """
+
+    def __init__(self) -> None:
+        self._studies: dict[str, dict[str, Any]] = {}
+
+    def create_study(
+        self, study_name: str, directions: list[str], metadata: dict[str, Any]
+    ) -> None:
+        if study_name in self._studies:
+            raise OptimizationError(f"study '{study_name}' already exists in storage")
+        self._studies[study_name] = {
+            "directions": list(directions),
+            "metadata": _encode_value(dict(metadata)),
+            "trials": {},
+        }
+
+    def _require(self, study_name: str) -> dict[str, Any]:
+        if study_name not in self._studies:
+            raise OptimizationError(f"unknown study '{study_name}' in storage")
+        return self._studies[study_name]
+
+    def load_study(self, study_name: str) -> StoredStudy | None:
+        if study_name not in self._studies:
+            return None
+        raw = self._studies[study_name]
+        return StoredStudy(
+            name=study_name,
+            directions=list(raw["directions"]),
+            metadata=_decode_value(raw["metadata"]),
+            trials_by_number={
+                n: decode_trial(rec) for n, rec in raw["trials"].items()
+            },
+        )
+
+    def record_trial_start(self, study_name: str, trial: FrozenTrial) -> None:
+        self._require(study_name)["trials"][trial.number] = encode_trial(trial)
+
+    def record_trial_finish(self, study_name: str, trial: FrozenTrial) -> None:
+        self._require(study_name)["trials"][trial.number] = encode_trial(trial)
+
+    def load_all(self) -> dict[str, StoredStudy]:
+        out = {}
+        for name in self._studies:
+            loaded = self.load_study(name)
+            assert loaded is not None
+            out[name] = loaded
+        return out
+
+
+# -- journal backend -------------------------------------------------------------
+
+
+class JournalStorage(StudyStorage):
+    """Append-only JSONL journal with crash-safe replay.
+
+    One JSON record per line; three operations::
+
+        {"op": "create", "study": ..., "directions": [...], "metadata": {...}}
+        {"op": "start",  "study": ..., "number": n}
+        {"op": "finish", "study": ..., "trial": {...full snapshot...}}
+
+    Appends are flushed and fsynced, so a ``kill -9`` loses at most the
+    line being written; replay skips any line that fails to decode
+    (the torn tail) and applies records in order with last-write-wins
+    per trial number.  Several studies can share one journal file.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = Path(path)
+        self._file = None  # lazily opened append handle
+        #: parsed-record cache keyed on (st_size, st_mtime_ns) — the
+        #: journal is append-only and fsynced, so the stat signature
+        #: changes on every write; avoids re-decoding the whole file for
+        #: each of the several load_study/load_all calls a CLI run makes
+        self._records_cache: tuple[tuple[int, int], list[dict[str, Any]]] | None = None
+
+    # -- low-level record I/O ---------------------------------------------
+
+    def _append(self, record: dict[str, Any]) -> None:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "a", encoding="utf-8")
+        # NB: no sort_keys — params/distributions dict order is the
+        # define-by-run suggestion order, and genetic samplers iterate it
+        # when mapping RNG draws to parameters; reordering would break
+        # resumed-run determinism.
+        self._file.write(json.dumps(record) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        """Close the append handle (reopened automatically on next write)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JournalStorage":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _records(self) -> list[dict[str, Any]]:
+        if not self.path.exists():
+            return []
+        stat = self.path.stat()
+        signature = (stat.st_size, stat.st_mtime_ns)
+        if self._records_cache is not None and self._records_cache[0] == signature:
+            return self._records_cache[1]
+        records: list[dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a crash — replay past it
+                if isinstance(rec, dict):
+                    records.append(rec)
+        self._records_cache = (signature, records)
+        return records
+
+    # -- StudyStorage interface -------------------------------------------
+
+    def create_study(
+        self, study_name: str, directions: list[str], metadata: dict[str, Any]
+    ) -> None:
+        if self.load_study(study_name) is not None:
+            raise OptimizationError(
+                f"study '{study_name}' already exists in {self.path}"
+            )
+        self._append(
+            {
+                "op": "create",
+                "study": study_name,
+                "directions": list(directions),
+                "metadata": _encode_value(dict(metadata)),
+            }
+        )
+
+    def load_study(self, study_name: str) -> StoredStudy | None:
+        return self.load_all().get(study_name)
+
+    def record_trial_start(self, study_name: str, trial: FrozenTrial) -> None:
+        self._append({"op": "start", "study": study_name, "number": trial.number})
+
+    def record_trial_finish(self, study_name: str, trial: FrozenTrial) -> None:
+        self._append(
+            {"op": "finish", "study": study_name, "trial": encode_trial(trial)}
+        )
+
+    def load_all(self) -> dict[str, StoredStudy]:
+        studies: dict[str, StoredStudy] = {}
+        for rec in self._records():
+            op = rec.get("op")
+            name = rec.get("study")
+            if not isinstance(name, str):
+                continue
+            if op == "create":
+                if name in studies:
+                    continue  # duplicate create: first one wins
+                studies[name] = StoredStudy(
+                    name=name,
+                    directions=[str(d) for d in rec.get("directions", [])],
+                    metadata=_decode_value(rec.get("metadata", {})),
+                )
+            elif op == "start" and name in studies:
+                number = int(rec["number"])
+                studies[name].trials_by_number[number] = FrozenTrial(number=number)
+            elif op == "finish" and name in studies:
+                trial = decode_trial(rec["trial"])
+                studies[name].trials_by_number[trial.number] = trial
+        return studies

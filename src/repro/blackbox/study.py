@@ -3,12 +3,18 @@
 Supports single- and multi-objective optimization with the ask/tell
 protocol and the higher-level ``optimize`` loop, trial bookkeeping,
 Pareto-front extraction (``best_trials``), and pluggable samplers/pruners.
+
+Studies are **storage-aware** (DESIGN.md §3): pass a
+:class:`~repro.blackbox.storage.StudyStorage` to :func:`create_study`
+and every ``ask``/``tell`` is recorded through it; with
+``load_if_exists=True`` a previously persisted study is reloaded and
+continues where it stopped (Optuna-style resume).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
@@ -18,6 +24,9 @@ from .pruners import NopPruner
 from .samplers.base import Sampler
 from .samplers.random import RandomSampler
 from .trial import FrozenTrial, Trial, TrialState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .storage import StudyStorage
 
 ObjectiveFn = Callable[[Trial], "float | Sequence[float]"]
 
@@ -52,6 +61,8 @@ class Study:
         sampler: Sampler | None = None,
         pruner=None,
         study_name: str = "study",
+        storage: "StudyStorage | None" = None,
+        metadata: dict[str, Any] | None = None,
     ) -> None:
         if not directions:
             raise OptimizationError("need at least one direction")
@@ -59,6 +70,10 @@ class Study:
         self.sampler = sampler or RandomSampler()
         self.pruner = pruner or NopPruner()
         self.study_name = study_name
+        #: persistence backend; ``None`` keeps the study purely in-process
+        self.storage = storage
+        #: free-form study metadata, persisted with the study record
+        self.metadata: dict[str, Any] = dict(metadata or {})
         self.trials: list[FrozenTrial] = []
 
     # -- properties -----------------------------------------------------------
@@ -76,9 +91,11 @@ class Study:
     # -- ask / tell -------------------------------------------------------------
 
     def ask(self) -> Trial:
-        """Create a new running trial."""
+        """Create a new running trial (recorded in storage, if any)."""
         frozen = FrozenTrial(number=len(self.trials))
         self.trials.append(frozen)
+        if self.storage is not None:
+            self.storage.record_trial_start(self.study_name, frozen)
         return Trial(self, frozen)
 
     def tell(
@@ -87,7 +104,12 @@ class Study:
         values: "float | Sequence[float] | None" = None,
         state: TrialState = TrialState.COMPLETE,
     ) -> FrozenTrial:
-        """Finish a trial with its objective value(s) or a terminal state."""
+        """Finish a trial with its objective value(s) or a terminal state.
+
+        Storage-aware: the finished trial's full snapshot is recorded
+        through the study's storage backend (if any) before the sampler
+        is notified.
+        """
         number = trial if isinstance(trial, int) else trial.number
         if not 0 <= number < len(self.trials):
             raise OptimizationError(f"unknown trial number {number}")
@@ -108,8 +130,26 @@ class Study:
                 raise OptimizationError(f"non-finite objective values: {vals}")
             frozen.values = tuple(float(v) for v in vals)
         frozen.state = state
+        if self.storage is not None:
+            self.storage.record_trial_finish(self.study_name, frozen)
         self.sampler.on_trial_complete(self, frozen)
         return frozen
+
+    def drop_trailing_partial_batch(self, batch_size: int) -> int:
+        """Discard trials beyond the last full ``batch_size`` boundary.
+
+        Resume alignment for generational drivers (DESIGN.md §3): a
+        reloaded study interrupted mid-generation must not let the
+        sampler breed from a history an uninterrupted run never sees.
+        Returns the number of trials kept; the dropped numbers are
+        re-asked by the caller (the journal's last-write-wins replay
+        keeps re-told trials consistent).
+        """
+        if batch_size <= 0:
+            raise OptimizationError("batch_size must be positive")
+        keep = (len(self.trials) // batch_size) * batch_size
+        del self.trials[keep:]
+        return keep
 
     # -- optimize loop ------------------------------------------------------------
 
@@ -187,12 +227,77 @@ def create_study(
     sampler: Sampler | None = None,
     pruner=None,
     study_name: str = "study",
+    storage: "StudyStorage | None" = None,
+    load_if_exists: bool = False,
+    metadata: dict[str, Any] | None = None,
 ) -> Study:
-    """Factory mirroring ``optuna.create_study``."""
+    """Factory mirroring ``optuna.create_study`` (storage-aware).
+
+    With ``storage`` set, the study is registered in the backend and all
+    subsequent ``ask``/``tell`` calls are recorded through it.  If the
+    name already exists in the backend this raises — unless
+    ``load_if_exists=True``, in which case the persisted finished trials
+    are loaded back (Optuna-style resume).  Trials that were still
+    RUNNING when the previous process died carry no parameters and are
+    discarded; remaining trials are renumbered consecutively, so the
+    resumed study re-asks the lost numbers (the journal's
+    last-write-wins replay keeps this consistent, DESIGN.md §3).
+    """
     if direction is not None and directions is not None:
         raise OptimizationError("pass either direction or directions, not both")
     if direction is not None:
         directions = [direction]
     if directions is None:
         directions = ["minimize"]
-    return Study(directions=directions, sampler=sampler, pruner=pruner, study_name=study_name)
+    study = Study(
+        directions=directions,
+        sampler=sampler,
+        pruner=pruner,
+        study_name=study_name,
+        storage=storage,
+        metadata=metadata,
+    )
+    if storage is None:
+        return study
+
+    direction_values = [d.value for d in study.directions]
+    existing = storage.load_study(study_name)
+    if existing is None:
+        storage.create_study(study_name, direction_values, study.metadata)
+        return study
+    if not load_if_exists:
+        raise OptimizationError(
+            f"study '{study_name}' already exists in storage "
+            "(pass load_if_exists=True to resume)"
+        )
+    if existing.directions != direction_values:
+        raise OptimizationError(
+            f"study '{study_name}' was persisted with directions "
+            f"{existing.directions}, requested {direction_values}"
+        )
+    finished = existing.finished_trials()
+    max_old = max((t.number for t in existing.trials), default=-1)
+    renumbered = False
+    for i, trial in enumerate(finished):
+        if trial.number != i:
+            # Compact numbering: list index == trial number.  The gap
+            # means an unfinished trial sat *between* finished ones, so
+            # the compacted numbers must be written back — otherwise the
+            # surviving journal records (old numbers) collide with the
+            # numbers the resumed study re-asks and a later resume would
+            # drop or duplicate trials.
+            trial.number = i
+            renumbered = True
+            storage.record_trial_finish(study_name, trial)
+        study.trials.append(trial)
+    if renumbered:
+        # Tombstone the now-orphaned old numbers: a bare start record
+        # makes their stale finish records replay as RUNNING, which the
+        # next load discards.  (The contiguous case — unfinished trials
+        # only at the tail, as the batch drivers produce — needs none of
+        # this: numbers are unchanged and stale tails already end in a
+        # start record.)
+        for n in range(len(finished), max_old + 1):
+            storage.record_trial_start(study_name, FrozenTrial(number=n))
+    study.metadata = dict(existing.metadata)
+    return study

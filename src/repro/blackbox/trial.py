@@ -86,6 +86,10 @@ class Trial:
                     f"parameter '{name}' re-suggested with a different domain"
                 )
             return frozen.params[name]
+        if not frozen.params:
+            # First suggestion of this trial: give the sampler its
+            # per-trial RNG stream (no-op unless per_trial_seeding).
+            self._study.sampler.begin_trial(frozen.number)
         value = self._study.sampler.sample(self._study, frozen, name, distribution)
         if not distribution.contains(value):
             raise OptimizationError(

@@ -9,9 +9,23 @@ Usage (also ``python -m repro.cli``)::
     python -m repro.cli search --site houston --trials 350 --population 50
     python -m repro.cli report --site berkeley
 
+Persistent, resumable, parallel studies (DESIGN.md §3–§4)::
+
+    python -m repro.cli study run    --journal study.jsonl --site houston \
+        --trials 350 --population 50 --seed 42 --workers 4
+    python -m repro.cli study resume --journal study.jsonl
+    python -m repro.cli study status --journal study.jsonl
+
+``study run`` journals every trial; kill it at any point and ``study
+resume`` continues to the identical final Pareto front (the scenario and
+search configuration are persisted in the journal's study metadata, so
+``resume`` needs only the journal path).
+
 Mirrors the Hydra-style entry point of the paper's implementation:
 every command accepts ``--set key=value`` overrides applied to the
-scenario config (e.g. ``--set scenario.mean_power_mw=3.0``).
+scenario config (e.g. ``--set scenario.mean_power_mw=3.0``).  With
+``pip install -e .`` the console script ``repro`` is equivalent to
+``python -m repro.cli``.
 """
 
 from __future__ import annotations
@@ -147,6 +161,164 @@ def cmd_search(cfg: Config, args) -> int:
     return 0
 
 
+def _study_launcher(workers: int):
+    if workers and workers > 1:
+        from .confsys import MultiprocessingLauncher
+
+        return MultiprocessingLauncher(n_workers=workers)
+    return None
+
+
+def _print_search_summary(result, journal: str, name: str) -> None:
+    front = result.front()
+    print(
+        f"study '{name}': {len(result.study.trials)} trials, "
+        f"{result.n_simulations} simulations this run, "
+        f"front size {len(front)} (journal: {journal})"
+    )
+
+
+def _interrupted(journal: str) -> int:
+    print(
+        f"\ninterrupted — completed trials are journaled; continue with:\n"
+        f"  repro study resume --journal {journal}"
+    )
+    return 130
+
+
+def cmd_study_run(cfg: Config, args) -> int:
+    from .blackbox import JournalStorage, NSGA2Sampler
+
+    scenario = _scenario_from(cfg)
+    name = args.name or f"{scenario.name}-blackbox"
+    metadata = {
+        "site": cfg.scenario.location,
+        "year": cfg.scenario.year,
+        "n_hours": cfg.scenario.n_hours,
+        "mean_power_mw": cfg.scenario.mean_power_mw,
+        "n_trials": args.trials,
+        "population": args.population,
+        "seed": args.seed,
+    }
+    runner = OptimizationRunner(scenario, launcher=_study_launcher(args.workers))
+    storage = JournalStorage(args.journal)
+    if storage.load_study(name) is not None:
+        print(
+            f"study '{name}' already exists in {args.journal} — continue it with:\n"
+            f"  repro study resume --journal {args.journal}"
+        )
+        return 1
+    try:
+        result = runner.run_blackbox(
+            n_trials=args.trials,
+            sampler=NSGA2Sampler(population_size=args.population, seed=args.seed),
+            storage=storage,
+            study_name=name,
+            metadata=metadata,
+        )
+    except KeyboardInterrupt:
+        return _interrupted(args.journal)
+    _print_search_summary(result, args.journal, name)
+    return 0
+
+
+def cmd_study_resume(cfg: Config, args) -> int:
+    from .blackbox import JournalStorage, NSGA2Sampler
+
+    storage = JournalStorage(args.journal)
+    studies = storage.load_all()
+    if not studies:
+        print(f"no studies found in {args.journal}")
+        return 1
+    if args.name:
+        if args.name not in studies:
+            print(f"study '{args.name}' not in {args.journal} (has: {sorted(studies)})")
+            return 1
+        name = args.name
+    elif len(studies) == 1:
+        name = next(iter(studies))
+    else:
+        print(f"journal holds several studies, pass --name (one of {sorted(studies)})")
+        return 1
+
+    md = studies[name].metadata
+    site_cfg = cfg.updated("scenario.location", md.get("site", cfg.scenario.location))
+    for key in ("year", "n_hours", "mean_power_mw"):
+        if key in md:
+            site_cfg = site_cfg.updated(f"scenario.{key}", md[key])
+    scenario = _scenario_from(site_cfg)
+    runner = OptimizationRunner(scenario, launcher=_study_launcher(args.workers))
+    try:
+        result = runner.run_blackbox(
+            n_trials=args.trials or int(md.get("n_trials", 350)),
+            sampler=NSGA2Sampler(
+                population_size=int(md.get("population", 50)), seed=md.get("seed")
+            ),
+            storage=storage,
+            study_name=name,
+            load_if_exists=True,
+        )
+    except KeyboardInterrupt:
+        return _interrupted(args.journal)
+    _print_search_summary(result, args.journal, name)
+    return 0
+
+
+def cmd_study_status(cfg: Config, args) -> int:
+    import numpy as np
+
+    from .blackbox import JournalStorage
+    from .blackbox.multiobjective import pareto_front_indices
+    from .blackbox.trial import TrialState
+
+    storage = JournalStorage(args.journal)
+    studies = storage.load_all()
+    if not studies:
+        print(f"no studies found in {args.journal}")
+        return 1
+    for name in sorted(studies):
+        stored = studies[name]
+        trials = stored.trials
+        counts = {state.value: 0 for state in TrialState}
+        for t in trials:
+            counts[t.state.value] += 1
+        target = stored.metadata.get("n_trials")
+        target_str = f"/{target}" if target else ""
+        line = (
+            f"{name}: directions={stored.directions}, "
+            f"{counts['complete']}{target_str} complete, "
+            f"{counts['running']} in-flight, {counts['pruned']} pruned, "
+            f"{counts['failed']} failed"
+        )
+        completed = [t for t in trials if t.state == TrialState.COMPLETE and t.values]
+        if completed:
+            # Dedupe revisited genomes so the count matches the front
+            # size `study run`/`study resume` print for the same journal.
+            unique = {
+                tuple(sorted(t.params.items())): t.values for t in completed
+            }
+            signs = np.array(
+                [1.0 if d == "minimize" else -1.0 for d in stored.directions]
+            )
+            values = np.array(list(unique.values())) * signs
+            line += f", front size {len(pareto_front_indices(values))}"
+        if stored.metadata.get("site"):
+            line += f" (site: {stored.metadata['site']})"
+        print(line)
+    return 0
+
+
+_STUDY_COMMANDS = {
+    "run": cmd_study_run,
+    "resume": cmd_study_resume,
+    "status": cmd_study_status,
+}
+
+
+def cmd_study(cfg: Config, args) -> int:
+    return _STUDY_COMMANDS[args.study_command](cfg, args)
+
+
 def cmd_report(cfg: Config, args) -> int:
     _, result = _exhaustive(cfg)
     print(experiment_report(cfg.scenario.location, result, horizon_years=args.years))
@@ -220,6 +392,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--years", type=float, default=20.0)
     p = common(sub.add_parser("all", help="write every artifact for both sites"))
     p.add_argument("--output-dir", default="artifacts")
+
+    p = sub.add_parser("study", help="persistent, resumable, parallel studies")
+    ssub = p.add_subparsers(dest="study_command", required=True)
+    p_run = common(ssub.add_parser("run", help="run a journaled NSGA-II study"))
+    p_run.add_argument("--journal", required=True, help="append-only JSONL journal path")
+    p_run.add_argument("--name", default=None, help="study name (default: <site>-blackbox)")
+    p_run.add_argument("--trials", type=int, default=350)
+    p_run.add_argument("--population", type=int, default=50)
+    p_run.add_argument("--seed", type=int, default=42)
+    p_run.add_argument("--workers", type=int, default=1, help="evaluation worker processes")
+    p_res = ssub.add_parser("resume", help="resume an interrupted journaled study")
+    p_res.add_argument("--journal", required=True)
+    p_res.add_argument("--name", default=None, help="study name (needed if journal holds several)")
+    p_res.add_argument("--trials", type=int, default=None, help="override the persisted trial target")
+    p_res.add_argument("--workers", type=int, default=1)
+    p_stat = ssub.add_parser("status", help="summarize the studies in a journal")
+    p_stat.add_argument("--journal", required=True)
     return parser
 
 
@@ -231,13 +420,16 @@ COMMANDS = {
     "search": cmd_search,
     "report": cmd_report,
     "all": cmd_all,
+    "study": cmd_study,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    cfg = Config(DEFAULT_CONFIG).updated("scenario.location", args.site)
-    cfg = apply_overrides(cfg, args.overrides)
+    # `study resume`/`study status` carry no --site; the journal metadata does.
+    site = getattr(args, "site", DEFAULT_CONFIG["scenario"]["location"])
+    cfg = Config(DEFAULT_CONFIG).updated("scenario.location", site)
+    cfg = apply_overrides(cfg, getattr(args, "overrides", []))
     return COMMANDS[args.command](cfg, args)
 
 

@@ -1,4 +1,4 @@
-"""Job launchers: run sweep jobs serially or across processes.
+"""Job launchers: run independent jobs serially or across processes.
 
 The paper parallelizes its search "across a cluster of compute nodes"
 through Hydra; here the same seam is a launcher object.  The
@@ -7,8 +7,13 @@ multi-core machine this parallelizes scenario evaluation with no code
 changes upstream (hpc-parallel guide: prefer process-level parallelism
 for CPU-bound NumPy workloads, since the battery loop holds the GIL).
 
-Job functions must be picklable (module-level functions) for the
-multiprocessing path.
+Launchers are payload-agnostic: a job is any picklable object (a
+:class:`~repro.confsys.sweeper.SweepJob` for config sweeps, a
+``(objective, params)`` pair for
+:class:`~repro.blackbox.parallel.ParallelStudyRunner` trial batches, a
+``(scenario, compositions)`` chunk for the parallel batch evaluator).
+``fn`` and jobs must both be picklable (module-level functions/classes)
+for the multiprocessing path, and results always come back in job order.
 """
 
 from __future__ import annotations
@@ -18,19 +23,28 @@ import os
 from typing import Any, Callable, Sequence
 
 from ..exceptions import ConfigurationError
-from .sweeper import SweepJob
 
-JobFn = Callable[[SweepJob], Any]
+JobFn = Callable[[Any], Any]
+
+
+def chunk_evenly(items: Sequence[Any], n_chunks: int) -> list[list[Any]]:
+    """Split ``items`` into ≤ ``n_chunks`` contiguous, order-preserving
+    chunks of near-equal size (the per-worker job shape both parallel
+    drivers fan out)."""
+    if not items:
+        return []
+    size = -(-len(items) // max(n_chunks, 1))  # ceil division
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
 
 
 class SerialLauncher:
     """Runs jobs in order in the current process."""
 
-    def launch(self, fn: JobFn, jobs: Sequence[SweepJob]) -> list[Any]:
+    def launch(self, fn: JobFn, jobs: Sequence[Any]) -> list[Any]:
         return [fn(job) for job in jobs]
 
 
-def _invoke(args: tuple[JobFn, SweepJob]) -> Any:  # pragma: no cover - subprocess
+def _invoke(args: tuple[JobFn, Any]) -> Any:  # pragma: no cover - subprocess
     fn, job = args
     return fn(job)
 
@@ -46,7 +60,7 @@ class MultiprocessingLauncher:
         self.n_workers = n_workers or max(os.cpu_count() or 1, 1)
         self.chunksize = chunksize
 
-    def launch(self, fn: JobFn, jobs: Sequence[SweepJob]) -> list[Any]:
+    def launch(self, fn: JobFn, jobs: Sequence[Any]) -> list[Any]:
         if not jobs:
             return []
         if self.n_workers == 1 or len(jobs) == 1:

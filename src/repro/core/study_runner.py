@@ -10,18 +10,31 @@ evaluation, reproducing the paper's two search modes:
   default) where each trial maps to one composition and is scored by the
   batch evaluator; results cached per composition so repeated visits are
   free (matching how Optuna-with-Vessim would memoize identical configs).
+
+Both modes compose with the persistence/parallelism subsystem
+(DESIGN.md §3–§4):
+
+* pass ``storage=JournalStorage(path)`` (and later
+  ``load_if_exists=True``) to ``run_blackbox`` and an interrupted search
+  resumes to the *identical* Pareto front an uninterrupted run produces
+  under the same seed — the CLI verbs ``repro study run / resume /
+  status`` drive exactly this path;
+* pass ``launcher=MultiprocessingLauncher(n)`` to fan batch evaluation
+  out across worker processes (order-preserving, numerically identical
+  to serial).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
 from ..blackbox.multiobjective import pareto_recovery_rate
 from ..blackbox.samplers.base import Sampler
 from ..blackbox.samplers.nsga2 import NSGA2Sampler
+from ..blackbox.storage import StudyStorage
 from ..blackbox.study import Study, create_study
 from ..exceptions import OptimizationError
 from .composition import MicrogridComposition
@@ -46,13 +59,63 @@ class SearchResult:
         return pareto_front(self.evaluated, objectives)
 
 
+def _evaluate_chunk(
+    job: tuple[Scenario, list[MicrogridComposition]]
+) -> list[EvaluatedComposition]:
+    """Worker-side batch evaluation of one composition chunk (picklable)."""
+    scenario, comps = job
+    return BatchEvaluator(scenario).evaluate(comps)
+
+
 @dataclass
-class OptimizationRunner:
-    """Runs composition searches against one scenario."""
+class CompositionObjective:
+    """Picklable objective: trial params → objective vector.
+
+    The worker-process counterpart of ``ParameterSpace.suggest``: rebuild
+    the composition from the suggested parameters, evaluate it, and
+    return the requested objectives.  Instances ship cleanly through
+    :class:`~repro.confsys.launcher.MultiprocessingLauncher` (scenario
+    and space are plain picklable dataclasses), so this is the natural
+    objective for :class:`~repro.blackbox.parallel.ParallelStudyRunner`.
+
+    ``cosim=True`` scores through the full co-simulator (the paper's
+    faithful-but-slow path, DESIGN.md §2) — the case where fanning trials
+    across processes actually pays; the default fast path evaluates via
+    the vectorized :class:`~repro.core.fastsim.BatchEvaluator`.
+    """
 
     scenario: Scenario
     space: ParameterSpace = field(default_factory=lambda: PAPER_SPACE)
     objectives: tuple[str, ...] = ("operational", "embodied")
+    cosim: bool = False
+
+    def __call__(self, params: dict[str, Any]) -> tuple[float, ...]:
+        comp = self.space.from_params(params)
+        if self.cosim:
+            from .evaluator import CompositionEvaluator
+
+            evaluated = CompositionEvaluator(self.scenario).evaluate(comp)
+        else:
+            evaluated = BatchEvaluator(self.scenario).evaluate([comp])[0]
+        return evaluated.objectives(self.objectives)
+
+
+@dataclass
+class OptimizationRunner:
+    """Runs composition searches against one scenario.
+
+    With ``launcher`` set to a
+    :class:`~repro.confsys.launcher.MultiprocessingLauncher`, batch
+    evaluation of uncached compositions is split into per-worker chunks
+    and fanned across processes; results are order-preserving and
+    numerically identical to the serial path (each candidate's column is
+    independent in the vectorized time loop).
+    """
+
+    scenario: Scenario
+    space: ParameterSpace = field(default_factory=lambda: PAPER_SPACE)
+    objectives: tuple[str, ...] = ("operational", "embodied")
+    launcher: Any | None = None
 
     def __post_init__(self) -> None:
         self._batch = BatchEvaluator(self.scenario)
@@ -64,9 +127,21 @@ class OptimizationRunner:
         """Evaluate compositions, reusing cached results."""
         missing = [c for c in dict.fromkeys(comps) if c not in self._cache]
         if missing:
-            for res in self._batch.evaluate(missing):
+            for res in self._evaluate_missing(missing):
                 self._cache[res.composition] = res
         return [self._cache[c] for c in comps]
+
+    def _evaluate_missing(
+        self, missing: list[MicrogridComposition]
+    ) -> list[EvaluatedComposition]:
+        n_workers = getattr(self.launcher, "n_workers", 1)
+        if self.launcher is None or n_workers <= 1 or len(missing) < 2 * n_workers:
+            return self._batch.evaluate(missing)
+        from ..confsys.launcher import chunk_evenly
+
+        jobs = [(self.scenario, chunk) for chunk in chunk_evenly(missing, n_workers)]
+        results = self.launcher.launch(_evaluate_chunk, jobs)
+        return [res for chunk_result in results for res in chunk_result]
 
     @property
     def n_simulations(self) -> int:
@@ -87,6 +162,10 @@ class OptimizationRunner:
         sampler: Sampler | None = None,
         seed: int | None = None,
         batch_size: int | None = None,
+        storage: StudyStorage | None = None,
+        study_name: str | None = None,
+        load_if_exists: bool = False,
+        metadata: dict[str, Any] | None = None,
     ) -> SearchResult:
         """Multi-objective black-box search (§4.4: NSGA-II, pop. 50).
 
@@ -96,21 +175,71 @@ class OptimizationRunner:
         samplers (NSGA-II only consults *completed* trials when breeding),
         but ~population× faster.  The paper parallelizes the same step
         across cluster nodes through Hydra; here the batch axis is the
-        vector axis.
+        vector axis (and optionally the runner's ``launcher`` processes).
+
+        **Persistence/resume** (DESIGN.md §3): with ``storage`` set every
+        trial is journaled, and the sampler switches to deterministic
+        per-trial RNG streams.  With ``load_if_exists=True`` a previously
+        interrupted study is reloaded; any trailing partial generation is
+        discarded and re-run so the sampler sees exactly the
+        completed-trial history an uninterrupted run would have seen at
+        that generation boundary — which makes the resumed final Pareto
+        front *identical* to the uninterrupted one under a fixed seed.
+        ``SearchResult.n_simulations`` counts simulations performed by
+        this call (a resumed call re-simulates the reloaded compositions
+        once — cheap, vectorized, and hitting the runner's memo cache
+        thereafter).
         """
         if n_trials <= 0:
             raise OptimizationError("n_trials must be positive")
         sampler = sampler or NSGA2Sampler(population_size=50, seed=seed)
         batch = batch_size or getattr(sampler, "population_size", 25)
+        prior_seeding = sampler.per_trial_seeding
+        if storage is not None:
+            # Resume must replay the exact RNG draws of the original run.
+            # Restored afterwards so a caller-supplied sampler keeps its
+            # documented single-stream behaviour outside this run.
+            sampler.per_trial_seeding = True
+        try:
+            return self._run_blackbox_study(
+                n_trials, sampler, batch, storage, study_name, load_if_exists, metadata
+            )
+        finally:
+            sampler.per_trial_seeding = prior_seeding
+
+    def _run_blackbox_study(
+        self,
+        n_trials: int,
+        sampler: Sampler,
+        batch: int,
+        storage: StudyStorage | None,
+        study_name: str | None,
+        load_if_exists: bool,
+        metadata: dict[str, Any] | None,
+    ) -> SearchResult:
         study = create_study(
             directions=["minimize"] * len(self.objectives),
             sampler=sampler,
-            study_name=f"{self.scenario.name}-blackbox",
+            study_name=study_name or f"{self.scenario.name}-blackbox",
+            storage=storage,
+            load_if_exists=load_if_exists,
+            metadata=metadata,
         )
         seen: list[EvaluatedComposition] = []
         before = self.n_simulations
 
-        remaining = n_trials
+        if study.trials:
+            # Resumed study: drop the trailing partial generation (its
+            # trials were bred from a history an uninterrupted run never
+            # sees) and rebuild the evaluation record for the rest.  A
+            # study that already reached its target needs no alignment —
+            # trimming would only re-run finished work.
+            if len(study.trials) < n_trials:
+                study.drop_trailing_partial_batch(batch)
+            comps = [self.space.from_params(t.params) for t in study.trials]
+            seen.extend(self.evaluate(comps))
+
+        remaining = max(n_trials - len(study.trials), 0)
         while remaining > 0:
             k = min(batch, remaining)
             trials = [study.ask() for _ in range(k)]
@@ -157,9 +286,25 @@ def run_blackbox_search(
     population_size: int = 50,
     seed: int | None = None,
     space: ParameterSpace | None = None,
+    storage: StudyStorage | None = None,
+    study_name: str | None = None,
+    load_if_exists: bool = False,
+    launcher: Any | None = None,
+    metadata: dict[str, Any] | None = None,
 ) -> SearchResult:
-    """Convenience: the paper's NSGA-II configuration."""
-    runner = OptimizationRunner(scenario, space=space or PAPER_SPACE)
+    """Convenience: the paper's NSGA-II configuration.
+
+    Storage-aware and parallel-capable: ``storage``/``load_if_exists``
+    give journaled, resumable studies (DESIGN.md §3); ``launcher`` fans
+    batch evaluation across processes (DESIGN.md §4).  The CLI's
+    ``repro study run / resume`` verbs call straight through here.
+    """
+    runner = OptimizationRunner(scenario, space=space or PAPER_SPACE, launcher=launcher)
     return runner.run_blackbox(
-        n_trials=n_trials, sampler=NSGA2Sampler(population_size=population_size, seed=seed)
+        n_trials=n_trials,
+        sampler=NSGA2Sampler(population_size=population_size, seed=seed),
+        storage=storage,
+        study_name=study_name,
+        load_if_exists=load_if_exists,
+        metadata=metadata,
     )

@@ -1,0 +1,287 @@
+"""Study persistence: storage backends, journal replay, resume (DESIGN.md §3)."""
+
+import json
+
+import pytest
+
+from repro.blackbox import (
+    InMemoryStorage,
+    JournalStorage,
+    NSGA2Sampler,
+    RandomSampler,
+    TrialState,
+    create_study,
+)
+from repro.blackbox.distributions import (
+    CategoricalDistribution,
+    FloatDistribution,
+    IntDistribution,
+    distribution_from_dict,
+    distribution_to_dict,
+)
+from repro.blackbox.storage import decode_trial, encode_trial
+from repro.blackbox.trial import FrozenTrial
+from repro.core.composition import MicrogridComposition
+from repro.exceptions import OptimizationError
+
+
+def objective(trial):
+    x = trial.suggest_float("x", -1.0, 1.0)
+    k = trial.suggest_int("k", 0, 5)
+    return x * x + k
+
+
+class TestSerialization:
+    def test_distribution_round_trip(self):
+        for dist in (
+            FloatDistribution(-1.0, 2.0),
+            FloatDistribution(0.5, 8.0, log=True),
+            FloatDistribution(0.0, 1.0, step=0.25),
+            IntDistribution(0, 10, step=2),
+            CategoricalDistribution(["a", "b", "c"]),
+        ):
+            assert distribution_from_dict(distribution_to_dict(dist)) == dist
+
+    def test_distribution_unknown_type(self):
+        with pytest.raises(OptimizationError):
+            distribution_from_dict({"type": "weibull"})
+
+    def test_trial_round_trip_through_json(self):
+        trial = FrozenTrial(
+            number=7,
+            state=TrialState.COMPLETE,
+            params={"x": 0.5, "k": 3},
+            distributions={
+                "x": FloatDistribution(-1.0, 1.0),
+                "k": IntDistribution(0, 5),
+            },
+            values=(0.25, 3.0),
+            intermediate={0: 1.0, 5: 0.5},
+            user_attrs={"composition": MicrogridComposition(2, 8_000.0, 1)},
+            system_attrs={"nsga2:genome": {"x": 0.5, "k": 3}},
+        )
+        # Through actual JSON text, like the journal does.
+        restored = decode_trial(json.loads(json.dumps(encode_trial(trial))))
+        assert restored == trial
+
+    def test_unknown_objects_degrade_to_repr(self):
+        trial = FrozenTrial(number=0, user_attrs={"weird": object()})
+        restored = decode_trial(json.loads(json.dumps(encode_trial(trial))))
+        assert "__repr__" in restored.user_attrs["weird"]
+
+
+class TestInMemoryStorage:
+    def test_records_and_loads(self):
+        storage = InMemoryStorage()
+        study = create_study(
+            direction="minimize",
+            sampler=RandomSampler(seed=1),
+            study_name="s",
+            storage=storage,
+            metadata={"site": "houston"},
+        )
+        study.optimize(objective, n_trials=5)
+
+        stored = storage.load_study("s")
+        assert stored is not None
+        assert stored.directions == ["minimize"]
+        assert stored.metadata == {"site": "houston"}
+        assert len(stored.finished_trials()) == 5
+        assert all(t.state == TrialState.COMPLETE for t in stored.finished_trials())
+
+    def test_loaded_trials_do_not_alias(self):
+        storage = InMemoryStorage()
+        study = create_study(storage=storage, study_name="s", sampler=RandomSampler(seed=2))
+        study.optimize(objective, n_trials=2)
+        loaded = storage.load_study("s")
+        loaded.trials[0].params["x"] = 999.0
+        assert storage.load_study("s").trials[0].params["x"] != 999.0
+
+    def test_duplicate_create_raises(self):
+        storage = InMemoryStorage()
+        create_study(storage=storage, study_name="s")
+        with pytest.raises(OptimizationError, match="already exists"):
+            create_study(storage=storage, study_name="s")
+
+    def test_load_if_exists_continues_numbering(self):
+        storage = InMemoryStorage()
+        first = create_study(storage=storage, study_name="s", sampler=RandomSampler(seed=3))
+        first.optimize(objective, n_trials=4)
+
+        resumed = create_study(
+            storage=storage, study_name="s", sampler=RandomSampler(seed=3), load_if_exists=True
+        )
+        assert [t.number for t in resumed.trials] == [0, 1, 2, 3]
+        resumed.optimize(objective, n_trials=2)
+        assert len(resumed.trials) == 6
+        assert len(storage.load_study("s").finished_trials()) == 6
+
+    def test_direction_mismatch_raises(self):
+        storage = InMemoryStorage()
+        create_study(directions=["minimize", "maximize"], storage=storage, study_name="s")
+        with pytest.raises(OptimizationError, match="directions"):
+            create_study(direction="minimize", storage=storage, study_name="s", load_if_exists=True)
+
+
+class TestJournalStorage:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JournalStorage(path) as storage:
+            study = create_study(
+                direction="minimize",
+                sampler=RandomSampler(seed=4),
+                study_name="s",
+                storage=storage,
+                metadata={"n_trials": 6},
+            )
+            study.optimize(objective, n_trials=6)
+
+        stored = JournalStorage(path).load_study("s")
+        assert stored is not None
+        assert stored.metadata == {"n_trials": 6}
+        assert [t.number for t in stored.finished_trials()] == list(range(6))
+        assert [t.params for t in stored.finished_trials()] == [
+            t.params for t in study.trials
+        ]
+        assert [t.values for t in stored.finished_trials()] == [
+            t.values for t in study.trials
+        ]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        storage = JournalStorage(tmp_path / "nope.jsonl")
+        assert storage.load_study("s") is None
+        assert storage.load_all() == {}
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        storage = JournalStorage(path)
+        study = create_study(storage=storage, study_name="s", sampler=RandomSampler(seed=5))
+        study.optimize(objective, n_trials=3)
+        storage.close()
+        with open(path, "a") as f:
+            f.write('{"op": "finish", "study": "s", "tri')  # the crash case
+
+        stored = JournalStorage(path).load_study("s")
+        assert len(stored.finished_trials()) == 3
+
+    def test_running_trials_dropped_on_resume(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        storage = JournalStorage(path)
+        study = create_study(storage=storage, study_name="s", sampler=RandomSampler(seed=6))
+        study.optimize(objective, n_trials=3)
+        study.ask()  # in-flight at "crash": start record, no finish
+
+        stored = JournalStorage(path).load_study("s")
+        assert len(stored.trials) == 4  # status view keeps the stale one
+        resumed = create_study(
+            storage=JournalStorage(path),
+            study_name="s",
+            sampler=RandomSampler(seed=6),
+            load_if_exists=True,
+        )
+        assert len(resumed.trials) == 3  # resume discards it
+        trial = resumed.ask()
+        assert trial.number == 3  # the lost number is re-asked
+
+    def test_renumbering_across_a_gap_survives_double_resume(self, tmp_path):
+        # Out-of-order tell via the public ask/tell API: trial 0 is left
+        # RUNNING while trial 1 completes, then the process dies.  The
+        # first resume compacts 1→0; that compaction must be written
+        # back, or the re-asked number 1 collides with the old trial-1
+        # records and a second resume silently drops the completed trial.
+        path = tmp_path / "journal.jsonl"
+        study = create_study(storage=JournalStorage(path), study_name="s")
+        t0 = study.ask()
+        t1 = study.ask()
+        t1.suggest_float("x", 0.0, 10.0)
+        study.tell(t1, 5.0)  # t0 still RUNNING at the "crash"
+
+        resumed = create_study(
+            storage=JournalStorage(path), study_name="s", load_if_exists=True
+        )
+        assert [t.values for t in resumed.trials] == [(5.0,)]
+        t_new = resumed.ask()
+        t_new.suggest_float("x", 0.0, 10.0)
+        resumed.tell(t_new, 9.0)
+
+        # Exit cleanly here (no further asks) and resume once more: both
+        # trials must survive, in compacted order, with no duplicates.
+        second = create_study(
+            storage=JournalStorage(path), study_name="s", load_if_exists=True
+        )
+        assert [(t.number, t.values) for t in second.trials] == [(0, (5.0,)), (1, (9.0,))]
+
+    def test_renumbering_gap_then_clean_exit_does_not_duplicate(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        study = create_study(storage=JournalStorage(path), study_name="s")
+        study.ask()
+        t1 = study.ask()
+        t1.suggest_float("x", 0.0, 10.0)
+        study.tell(t1, 5.0)
+
+        # Resume but ask nothing (target already reached) and exit.
+        create_study(storage=JournalStorage(path), study_name="s", load_if_exists=True)
+        second = create_study(
+            storage=JournalStorage(path), study_name="s", load_if_exists=True
+        )
+        assert [(t.number, t.values) for t in second.trials] == [(0, (5.0,))]
+
+    def test_last_write_wins_replay(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        storage = JournalStorage(path)
+        create_study(storage=storage, study_name="s")
+        old = FrozenTrial(number=0, state=TrialState.COMPLETE, values=(1.0,))
+        new = FrozenTrial(number=0, state=TrialState.COMPLETE, values=(2.0,))
+        storage.record_trial_finish("s", old)
+        storage.record_trial_finish("s", new)
+        stored = JournalStorage(path).load_study("s")
+        assert len(stored.trials) == 1
+        assert stored.trials[0].values == (2.0,)
+
+    def test_multiple_studies_share_one_journal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        storage = JournalStorage(path)
+        for name in ("a", "b"):
+            study = create_study(storage=storage, study_name=name, sampler=RandomSampler(seed=7))
+            study.optimize(objective, n_trials=2)
+        loaded = JournalStorage(path).load_all()
+        assert sorted(loaded) == ["a", "b"]
+        assert all(len(s.finished_trials()) == 2 for s in loaded.values())
+        assert JournalStorage(path).study_names() == ["a", "b"]
+
+    def test_pruned_and_failed_states_persist(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        storage = JournalStorage(path)
+        study = create_study(storage=storage, study_name="s", sampler=RandomSampler(seed=8))
+
+        def flaky(trial):
+            trial.suggest_float("x", 0.0, 1.0)
+            if trial.number == 0:
+                trial.prune()
+            if trial.number == 1:
+                raise ValueError("boom")
+            return 1.0
+
+        study.optimize(flaky, n_trials=3, catch=(ValueError,))
+        states = [t.state for t in JournalStorage(path).load_study("s").trials]
+        assert states == [TrialState.PRUNED, TrialState.FAILED, TrialState.COMPLETE]
+
+
+class TestPerTrialSeeding:
+    def test_same_trial_number_same_draws(self):
+        a = NSGA2Sampler(population_size=4, seed=11)
+        b = NSGA2Sampler(population_size=4, seed=11)
+        a.per_trial_seeding = True
+        b.per_trial_seeding = True
+        a.begin_trial(3)
+        b.begin_trial(3)
+        assert a.rng.random() == b.rng.random()
+        # Different trials get different streams.
+        b.begin_trial(4)
+        assert a.rng.random() != b.rng.random()
+
+    def test_disabled_by_default(self):
+        sampler = RandomSampler(seed=12)
+        rng_before = sampler.rng
+        sampler.begin_trial(0)
+        assert sampler.rng is rng_before

@@ -1,0 +1,59 @@
+"""Smoke test: every ``examples/*.py`` runs to completion.
+
+Examples are written against full-year scenarios (~15 s each); to keep
+the suite fast the scenario horizon is capped by patching
+``build_scenario`` *before* importing each example module — the examples
+bind the name at import time (``from repro import build_scenario``), so
+the patched reference is what they call.  Everything else runs exactly
+as a user would run it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.core
+import repro.core.multiyear
+import repro.core.scenario
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: smoke horizon: one month keeps seasonal structure without year cost
+CAP_HOURS = 24 * 30
+
+_real_build_scenario = repro.core.scenario.build_scenario
+
+
+def _capped_build_scenario(location, year_label=2024, n_hours=8_760, **kwargs):
+    return _real_build_scenario(
+        location, year_label=year_label, n_hours=min(n_hours, CAP_HOURS), **kwargs
+    )
+
+
+@pytest.fixture
+def capped_scenarios(monkeypatch):
+    for module in (repro, repro.core, repro.core.scenario, repro.core.multiyear):
+        monkeypatch.setattr(module, "build_scenario", _capped_build_scenario)
+
+
+def test_all_examples_are_covered():
+    assert EXAMPLES, "examples/ directory is empty?"
+    assert {p.name for p in EXAMPLES} >= {"quickstart.py", "resumable_search.py"}
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_to_completion(example, capped_scenarios, monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)  # examples that write artifacts stay sandboxed
+    name = f"_example_{example.stem}"
+    spec = importlib.util.spec_from_file_location(name, example)
+    module = importlib.util.module_from_spec(spec)
+    monkeypatch.setitem(sys.modules, name, module)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), f"{example.name} has no main()"
+    module.main()

@@ -1,0 +1,258 @@
+"""Parallel execution and resumable search (DESIGN.md §3–§4).
+
+The multiprocessing cases use 2 spawn workers: on any machine this
+exercises the real pool path (pickling, ordering), and the determinism
+assertions must hold regardless of core count.
+"""
+
+import pytest
+
+from repro.blackbox import (
+    JournalStorage,
+    NSGA2Sampler,
+    ParallelStudyRunner,
+    RandomSampler,
+    TrialState,
+    create_study,
+)
+from repro.blackbox.distributions import FloatDistribution, IntDistribution
+from repro.confsys import MultiprocessingLauncher, SerialLauncher
+from repro.core.parameterspace import ParameterSpace
+from repro.core.study_runner import CompositionObjective, OptimizationRunner
+from repro.exceptions import OptimizationError
+
+SMALL_SPACE = ParameterSpace(max_turbines=4, max_solar_increments=4, max_battery_units=3)
+
+SPHERE_SPACE = {
+    "x": FloatDistribution(-2.0, 2.0),
+    "k": IntDistribution(0, 5),
+}
+
+
+def sphere(params):  # module-level: picklable for spawn workers
+    return params["x"] ** 2 + params["k"]
+
+
+def boom(params):  # module-level: picklable for spawn workers
+    raise ValueError("boom")
+
+
+class UnreconstructableError(Exception):
+    """Pickles fine but explodes on unpickling (multi-arg __init__)."""
+
+    def __init__(self, code, msg):
+        super().__init__(f"{code}: {msg}")
+
+
+def boom_unpicklable(params):  # module-level: picklable for spawn workers
+    raise UnreconstructableError(42, "cannot round-trip")
+
+
+def _run_parallel(launcher, sampler, n_trials=12, batch_size=4):
+    study = create_study(direction="minimize", sampler=sampler, study_name="p")
+    ParallelStudyRunner(study, SPHERE_SPACE, launcher=launcher, batch_size=batch_size).optimize(
+        sphere, n_trials=n_trials
+    )
+    return study
+
+
+class TestParallelStudyRunner:
+    def test_serial_launcher_runs(self):
+        study = _run_parallel(SerialLauncher(), RandomSampler(seed=1))
+        assert len(study.trials) == 12
+        assert all(t.state == TrialState.COMPLETE for t in study.trials)
+        assert all(t.values[0] == sphere(t.params) for t in study.trials)
+
+    def test_multiprocessing_matches_serial(self):
+        serial = _run_parallel(SerialLauncher(), NSGA2Sampler(population_size=4, seed=2))
+        parallel = _run_parallel(
+            MultiprocessingLauncher(n_workers=2), NSGA2Sampler(population_size=4, seed=2)
+        )
+        assert [t.params for t in serial.trials] == [t.params for t in parallel.trials]
+        assert [t.values for t in serial.trials] == [t.values for t in parallel.trials]
+
+    def test_rerun_is_reproducible(self):
+        a = _run_parallel(SerialLauncher(), RandomSampler(seed=3))
+        b = _run_parallel(SerialLauncher(), RandomSampler(seed=3))
+        assert [t.params for t in a.trials] == [t.params for t in b.trials]
+
+    def test_caught_errors_mark_failed(self):
+        study = create_study(direction="minimize", sampler=RandomSampler(seed=4), study_name="f")
+        runner = ParallelStudyRunner(study, SPHERE_SPACE, batch_size=3)
+        runner.optimize(boom, n_trials=3, catch=(ValueError,))
+        assert [t.state for t in study.trials] == [TrialState.FAILED] * 3
+
+    def test_uncaught_errors_propagate(self):
+        study = create_study(direction="minimize", sampler=RandomSampler(seed=5), study_name="f")
+        runner = ParallelStudyRunner(study, SPHERE_SPACE, batch_size=2)
+        with pytest.raises(ValueError, match="boom"):
+            runner.optimize(boom, n_trials=2)
+        assert study.trials[0].state == TrialState.FAILED
+
+    def test_validation(self):
+        study = create_study(direction="minimize", study_name="v")
+        with pytest.raises(OptimizationError):
+            ParallelStudyRunner(study, {})
+        with pytest.raises(OptimizationError):
+            ParallelStudyRunner(study, SPHERE_SPACE, batch_size=0)
+        with pytest.raises(OptimizationError):
+            ParallelStudyRunner(study, SPHERE_SPACE).optimize(sphere, n_trials=0)
+
+    def test_unpicklable_exception_does_not_hang_the_pool(self):
+        # An exception that cannot be reconstructed parent-side used to
+        # kill the pool's result-handler thread and block forever; it
+        # must now surface as an OptimizationError naming the original.
+        study = create_study(direction="minimize", sampler=RandomSampler(seed=13), study_name="u")
+        runner = ParallelStudyRunner(
+            study, SPHERE_SPACE, launcher=MultiprocessingLauncher(n_workers=2), batch_size=2
+        )
+        with pytest.raises(OptimizationError, match="UnreconstructableError"):
+            runner.optimize(boom_unpicklable, n_trials=2)
+        assert study.trials[0].state == TrialState.FAILED
+
+    def test_n_trials_is_a_total_target_on_resume(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        study = create_study(
+            direction="minimize", sampler=RandomSampler(seed=14), study_name="t",
+            storage=JournalStorage(path),
+        )
+        ParallelStudyRunner(study, SPHERE_SPACE, batch_size=4).optimize(sphere, n_trials=10)
+
+        resumed = create_study(
+            direction="minimize", sampler=RandomSampler(seed=14), study_name="t",
+            storage=JournalStorage(path), load_if_exists=True,
+        )
+        ParallelStudyRunner(resumed, SPHERE_SPACE, batch_size=4).optimize(sphere, n_trials=12)
+        # 12 total — not 10 loaded + 12 more; the trailing partial batch
+        # (trials 8–9) was re-run under the same numbers.
+        assert len(resumed.trials) == 12
+
+        reference = create_study(direction="minimize", sampler=RandomSampler(seed=14), study_name="t")
+        ParallelStudyRunner(reference, SPHERE_SPACE, batch_size=4).optimize(sphere, n_trials=12)
+        assert [t.params for t in resumed.trials] == [t.params for t in reference.trials]
+        assert [t.values for t in resumed.trials] == [t.values for t in reference.trials]
+
+    def test_batch_defaults_to_population(self):
+        study = create_study(sampler=NSGA2Sampler(population_size=6, seed=6), study_name="b")
+        runner = ParallelStudyRunner(study, SPHERE_SPACE)
+        assert runner.batch_size == 6
+
+    def test_journaled_parallel_run_is_resumable(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        study = create_study(
+            direction="minimize",
+            sampler=RandomSampler(seed=7),
+            study_name="p",
+            storage=JournalStorage(path),
+        )
+        ParallelStudyRunner(study, SPHERE_SPACE, batch_size=4).optimize(sphere, n_trials=8)
+
+        resumed = create_study(
+            direction="minimize",
+            sampler=RandomSampler(seed=7),
+            study_name="p",
+            storage=JournalStorage(path),
+            load_if_exists=True,
+        )
+        assert [t.params for t in resumed.trials] == [t.params for t in study.trials]
+
+
+class TestParallelEvaluation:
+    def test_chunked_evaluation_matches_serial(self, houston_month):
+        comps = SMALL_SPACE.all_compositions()
+        serial = OptimizationRunner(houston_month, space=SMALL_SPACE).evaluate(comps)
+        parallel = OptimizationRunner(
+            houston_month, space=SMALL_SPACE, launcher=MultiprocessingLauncher(n_workers=2)
+        ).evaluate(comps)
+        assert [e.composition for e in serial] == [e.composition for e in parallel]
+        assert [e.embodied_kg for e in serial] == [e.embodied_kg for e in parallel]
+        assert [
+            e.metrics.operational_emissions_kg for e in serial
+        ] == [e.metrics.operational_emissions_kg for e in parallel]
+
+    def test_composition_objective_matches_runner(self, houston_month):
+        objective = CompositionObjective(houston_month, space=SMALL_SPACE)
+        params = {"n_turbines": 2, "solar_increments": 3, "battery_units": 1}
+        comp = SMALL_SPACE.from_params(params)
+        expected = OptimizationRunner(houston_month, space=SMALL_SPACE).evaluate([comp])[0]
+        assert objective(params) == expected.objectives(("operational", "embodied"))
+
+    def test_composition_objective_cosim_close_to_fast(self, houston_month):
+        params = {"n_turbines": 1, "solar_increments": 1, "battery_units": 1}
+        fast = CompositionObjective(houston_month, space=SMALL_SPACE)(params)
+        slow = CompositionObjective(houston_month, space=SMALL_SPACE, cosim=True)(params)
+        assert fast == pytest.approx(slow, rel=1e-6)
+
+
+def _front_key(result):
+    return sorted(
+        (e.composition.n_turbines, e.composition.solar_kw, e.composition.battery_units)
+        for e in result.front()
+    )
+
+
+class TestResumableBlackboxSearch:
+    """Scaled-down version of the acceptance protocol: a fixed-seed
+    NSGA-II study killed mid-run and resumed must reach the identical
+    final Pareto front as an uninterrupted run (the full 350-trial
+    protocol runs in ``benchmarks/bench_parallel_study.py``)."""
+
+    N_TRIALS = 60
+    POP = 10
+    SEED = 42
+
+    def _sampler(self):
+        return NSGA2Sampler(population_size=self.POP, seed=self.SEED)
+
+    def _run(self, scenario, storage, n_trials, load_if_exists=False):
+        return OptimizationRunner(scenario, space=SMALL_SPACE).run_blackbox(
+            n_trials=n_trials,
+            sampler=self._sampler(),
+            storage=storage,
+            study_name="resume-test",
+            load_if_exists=load_if_exists,
+        )
+
+    @pytest.mark.parametrize("kill_after", [15, 30, 35])  # mid/at-generation
+    def test_resumed_front_identical(self, houston_month, tmp_path, kill_after):
+        full = self._run(
+            houston_month, JournalStorage(tmp_path / "full.jsonl"), self.N_TRIALS
+        )
+
+        path = tmp_path / "interrupted.jsonl"
+        self._run(houston_month, JournalStorage(path), kill_after)
+        resumed = self._run(
+            houston_month, JournalStorage(path), self.N_TRIALS, load_if_exists=True
+        )
+
+        assert [t.params for t in resumed.study.trials] == [
+            t.params for t in full.study.trials
+        ]
+        assert [t.values for t in resumed.study.trials] == [
+            t.values for t in full.study.trials
+        ]
+        assert _front_key(resumed) == _front_key(full)
+
+    def test_resume_after_torn_journal_tail(self, houston_month, tmp_path):
+        full = self._run(houston_month, JournalStorage(tmp_path / "full.jsonl"), self.N_TRIALS)
+        path = tmp_path / "interrupted.jsonl"
+        self._run(houston_month, JournalStorage(path), 25)
+        with open(path, "a") as f:
+            f.write('{"op": "finish", "study": "resume-test"')  # kill -9 mid-append
+        resumed = self._run(houston_month, JournalStorage(path), self.N_TRIALS, load_if_exists=True)
+        assert _front_key(resumed) == _front_key(full)
+
+    def test_completed_study_resume_is_a_noop_rerun(self, houston_month, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        full = self._run(houston_month, JournalStorage(path), self.N_TRIALS)
+        again = self._run(houston_month, JournalStorage(path), self.N_TRIALS, load_if_exists=True)
+        assert len(again.study.trials) == self.N_TRIALS
+        assert _front_key(again) == _front_key(full)
+
+    def test_storage_does_not_change_trial_count_or_validity(self, houston_month, tmp_path):
+        result = self._run(houston_month, JournalStorage(tmp_path / "journal.jsonl"), 20)
+        assert len(result.study.trials) == 20
+        assert all(t.state == TrialState.COMPLETE for t in result.study.trials)
+        # Every journaled composition lies on the search grid.
+        for t in result.study.trials:
+            assert SMALL_SPACE.contains(SMALL_SPACE.from_params(t.params))
