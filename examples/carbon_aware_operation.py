@@ -10,10 +10,20 @@ and compares four operating modes over a full year:
 * demand response (defer 20 % of load under high grid carbon intensity),
 * islanded operation (reliability analysis: how often could the site
   run grid-independent?).
+
+It closes with the vectorized policy engine (DESIGN.md §5): the same
+strategy comparison — plus carbon-aware deferral and TOU arbitrage —
+for *every* candidate in the paper's 1 089-point space at batch speed,
+which used to require 1 089 co-simulations per policy.
 """
 
+import time
+
 from repro import MicrogridComposition, build_scenario
+from repro.core.dispatch import POLICY_NAMES, make_policy
 from repro.core.evaluator import CompositionEvaluator
+from repro.core.fastsim import BatchEvaluator
+from repro.core.parameterspace import PAPER_SPACE
 from repro.cosim.controller import DeferrableLoadController
 from repro.cosim.policy import IslandedPolicy, TimeWindowPolicy
 from repro.cosim.signal import TraceSignal
@@ -73,6 +83,23 @@ def main() -> None:
         f"demand response deferred {dr.deferred_total_wh / 1e6:.0f} MWh into "
         f"cleaner hours (backlog at year end: {dr.backlog_wh / 1e3:.1f} kWh)"
     )
+
+    # -- the same strategies, vectorized over the full candidate space -------
+    comps = PAPER_SPACE.all_compositions()
+    print(
+        f"\nvectorized policy engine: best operational tCO2/day across all "
+        f"{len(comps)} candidates"
+    )
+    for name in POLICY_NAMES:
+        policy = make_policy(name, [scenario])
+        start = time.perf_counter()
+        evaluated = BatchEvaluator(scenario, policy=policy).evaluate(comps)
+        elapsed = time.perf_counter() - start
+        best = min(evaluated, key=lambda e: e.metrics.operational_tco2_per_day)
+        print(
+            f"  {name:>14}: best {best.metrics.operational_tco2_per_day:6.2f} tCO2/day "
+            f"at {best.composition.label():<16} ({elapsed:5.2f} s for the sweep)"
+        )
 
 
 if __name__ == "__main__":

@@ -36,9 +36,13 @@ from .core import (
     OptimizationRunner,
     PAPER_SPACE,
     ParameterSpace,
+    RobustEvaluatedComposition,
     Scenario,
     SimulationMetrics,
+    VectorizedPolicy,
     build_scenario,
+    evaluate_across_scenarios,
+    make_policy,
     embodied_carbon_tonnes,
     greedy_diversity_candidates,
     kmeans_candidates,
@@ -63,8 +67,12 @@ __all__ = [
     "build_scenario",
     "SimulationMetrics",
     "EvaluatedComposition",
+    "RobustEvaluatedComposition",
     "BatchEvaluator",
     "CompositionEvaluator",
+    "VectorizedPolicy",
+    "evaluate_across_scenarios",
+    "make_policy",
     "OptimizationRunner",
     "run_exhaustive_search",
     "run_blackbox_search",

@@ -16,6 +16,13 @@ Persistent, resumable, parallel studies (DESIGN.md §3–§4)::
     python -m repro.cli study resume --journal study.jsonl
     python -m repro.cli study status --journal study.jsonl
 
+Robust multi-site search with an alternative dispatch policy
+(DESIGN.md §5) — score every candidate against several scenarios in one
+stacked time loop and optimize the worst case::
+
+    python -m repro.cli study run --journal robust.jsonl \
+        --sites berkeley,houston --policy tou_arbitrage --aggregate worst
+
 ``study run`` journals every trial; kill it at any point and ``study
 resume`` continues to the identical final Pareto front (the scenario and
 search configuration are persisted in the journal's study metadata, so
@@ -48,6 +55,7 @@ from .blackbox import NSGA2Sampler
 from .blackbox.multiobjective import pareto_recovery_rate
 from .confsys import Config, apply_overrides
 from .core.candidates import paper_candidates
+from .core.dispatch import POLICY_NAMES
 from .core.fastsim import coverage_grid
 from .core.pareto import pareto_front, pareto_points
 from .core.projection import crossover_year, project_many
@@ -72,6 +80,22 @@ def _scenario_from(cfg: Config):
         n_hours=cfg.scenario.n_hours,
         mean_power_w=cfg.scenario.mean_power_mw * 1e6,
     )
+
+
+def _scenarios_from(cfg: Config, sites: "list[str]"):
+    """One scenario per site, sharing the year/horizon/load config."""
+    return [
+        _scenario_from(cfg.updated("scenario.location", site)) for site in sites
+    ]
+
+
+def _parse_sites(args, cfg: Config) -> "list[str]":
+    """``--sites a,b`` list, falling back to the single ``--site``."""
+    raw = getattr(args, "sites", None) or cfg.scenario.location
+    sites = [s.strip().lower() for s in raw.split(",") if s.strip()]
+    if not sites:
+        raise SystemExit(f"--sites parsed to an empty list from {raw!r}")
+    return sites
 
 
 def _exhaustive(cfg: Config):
@@ -188,11 +212,16 @@ def _interrupted(journal: str) -> int:
 
 def cmd_study_run(cfg: Config, args) -> int:
     from .blackbox import JournalStorage, NSGA2Sampler
+    from .core.dispatch import make_policy
 
-    scenario = _scenario_from(cfg)
-    name = args.name or f"{scenario.name}-blackbox"
+    sites = _parse_sites(args, cfg)
+    scenarios = _scenarios_from(cfg, sites)
+    name = args.name or "-".join(sites) + "-blackbox"
     metadata = {
-        "site": cfg.scenario.location,
+        "site": sites[0],
+        "sites": sites,
+        "policy": args.policy,
+        "aggregate": args.aggregate,
         "year": cfg.scenario.year,
         "n_hours": cfg.scenario.n_hours,
         "mean_power_mw": cfg.scenario.mean_power_mw,
@@ -200,7 +229,12 @@ def cmd_study_run(cfg: Config, args) -> int:
         "population": args.population,
         "seed": args.seed,
     }
-    runner = OptimizationRunner(scenario, launcher=_study_launcher(args.workers))
+    runner = OptimizationRunner(
+        scenarios,
+        launcher=_study_launcher(args.workers),
+        policy=make_policy(args.policy, scenarios),
+        aggregate=args.aggregate,
+    )
     storage = JournalStorage(args.journal)
     if storage.load_study(name) is not None:
         print(
@@ -241,13 +275,21 @@ def cmd_study_resume(cfg: Config, args) -> int:
         print(f"journal holds several studies, pass --name (one of {sorted(studies)})")
         return 1
 
+    from .core.dispatch import make_policy
+
     md = studies[name].metadata
     site_cfg = cfg.updated("scenario.location", md.get("site", cfg.scenario.location))
     for key in ("year", "n_hours", "mean_power_mw"):
         if key in md:
             site_cfg = site_cfg.updated(f"scenario.{key}", md[key])
-    scenario = _scenario_from(site_cfg)
-    runner = OptimizationRunner(scenario, launcher=_study_launcher(args.workers))
+    sites = [str(s) for s in md.get("sites", [site_cfg.scenario.location])]
+    scenarios = _scenarios_from(site_cfg, sites)
+    runner = OptimizationRunner(
+        scenarios,
+        launcher=_study_launcher(args.workers),
+        policy=make_policy(str(md.get("policy", "default")), scenarios),
+        aggregate=str(md.get("aggregate", "worst")),
+    )
     try:
         result = runner.run_blackbox(
             n_trials=args.trials or int(md.get("n_trials", 350)),
@@ -302,8 +344,16 @@ def cmd_study_status(cfg: Config, args) -> int:
             )
             values = np.array(list(unique.values())) * signs
             line += f", front size {len(pareto_front_indices(values))}"
-        if stored.metadata.get("site"):
-            line += f" (site: {stored.metadata['site']})"
+        sites = stored.metadata.get("sites") or (
+            [stored.metadata["site"]] if stored.metadata.get("site") else []
+        )
+        if sites:
+            line += f" (sites: {','.join(str(s) for s in sites)}"
+            if stored.metadata.get("policy"):
+                line += f", policy: {stored.metadata['policy']}"
+                if len(sites) > 1:
+                    line += f", aggregate: {stored.metadata.get('aggregate', 'worst')}"
+            line += ")"
         print(line)
     return 0
 
@@ -397,11 +447,30 @@ def build_parser() -> argparse.ArgumentParser:
     ssub = p.add_subparsers(dest="study_command", required=True)
     p_run = common(ssub.add_parser("run", help="run a journaled NSGA-II study"))
     p_run.add_argument("--journal", required=True, help="append-only JSONL journal path")
-    p_run.add_argument("--name", default=None, help="study name (default: <site>-blackbox)")
+    p_run.add_argument("--name", default=None, help="study name (default: <sites>-blackbox)")
     p_run.add_argument("--trials", type=int, default=350)
     p_run.add_argument("--population", type=int, default=50)
     p_run.add_argument("--seed", type=int, default=42)
     p_run.add_argument("--workers", type=int, default=1, help="evaluation worker processes")
+    p_run.add_argument(
+        "--sites",
+        default=None,
+        metavar="SITE[,SITE...]",
+        help="comma-separated sites for robust multi-scenario search "
+        "(e.g. berkeley,houston; default: the single --site)",
+    )
+    p_run.add_argument(
+        "--policy",
+        default="default",
+        choices=list(POLICY_NAMES),
+        help="vectorized dispatch policy (DESIGN.md §5)",
+    )
+    p_run.add_argument(
+        "--aggregate",
+        default="worst",
+        choices=["worst", "mean"],
+        help="robust reduction of each objective across scenarios",
+    )
     p_res = ssub.add_parser("resume", help="resume an interrupted journaled study")
     p_res.add_argument("--journal", required=True)
     p_res.add_argument("--name", default=None, help="study name (needed if journal holds several)")

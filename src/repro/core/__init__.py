@@ -10,8 +10,9 @@ Pipeline (Figure 1 of the paper):
    solar capacity × battery units);
 3. each candidate is evaluated — through the faithful co-simulation path
    (:mod:`repro.core.evaluator`) or the vectorized batch path
-   (:mod:`repro.core.fastsim`) — yielding
-   :class:`~repro.core.metrics.SimulationMetrics`;
+   (:mod:`repro.core.fastsim`), whose dispatch decisions come from the
+   pluggable policy engine (:mod:`repro.core.dispatch`, DESIGN.md §5) —
+   yielding :class:`~repro.core.metrics.SimulationMetrics`;
 4. multi-objective search (:mod:`repro.core.study_runner`) produces a
    Pareto front over (embodied, operational) emissions;
 5. candidate extraction (:mod:`repro.core.candidates`) and long-term
@@ -22,10 +23,25 @@ Pipeline (Figure 1 of the paper):
 from .composition import MicrogridComposition
 from .parameterspace import PAPER_SPACE, ParameterSpace
 from .embodied import embodied_carbon_kg, embodied_carbon_tonnes
-from .metrics import EvaluatedComposition, SimulationMetrics
+from .metrics import (
+    EvaluatedComposition,
+    RobustEvaluatedComposition,
+    SimulationMetrics,
+    robust_evaluations,
+)
 from .scenario import Scenario, build_scenario
 from .evaluator import CompositionEvaluator
-from .fastsim import BatchEvaluator
+from .dispatch import (
+    POLICY_NAMES,
+    CarbonAwareDispatch,
+    DefaultDispatch,
+    IslandedDispatch,
+    TimeWindowDispatch,
+    TouArbitrageDispatch,
+    VectorizedPolicy,
+    make_policy,
+)
+from .fastsim import BatchEvaluator, evaluate_across_scenarios
 from .pareto import pareto_front, pareto_points
 from .candidates import (
     greedy_diversity_candidates,
@@ -56,10 +72,21 @@ __all__ = [
     "embodied_carbon_tonnes",
     "SimulationMetrics",
     "EvaluatedComposition",
+    "RobustEvaluatedComposition",
+    "robust_evaluations",
     "Scenario",
     "build_scenario",
     "CompositionEvaluator",
     "BatchEvaluator",
+    "evaluate_across_scenarios",
+    "VectorizedPolicy",
+    "DefaultDispatch",
+    "IslandedDispatch",
+    "TimeWindowDispatch",
+    "CarbonAwareDispatch",
+    "TouArbitrageDispatch",
+    "POLICY_NAMES",
+    "make_policy",
     "pareto_front",
     "pareto_points",
     "threshold_candidates",

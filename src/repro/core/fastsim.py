@@ -5,19 +5,26 @@ across the independent axis*).  All N candidate compositions share the
 same exogenous inputs (load, per-unit generation, carbon intensity); the
 only per-candidate state is the battery energy.  So instead of running N
 sequential year-simulations, we run **one** time loop whose state is an
-N-vector:
+N-vector — and, since PR 2, an (S, N) tensor over S scenarios at once:
 
 * per-candidate generation at step t is a two-term linear combination
   (``solar_kw · solar_per_kw[t] + n_turb_eff · wind_per_turbine[t]``) —
   two scalar-by-vector multiplies;
-* the battery advance is one call to
+* the battery/grid dispatch *decision* is delegated to a
+  :class:`~repro.core.dispatch.VectorizedPolicy` (DESIGN.md §5) — greedy
+  self-consumption by default, carbon-/price-aware strategies as
+  drop-ins — and the battery advance is one call to
   :func:`repro.sam.batterymodels.clc.clc_step_arrays` with the capacity
   vector — the *same equations* the co-simulated battery uses;
-* imports/exports/emissions accumulate into N-vectors in place.
+* imports/exports/emissions accumulate into (S, N) tensors in place.
 
 For the paper's 1 089-point exhaustive sweep this is ~400× faster than
 looping the co-simulator, while agreeing with it to float tolerance
-(see ``tests/test_cross_validation.py``).
+(see ``tests/test_cross_validation.py``).  The stacked multi-scenario
+loop (:func:`evaluate_across_scenarios`) is additionally bit-for-bit
+identical to evaluating each scenario serially — every (scenario,
+candidate) cell is independent, so stacking cannot change the numbers
+(``benchmarks/bench_dispatch.py`` measures the throughput gain).
 """
 
 from __future__ import annotations
@@ -28,28 +35,141 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..sam.batterymodels.clc import CLCParameters, clc_step_arrays
+from ..sam.batterymodels.clc import CLCParameters
 from ..sam.wind.wake import jensen_array_efficiency
-from ..units import SECONDS_PER_HOUR, WH_PER_KWH
+from ..units import SECONDS_PER_HOUR
 from .composition import MicrogridComposition
+from .dispatch import (
+    ISLANDED_EPS_W,
+    DispatchResult,
+    ScenarioStack,
+    VectorizedPolicy,
+    run_dispatch,
+    stack_scenarios,
+)
 from .embodied import embodied_carbon_kg
 from .metrics import EvaluatedComposition, SimulationMetrics
 from .scenario import Scenario
 
-#: grid import below this power (W) counts as "islanded" for the
-#: reliability metric — float noise guard at MW scale.
-ISLANDED_EPS_W = 1e-3
+__all__ = [
+    "ISLANDED_EPS_W",
+    "BatchEvaluator",
+    "coverage_grid",
+    "evaluate_across_scenarios",
+]
+
+
+def _candidate_vectors(
+    compositions: Sequence[MicrogridComposition],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(solar_kw, wake-adjusted turbine factor, battery capacity) (N,)-vectors."""
+    solar_kw = np.array([c.solar_kw for c in compositions], dtype=np.float64)
+    turb_eff = np.array(
+        [c.n_turbines * jensen_array_efficiency(c.n_turbines) for c in compositions],
+        dtype=np.float64,
+    )
+    capacity_wh = np.array([c.battery_wh for c in compositions], dtype=np.float64)
+    return solar_kw, turb_eff, capacity_wh
+
+
+def _results_from_dispatch(
+    stack: ScenarioStack,
+    compositions: Sequence[MicrogridComposition],
+    solar_kw: np.ndarray,
+    turb_eff: np.ndarray,
+    capacity_wh: np.ndarray,
+    params: CLCParameters,
+    res: DispatchResult,
+) -> list[list[EvaluatedComposition]]:
+    """Package accumulated (S, N) flows as per-scenario evaluation lists."""
+    dt_h = stack.step_s / SECONDS_PER_HOUR
+    t_steps = stack.n_steps
+    demand_wh = stack.load_w.sum(axis=1) * dt_h  # (S,)
+    gen_total_wh = (
+        stack.solar_per_kw_w.sum(axis=1)[:, None] * dt_h * solar_kw
+        + stack.wind_per_turbine_w.sum(axis=1)[:, None] * dt_h * turb_eff
+    )  # (S, N)
+    usable_wh = capacity_wh * (params.soc_max - params.soc_min)
+    embodied = [embodied_carbon_kg(c) for c in compositions]
+
+    out: list[list[EvaluatedComposition]] = []
+    for s, scenario in enumerate(stack.scenarios):
+        horizon_days = scenario.horizon_days
+        row: list[EvaluatedComposition] = []
+        for i, comp in enumerate(compositions):
+            metrics = SimulationMetrics(
+                horizon_days=horizon_days,
+                demand_energy_wh=float(demand_wh[s]),
+                onsite_generation_wh=float(gen_total_wh[s, i]),
+                grid_import_wh=float(res.import_wh[s, i]),
+                grid_export_wh=float(res.export_wh[s, i]),
+                battery_charge_wh=float(res.charge_wh[s, i]),
+                battery_discharge_wh=float(res.discharge_wh[s, i]),
+                operational_emissions_kg=float(res.emissions_kg[s, i]),
+                battery_usable_wh=float(usable_wh[i]),
+                unserved_energy_wh=float(res.unserved_wh[s, i]),
+                electricity_cost_usd=float(res.cost_usd[s, i]),
+                islanded_fraction=float(res.islanded_steps[s, i]) / t_steps,
+            )
+            row.append(
+                EvaluatedComposition(
+                    composition=comp, embodied_kg=embodied[i], metrics=metrics
+                )
+            )
+        out.append(row)
+    return out
+
+
+def evaluate_across_scenarios(
+    scenarios: Sequence[Scenario],
+    compositions: Sequence[MicrogridComposition],
+    policy: VectorizedPolicy | None = None,
+    battery_params: CLCParameters | None = None,
+    initial_soc: float = 0.5,
+) -> list[list[EvaluatedComposition]]:
+    """Evaluate the full N-candidates × S-scenarios tensor in one time loop.
+
+    Returns one evaluation list per scenario (``result[s][i]`` pairs
+    ``scenarios[s]`` with ``compositions[i]``).  Results are bit-for-bit
+    identical to running :class:`BatchEvaluator` per scenario — every
+    (scenario, candidate) cell is an independent column of the stacked
+    loop — while amortizing the Python-level time loop across all
+    scenarios (DESIGN.md §5).
+    """
+    if not compositions:
+        return [[] for _ in scenarios]
+    stack = stack_scenarios(scenarios)
+    solar_kw, turb_eff, capacity_wh = _candidate_vectors(compositions)
+    params = battery_params or CLCParameters(capacity_wh=1.0)
+    res = run_dispatch(
+        stack,
+        solar_kw,
+        turb_eff,
+        capacity_wh,
+        params,
+        initial_soc=initial_soc,
+        policy=policy,
+    )
+    return _results_from_dispatch(
+        stack, compositions, solar_kw, turb_eff, capacity_wh, params, res
+    )
 
 
 @dataclass
 class BatchEvaluator:
-    """Evaluates batches of compositions against one scenario."""
+    """Evaluates batches of compositions against one scenario.
+
+    ``policy`` selects the dispatch strategy (DESIGN.md §5); ``None``
+    means the paper's greedy self-consumption
+    (:class:`~repro.core.dispatch.DefaultDispatch`).
+    """
 
     scenario: Scenario
     battery_params: CLCParameters = field(
         default_factory=lambda: CLCParameters(capacity_wh=1.0)
     )
     initial_soc: float = 0.5
+    policy: VectorizedPolicy | None = None
 
     def evaluate(
         self, compositions: Sequence[MicrogridComposition]
@@ -57,162 +177,83 @@ class BatchEvaluator:
         """Simulate all compositions over the scenario horizon."""
         if not compositions:
             return []
-        sc = self.scenario
-        n = len(compositions)
-        t_steps = sc.n_steps
-        dt_s = sc.step_s
-        dt_h = dt_s / SECONDS_PER_HOUR
-
-        # -- per-candidate constants (N-vectors) ---------------------------
-        solar_kw = np.array([c.solar_kw for c in compositions], dtype=np.float64)
-        turb_eff = np.array(
-            [c.n_turbines * jensen_array_efficiency(c.n_turbines) for c in compositions],
-            dtype=np.float64,
-        )
-        capacity_wh = np.array([c.battery_wh for c in compositions], dtype=np.float64)
-
-        p = self.battery_params
-        initial_soc = float(np.clip(self.initial_soc, p.soc_min, p.soc_max))
-        energy_wh = capacity_wh * initial_soc
-
-        # -- accumulators (in place, hpc-parallel guide) ---------------------
-        import_wh = np.zeros(n)
-        export_wh = np.zeros(n)
-        charge_wh = np.zeros(n)
-        discharge_wh = np.zeros(n)
-        emissions_kg = np.zeros(n)
-        cost_usd = np.zeros(n)
-        islanded_steps = np.zeros(n)
-
-        load = sc.workload.power_w
-        per_kw = sc.solar_per_kw_w
-        per_turb = sc.wind_per_turbine_w
-        ci = sc.carbon.intensity_g_per_kwh
-        prices = sc.tariff.hourly_prices(t_steps)
-        export_credit = sc.tariff.export_credit_usd_kwh
-
-        for t in range(t_steps):
-            gen_t = per_kw[t] * solar_kw + per_turb[t] * turb_eff
-            net_t = gen_t - load[t]  # + = surplus
-
-            # Greedy self-consumption (DefaultPolicy): the battery sees the
-            # full net balance as its request.
-            accepted, energy_wh = clc_step_arrays(
-                capacity_wh,
-                energy_wh,
-                net_t,
-                dt_s,
-                eta_charge=p.eta_charge,
-                eta_discharge=p.eta_discharge,
-                max_charge_c_rate=p.max_charge_c_rate,
-                max_discharge_c_rate=p.max_discharge_c_rate,
-                taper_soc_threshold=p.taper_soc_threshold,
-                soc_min=p.soc_min,
-                soc_max=p.soc_max,
-                self_discharge_per_hour=p.self_discharge_per_hour,
-            )
-            residual = net_t - accepted  # + = export, − = import
-
-            imp_t = np.maximum(-residual, 0.0) * dt_h
-            exp_t = np.maximum(residual, 0.0) * dt_h
-            import_wh += imp_t
-            export_wh += exp_t
-            charge_wh += np.maximum(accepted, 0.0) * dt_h
-            discharge_wh += np.maximum(-accepted, 0.0) * dt_h
-            emissions_kg += imp_t / WH_PER_KWH * ci[t] / 1_000.0
-            cost_usd += imp_t / WH_PER_KWH * prices[t] - exp_t / WH_PER_KWH * export_credit
-            islanded_steps += imp_t <= ISLANDED_EPS_W * dt_h
-
-        demand_wh = float(load.sum() * dt_h)
-        gen_total_wh = (
-            per_kw.sum() * dt_h * solar_kw + per_turb.sum() * dt_h * turb_eff
-        )
-        usable_wh = capacity_wh * (p.soc_max - p.soc_min)
-        horizon_days = sc.horizon_days
-
-        results: list[EvaluatedComposition] = []
-        for i, comp in enumerate(compositions):
-            metrics = SimulationMetrics(
-                horizon_days=horizon_days,
-                demand_energy_wh=demand_wh,
-                onsite_generation_wh=float(gen_total_wh[i]),
-                grid_import_wh=float(import_wh[i]),
-                grid_export_wh=float(export_wh[i]),
-                battery_charge_wh=float(charge_wh[i]),
-                battery_discharge_wh=float(discharge_wh[i]),
-                operational_emissions_kg=float(emissions_kg[i]),
-                battery_usable_wh=float(usable_wh[i]),
-                electricity_cost_usd=float(cost_usd[i]),
-                islanded_fraction=float(islanded_steps[i]) / t_steps,
-            )
-            results.append(
-                EvaluatedComposition(
-                    composition=comp,
-                    embodied_kg=embodied_carbon_kg(comp),
-                    metrics=metrics,
-                )
-            )
-        return results
+        return evaluate_across_scenarios(
+            [self.scenario],
+            compositions,
+            policy=self.policy,
+            battery_params=self.battery_params,
+            initial_soc=self.initial_soc,
+        )[0]
 
     def evaluate_one(self, composition: MicrogridComposition) -> EvaluatedComposition:
         """Evaluate a single composition (N=1 batch)."""
         return self.evaluate([composition])[0]
 
+    def soc_histories(
+        self, compositions: Sequence[MicrogridComposition]
+    ) -> np.ndarray:
+        """Per-step SoC traces, shape ``(n_steps + 1, N)``.
+
+        Runs the dispatch engine in trace mode: one vectorized C/L/C
+        step per hour for *all* compositions, instead of the historical
+        per-composition scalar loop.
+        """
+        stack = stack_scenarios([self.scenario])
+        solar_kw, turb_eff, capacity_wh = _candidate_vectors(compositions)
+        res = run_dispatch(
+            stack,
+            solar_kw,
+            turb_eff,
+            capacity_wh,
+            self.battery_params,
+            initial_soc=self.initial_soc,
+            policy=self.policy,
+            trace_soc=True,
+        )
+        return res.soc[0].T  # (N, T+1) → (T+1, N)
+
     def soc_history(self, composition: MicrogridComposition) -> np.ndarray:
         """Hourly SoC trace of one composition (degradation analyses)."""
-        sc = self.scenario
-        p = self.battery_params
-        cap = composition.battery_wh
-        if cap <= 0:
-            return np.zeros(sc.n_steps + 1)
-        eff = composition.n_turbines * jensen_array_efficiency(composition.n_turbines)
-        gen = sc.solar_per_kw_w * composition.solar_kw + sc.wind_per_turbine_w * eff
-        net = gen - sc.workload.power_w
-        energy = cap * float(np.clip(self.initial_soc, p.soc_min, p.soc_max))
-        soc = np.empty(sc.n_steps + 1)
-        soc[0] = energy / cap
-        for t in range(sc.n_steps):
-            _, energy = clc_step_arrays(
-                cap,
-                energy,
-                float(net[t]),
-                sc.step_s,
-                eta_charge=p.eta_charge,
-                eta_discharge=p.eta_discharge,
-                max_charge_c_rate=p.max_charge_c_rate,
-                max_discharge_c_rate=p.max_discharge_c_rate,
-                taper_soc_threshold=p.taper_soc_threshold,
-                soc_min=p.soc_min,
-                soc_max=p.soc_max,
-                self_discharge_per_hour=p.self_discharge_per_hour,
-            )
-            soc[t + 1] = energy / cap
-        return soc
+        if composition.battery_wh <= 0:
+            return np.zeros(self.scenario.n_steps + 1)
+        return self.soc_histories([composition])[:, 0]
 
 
 def coverage_grid(
     scenario: Scenario,
     solar_kw_levels: Sequence[float],
     n_turbine_levels: Sequence[int],
+    chunk_steps: int = 2_048,
 ) -> np.ndarray:
     """Coverage matrix over (solar, wind) without batteries — Figure 4.
 
     Fully vectorized: with no storage the coverage of every combination
     follows from ``min(load, generation)`` summed over time, computed as
-    one broadcast over a (T, n_solar, n_wind) tensor in chunks.
+    one broadcast over a (T, n_solar, n_wind) tensor in chunks of
+    ``chunk_steps`` timesteps, bounding peak memory on long horizons and
+    dense level grids to O(chunk_steps × n_solar) per wind level.
     """
     sc = scenario
     solar_levels = np.asarray(list(solar_kw_levels), dtype=np.float64)
     turb_levels = np.asarray(list(n_turbine_levels), dtype=np.float64)
+    if chunk_steps <= 0:
+        raise ConfigurationError(f"chunk_steps must be positive, got {chunk_steps}")
     eff = np.array([jensen_array_efficiency(int(k)) for k in turb_levels])
     load = sc.workload.power_w
     demand = load.sum()
+    t_steps = load.size
 
     coverage = np.empty((solar_levels.size, turb_levels.size))
     for j, (k, e) in enumerate(zip(turb_levels, eff)):
         wind_profile = sc.wind_per_turbine_w * (k * e)  # (T,)
-        # direct (no-storage) supply: elementwise min of load and generation
-        gen = sc.solar_per_kw_w[:, None] * solar_levels[None, :] + wind_profile[:, None]
-        served = np.minimum(gen, load[:, None]).sum(axis=0)
+        served = np.zeros(solar_levels.size)
+        for start in range(0, t_steps, chunk_steps):
+            stop = min(start + chunk_steps, t_steps)
+            # direct (no-storage) supply: elementwise min of load and generation
+            gen = (
+                sc.solar_per_kw_w[start:stop, None] * solar_levels[None, :]
+                + wind_profile[start:stop, None]
+            )
+            served += np.minimum(gen, load[start:stop, None]).sum(axis=0)
         coverage[:, j] = served / demand
     return coverage

@@ -163,6 +163,112 @@ class EvaluatedComposition:
         }
 
 
+#: The scalar :class:`SimulationMetrics` fields the equivalence checks
+#: compare — shared by the stacked-vs-serial bit-for-bit assertions in
+#: ``tests/test_dispatch_policies.py`` and ``benchmarks/bench_dispatch.py``
+#: so a new metric field cannot silently weaken one of the two.
+COMPARABLE_METRIC_FIELDS = (
+    "demand_energy_wh",
+    "onsite_generation_wh",
+    "grid_import_wh",
+    "grid_export_wh",
+    "battery_charge_wh",
+    "battery_discharge_wh",
+    "operational_emissions_kg",
+    "unserved_energy_wh",
+    "electricity_cost_usd",
+    "islanded_fraction",
+)
+
+#: Supported robust aggregations over scenarios (all objectives minimized,
+#: so "worst" is the elementwise maximum).
+AGGREGATES = ("worst", "mean")
+
+
+@dataclass(frozen=True)
+class RobustEvaluatedComposition:
+    """One composition scored against several scenarios (DESIGN.md §5).
+
+    Wraps the per-scenario :class:`EvaluatedComposition` results of a
+    stacked multi-scenario evaluation and exposes the same
+    ``objectives()`` interface the search/Pareto layers consume, with
+    each objective reduced across scenarios by ``aggregate``:
+
+    * ``worst`` — minimax siting: minimize the worst per-site outcome;
+    * ``mean`` — expected-value siting across the scenario ensemble.
+    """
+
+    composition: MicrogridComposition
+    embodied_kg: float
+    per_scenario: tuple[EvaluatedComposition, ...]
+    aggregate: str = "worst"
+
+    def __post_init__(self) -> None:
+        if self.aggregate not in AGGREGATES:
+            raise ConfigurationError(
+                f"unknown aggregate '{self.aggregate}' (known: {', '.join(AGGREGATES)})"
+            )
+        if not self.per_scenario:
+            raise ConfigurationError("need at least one per-scenario evaluation")
+
+    @property
+    def embodied_tonnes(self) -> float:
+        return self.embodied_kg / KG_PER_TONNE
+
+    @property
+    def operational_tco2_per_day(self) -> float:
+        """Aggregated operational rate (same reduction as ``objectives``)."""
+        values = [e.operational_tco2_per_day for e in self.per_scenario]
+        return max(values) if self.aggregate == "worst" else sum(values) / len(values)
+
+    def objectives(
+        self, names: Sequence[str] = ("operational", "embodied")
+    ) -> tuple[float, ...]:
+        """Robust-aggregate objective vector (all minimized)."""
+        vectors = [e.objectives(names) for e in self.per_scenario]
+        if self.aggregate == "worst":
+            return tuple(max(col) for col in zip(*vectors))
+        return tuple(sum(col) / len(col) for col in zip(*vectors))
+
+    def scenario_objectives(
+        self, names: Sequence[str] = ("operational", "embodied")
+    ) -> tuple[tuple[float, ...], ...]:
+        """Per-scenario objective vectors, in scenario order."""
+        return tuple(e.objectives(names) for e in self.per_scenario)
+
+
+def robust_evaluations(
+    per_scenario: Sequence[Sequence[EvaluatedComposition]],
+    aggregate: str = "worst",
+) -> list[RobustEvaluatedComposition]:
+    """Zip per-scenario evaluation lists into robust per-candidate wrappers.
+
+    ``per_scenario[s][i]`` must pair scenario *s* with candidate *i* —
+    the layout :func:`repro.core.fastsim.evaluate_across_scenarios`
+    produces.
+    """
+    if not per_scenario:
+        raise ConfigurationError("need at least one scenario's evaluations")
+    n = len(per_scenario[0])
+    if any(len(row) != n for row in per_scenario):
+        raise ConfigurationError("per-scenario evaluation lists are misaligned")
+    out: list[RobustEvaluatedComposition] = []
+    for i in range(n):
+        column = tuple(row[i] for row in per_scenario)
+        comp = column[0].composition
+        if any(e.composition != comp for e in column[1:]):
+            raise ConfigurationError(f"candidate {i} differs across scenarios")
+        out.append(
+            RobustEvaluatedComposition(
+                composition=comp,
+                embodied_kg=column[0].embodied_kg,
+                per_scenario=column,
+                aggregate=aggregate,
+            )
+        )
+    return out
+
+
 def annualize_horizon_days(n_hours: int) -> float:
     """Days represented by an hourly simulation horizon."""
     return n_hours / 24.0

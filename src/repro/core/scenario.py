@@ -100,7 +100,9 @@ def build_scenario(
     removes the coordinated dunkelflaute events (ablation A4).
     """
     loc = get_location(location) if isinstance(location, str) else location
-    key = (loc.name, year_label, n_hours, round(mean_power_w), include_extreme_events)
+    # Key on the exact float: rounding made two mean powers within 0.5 W
+    # silently share a cached scenario.
+    key = (loc.name, year_label, n_hours, float(mean_power_w), include_extreme_events)
     if use_cache and key in _SCENARIO_CACHE:
         return _SCENARIO_CACHE[key]
 

@@ -22,6 +22,13 @@ Both modes compose with the persistence/parallelism subsystem
 * pass ``launcher=MultiprocessingLauncher(n)`` to fan batch evaluation
   out across worker processes (order-preserving, numerically identical
   to serial).
+
+Multi-scenario robustness (DESIGN.md §5): pass a *list* of scenarios
+(``OptimizationRunner([berkeley, houston], aggregate="worst")``) and
+every candidate is scored against all scenarios in one stacked
+N×S time loop; objectives seen by the sampler are the per-candidate
+robust aggregates (worst-case or mean across scenarios).  ``policy``
+swaps the dispatch strategy on the same fast path.
 """
 
 from __future__ import annotations
@@ -38,33 +45,54 @@ from ..blackbox.storage import StudyStorage
 from ..blackbox.study import Study, create_study
 from ..exceptions import OptimizationError
 from .composition import MicrogridComposition
-from .fastsim import BatchEvaluator
-from .metrics import EvaluatedComposition
+from .dispatch import VectorizedPolicy
+from .fastsim import evaluate_across_scenarios
+from .metrics import (
+    EvaluatedComposition,
+    RobustEvaluatedComposition,
+    robust_evaluations,
+)
 from .parameterspace import PAPER_SPACE, ParameterSpace
 from .pareto import pareto_front, pareto_points
 from .scenario import Scenario
+
+#: Either a plain single-scenario evaluation or its multi-scenario wrapper —
+#: both expose ``composition`` and ``objectives(names)``.
+AnyEvaluated = "EvaluatedComposition | RobustEvaluatedComposition"
+
+
+def _as_scenarios(scenario: "Scenario | Sequence[Scenario]") -> tuple[Scenario, ...]:
+    if isinstance(scenario, Scenario):
+        return (scenario,)
+    scenarios = tuple(scenario)
+    if not scenarios:
+        raise OptimizationError("need at least one scenario")
+    return scenarios
 
 
 @dataclass
 class SearchResult:
     """Outcome of a composition search."""
 
-    evaluated: list[EvaluatedComposition]
+    evaluated: "list[AnyEvaluated]"
     study: Study | None = None
     n_simulations: int = 0
 
     def front(
         self, objectives: Sequence[str] = ("embodied", "operational")
-    ) -> list[EvaluatedComposition]:
+    ) -> "list[AnyEvaluated]":
         return pareto_front(self.evaluated, objectives)
 
 
 def _evaluate_chunk(
-    job: tuple[Scenario, list[MicrogridComposition]]
-) -> list[EvaluatedComposition]:
+    job: "tuple[tuple[Scenario, ...], VectorizedPolicy | None, str, list[MicrogridComposition]]",
+) -> "list[AnyEvaluated]":
     """Worker-side batch evaluation of one composition chunk (picklable)."""
-    scenario, comps = job
-    return BatchEvaluator(scenario).evaluate(comps)
+    scenarios, policy, aggregate, comps = job
+    per_scenario = evaluate_across_scenarios(scenarios, comps, policy=policy)
+    if len(scenarios) == 1:
+        return per_scenario[0]
+    return robust_evaluations(per_scenario, aggregate)
 
 
 @dataclass
@@ -74,9 +102,15 @@ class CompositionObjective:
     The worker-process counterpart of ``ParameterSpace.suggest``: rebuild
     the composition from the suggested parameters, evaluate it, and
     return the requested objectives.  Instances ship cleanly through
-    :class:`~repro.confsys.launcher.MultiprocessingLauncher` (scenario
-    and space are plain picklable dataclasses), so this is the natural
-    objective for :class:`~repro.blackbox.parallel.ParallelStudyRunner`.
+    :class:`~repro.confsys.launcher.MultiprocessingLauncher` (scenarios,
+    space, and dispatch policies are plain picklable dataclasses), so
+    this is the natural objective for
+    :class:`~repro.blackbox.parallel.ParallelStudyRunner`.
+
+    ``scenario`` may be a single scenario or a sequence; with several,
+    the trial is scored by the robust ``aggregate`` across all of them
+    (one stacked time loop on the fast path; per-scenario co-simulations
+    with the policy's scalar twin when ``cosim=True``).
 
     ``cosim=True`` scores through the full co-simulator (the paper's
     faithful-but-slow path, DESIGN.md §2) — the case where fanning trials
@@ -84,46 +118,76 @@ class CompositionObjective:
     the vectorized :class:`~repro.core.fastsim.BatchEvaluator`.
     """
 
-    scenario: Scenario
+    scenario: "Scenario | Sequence[Scenario]"
     space: ParameterSpace = field(default_factory=lambda: PAPER_SPACE)
     objectives: tuple[str, ...] = ("operational", "embodied")
     cosim: bool = False
+    policy: VectorizedPolicy | None = None
+    aggregate: str = "worst"
 
     def __call__(self, params: dict[str, Any]) -> tuple[float, ...]:
         comp = self.space.from_params(params)
+        scenarios = _as_scenarios(self.scenario)
         if self.cosim:
             from .evaluator import CompositionEvaluator
 
-            evaluated = CompositionEvaluator(self.scenario).evaluate(comp)
+            per_scenario = [
+                [
+                    CompositionEvaluator(
+                        sc,
+                        policy=(
+                            self.policy.cosim_twin(sc, i)
+                            if self.policy is not None
+                            else None
+                        ),
+                    ).evaluate(comp)
+                ]
+                for i, sc in enumerate(scenarios)
+            ]
         else:
-            evaluated = BatchEvaluator(self.scenario).evaluate([comp])[0]
+            per_scenario = evaluate_across_scenarios(
+                scenarios, [comp], policy=self.policy
+            )
+        if len(scenarios) == 1:
+            evaluated: "AnyEvaluated" = per_scenario[0][0]
+        else:
+            evaluated = robust_evaluations(per_scenario, self.aggregate)[0]
         return evaluated.objectives(self.objectives)
 
 
 @dataclass
 class OptimizationRunner:
-    """Runs composition searches against one scenario.
+    """Runs composition searches against one scenario — or several.
+
+    With a sequence of scenarios, every batch is evaluated as one
+    stacked N-candidates × S-scenarios time loop (DESIGN.md §5) and the
+    search optimizes the robust ``aggregate`` ("worst" or "mean") of
+    each objective across scenarios — multi-site NSGA-II objectives.
 
     With ``launcher`` set to a
     :class:`~repro.confsys.launcher.MultiprocessingLauncher`, batch
     evaluation of uncached compositions is split into per-worker chunks
     and fanned across processes; results are order-preserving and
-    numerically identical to the serial path (each candidate's column is
+    numerically identical to serial (each candidate's column is
     independent in the vectorized time loop).
     """
 
-    scenario: Scenario
+    scenario: "Scenario | Sequence[Scenario]"
     space: ParameterSpace = field(default_factory=lambda: PAPER_SPACE)
     objectives: tuple[str, ...] = ("operational", "embodied")
     launcher: Any | None = None
+    policy: VectorizedPolicy | None = None
+    aggregate: str = "worst"
 
     def __post_init__(self) -> None:
-        self._batch = BatchEvaluator(self.scenario)
-        self._cache: dict[MicrogridComposition, EvaluatedComposition] = {}
+        self.scenarios: tuple[Scenario, ...] = _as_scenarios(self.scenario)
+        self._cache: "dict[MicrogridComposition, AnyEvaluated]" = {}
 
     # -- evaluation with memoization ------------------------------------------
 
-    def evaluate(self, comps: Sequence[MicrogridComposition]) -> list[EvaluatedComposition]:
+    def evaluate(
+        self, comps: Sequence[MicrogridComposition]
+    ) -> "list[AnyEvaluated]":
         """Evaluate compositions, reusing cached results."""
         missing = [c for c in dict.fromkeys(comps) if c not in self._cache]
         if missing:
@@ -133,13 +197,16 @@ class OptimizationRunner:
 
     def _evaluate_missing(
         self, missing: list[MicrogridComposition]
-    ) -> list[EvaluatedComposition]:
+    ) -> "list[AnyEvaluated]":
         n_workers = getattr(self.launcher, "n_workers", 1)
         if self.launcher is None or n_workers <= 1 or len(missing) < 2 * n_workers:
-            return self._batch.evaluate(missing)
+            return _evaluate_chunk((self.scenarios, self.policy, self.aggregate, missing))
         from ..confsys.launcher import chunk_evenly
 
-        jobs = [(self.scenario, chunk) for chunk in chunk_evenly(missing, n_workers)]
+        jobs = [
+            (self.scenarios, self.policy, self.aggregate, chunk)
+            for chunk in chunk_evenly(missing, n_workers)
+        ]
         results = self.launcher.launch(_evaluate_chunk, jobs)
         return [res for chunk_result in results for res in chunk_result]
 
@@ -207,6 +274,9 @@ class OptimizationRunner:
         finally:
             sampler.per_trial_seeding = prior_seeding
 
+    def _default_study_name(self) -> str:
+        return "-".join(sc.name for sc in self.scenarios) + "-blackbox"
+
     def _run_blackbox_study(
         self,
         n_trials: int,
@@ -220,12 +290,12 @@ class OptimizationRunner:
         study = create_study(
             directions=["minimize"] * len(self.objectives),
             sampler=sampler,
-            study_name=study_name or f"{self.scenario.name}-blackbox",
+            study_name=study_name or self._default_study_name(),
             storage=storage,
             load_if_exists=load_if_exists,
             metadata=metadata,
         )
-        seen: list[EvaluatedComposition] = []
+        seen: "list[AnyEvaluated]" = []
         before = self.n_simulations
 
         if study.trials:
@@ -273,15 +343,20 @@ class OptimizationRunner:
 
 
 def run_exhaustive_search(
-    scenario: Scenario, space: ParameterSpace | None = None
+    scenario: "Scenario | Sequence[Scenario]",
+    space: ParameterSpace | None = None,
+    policy: VectorizedPolicy | None = None,
+    aggregate: str = "worst",
 ) -> SearchResult:
     """Convenience: exhaustive sweep of the (default) paper space."""
-    runner = OptimizationRunner(scenario, space=space or PAPER_SPACE)
+    runner = OptimizationRunner(
+        scenario, space=space or PAPER_SPACE, policy=policy, aggregate=aggregate
+    )
     return runner.run_exhaustive()
 
 
 def run_blackbox_search(
-    scenario: Scenario,
+    scenario: "Scenario | Sequence[Scenario]",
     n_trials: int = 350,
     population_size: int = 50,
     seed: int | None = None,
@@ -291,15 +366,25 @@ def run_blackbox_search(
     load_if_exists: bool = False,
     launcher: Any | None = None,
     metadata: dict[str, Any] | None = None,
+    policy: VectorizedPolicy | None = None,
+    aggregate: str = "worst",
 ) -> SearchResult:
     """Convenience: the paper's NSGA-II configuration.
 
     Storage-aware and parallel-capable: ``storage``/``load_if_exists``
     give journaled, resumable studies (DESIGN.md §3); ``launcher`` fans
-    batch evaluation across processes (DESIGN.md §4).  The CLI's
+    batch evaluation across processes (DESIGN.md §4).  A scenario
+    sequence plus ``aggregate`` gives robust multi-site search, and
+    ``policy`` swaps the dispatch strategy (DESIGN.md §5).  The CLI's
     ``repro study run / resume`` verbs call straight through here.
     """
-    runner = OptimizationRunner(scenario, space=space or PAPER_SPACE, launcher=launcher)
+    runner = OptimizationRunner(
+        scenario,
+        space=space or PAPER_SPACE,
+        launcher=launcher,
+        policy=policy,
+        aggregate=aggregate,
+    )
     return runner.run_blackbox(
         n_trials=n_trials,
         sampler=NSGA2Sampler(population_size=population_size, seed=seed),

@@ -32,7 +32,14 @@ from .engine import CoSimEnvironment, MicrogridSimulator, PeriodicSimulator, Sim
 from .grid import GridConnection
 from .microgrid import Microgrid, StepResult
 from .monitor import Monitor
-from .policy import DefaultPolicy, IslandedPolicy, MicrogridPolicy, TimeWindowPolicy
+from .policy import (
+    CarbonAwarePolicy,
+    DefaultPolicy,
+    IslandedPolicy,
+    MicrogridPolicy,
+    TimeWindowPolicy,
+    TouArbitragePolicy,
+)
 from .predictive import PredictiveChargeController
 from .stacked import StackedStorage
 from .scheduler import BatchJob, CarbonAwareBatchScheduler, FlexibleLoad
@@ -65,6 +72,8 @@ __all__ = [
     "IslandedPolicy",
     "MicrogridPolicy",
     "TimeWindowPolicy",
+    "CarbonAwarePolicy",
+    "TouArbitragePolicy",
     "Signal",
     "ConstantSignal",
     "FunctionSignal",

@@ -9,12 +9,22 @@ scheduling").
 The default policy — greedy self-consumption — matches how the paper's
 experiments operate the battery: renewable surplus charges the battery,
 deficits discharge it, and only the remainder is exchanged with the grid.
+
+Every policy here has a vectorized twin in :mod:`repro.core.dispatch`
+that makes the same decisions for whole candidate batches on the fast
+path (DESIGN.md §5); ``tests/test_cross_validation.py`` pins the pairs
+together.  Signal-aware policies (carbon, price) take the relevant
+series at construction and look the value up by step time — the scalar
+equivalent of the price/CI columns the vectorized engine hands its
+policies each step.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..exceptions import ConfigurationError
 from .storage import Storage
@@ -40,6 +50,25 @@ class MicrogridPolicy(ABC):
         self, net_power_w: float, storage: Storage | None, t_s: float, dt_s: float
     ) -> PolicyDecision:
         """Route ``net_power_w`` (production − consumption; + = surplus)."""
+
+
+def _transact(
+    net_power_w: float, request_w: float, storage: Storage | None, dt_s: float
+) -> PolicyDecision:
+    """Request battery power, route the residual through the grid.
+
+    The storage is *always* transacted with (a zero request still applies
+    self-discharge — an idle battery leaks), matching the vectorized
+    engine, which advances every battery each step.
+    """
+    accepted = storage.update(request_w, dt_s) if storage is not None else 0.0
+    residual = net_power_w - accepted  # + = export, − = import
+    return PolicyDecision(
+        grid_import_w=max(-residual, 0.0),
+        grid_export_w=max(residual, 0.0),
+        storage_charge_w=max(accepted, 0.0),
+        storage_discharge_w=max(-accepted, 0.0),
+    )
 
 
 class DefaultPolicy(MicrogridPolicy):
@@ -126,10 +155,85 @@ class TimeWindowPolicy(MicrogridPolicy):
     ) -> PolicyDecision:
         if net_power_w >= 0.0 or self._in_window(t_s):
             return self._fallback.dispatch(net_power_w, storage, t_s, dt_s)
-        # Outside the window: deficit goes straight to the grid.
-        return PolicyDecision(
-            grid_import_w=-net_power_w,
-            grid_export_w=0.0,
-            storage_charge_w=0.0,
-            storage_discharge_w=0.0,
-        )
+        # Outside the window the deficit goes straight to the grid; the
+        # idle battery is still transacted with (self-discharge applies).
+        return _transact(net_power_w, 0.0, storage, dt_s)
+
+
+class _SeriesLookup:
+    """Mixin: hourly-series value at a simulation time (signal twin of
+    the per-step columns the vectorized engine hands its policies)."""
+
+    def _init_series(self, values: np.ndarray, step_s: float) -> None:
+        series = np.asarray(values, dtype=np.float64)
+        if series.ndim != 1 or series.size == 0:
+            raise ConfigurationError("signal series must be a non-empty 1-D array")
+        if step_s <= 0:
+            raise ConfigurationError(f"step_s must be positive, got {step_s}")
+        self._series = series
+        self._step_s = float(step_s)
+
+    def _at(self, t_s: float) -> float:
+        return float(self._series[int(t_s // self._step_s) % self._series.size])
+
+
+class CarbonAwarePolicy(MicrogridPolicy, _SeriesLookup):
+    """Carbon-aware charge deferral (§3.3 "carbon-aware scheduling").
+
+    Surplus always charges; during deficits the battery discharges only
+    while the grid's carbon intensity is at or above the threshold,
+    deferring stored charge to the dirtiest hours.  Scalar twin of
+    :class:`repro.core.dispatch.CarbonAwareDispatch`.
+    """
+
+    def __init__(
+        self,
+        ci_g_per_kwh: np.ndarray,
+        step_s: float,
+        ci_discharge_g_per_kwh: float = 420.0,
+    ) -> None:
+        self._init_series(ci_g_per_kwh, step_s)
+        self.ci_discharge_g_per_kwh = float(ci_discharge_g_per_kwh)
+
+    def dispatch(
+        self, net_power_w: float, storage: Storage | None, t_s: float, dt_s: float
+    ) -> PolicyDecision:
+        dirty = self._at(t_s) >= self.ci_discharge_g_per_kwh
+        request = net_power_w if (net_power_w >= 0.0 or dirty) else 0.0
+        return _transact(net_power_w, request, storage, dt_s)
+
+
+class TouArbitragePolicy(MicrogridPolicy, _SeriesLookup):
+    """TOU price arbitrage / peak shaving.
+
+    Off-peak (price ≤ charge threshold): charge as fast as the battery
+    allows, importing the shortfall (the arbitrage buy).  On-peak
+    (price ≥ discharge threshold): greedy dispatch, shaving the peak.
+    In between: hold — charge from surplus only.  Scalar twin of
+    :class:`repro.core.dispatch.TouArbitrageDispatch`.
+    """
+
+    def __init__(
+        self,
+        prices_usd_kwh: np.ndarray,
+        step_s: float,
+        charge_price_usd_kwh: float = 0.10,
+        discharge_price_usd_kwh: float = 0.20,
+    ) -> None:
+        self._init_series(prices_usd_kwh, step_s)
+        if charge_price_usd_kwh >= discharge_price_usd_kwh:
+            raise ConfigurationError("charge price threshold must be below discharge")
+        self.charge_price_usd_kwh = float(charge_price_usd_kwh)
+        self.discharge_price_usd_kwh = float(discharge_price_usd_kwh)
+
+    def dispatch(
+        self, net_power_w: float, storage: Storage | None, t_s: float, dt_s: float
+    ) -> PolicyDecision:
+        price = self._at(t_s)
+        if price <= self.charge_price_usd_kwh:
+            request = float("inf")  # the battery clips to its rate limit
+        elif price >= self.discharge_price_usd_kwh:
+            request = net_power_w
+        else:
+            request = max(net_power_w, 0.0)
+        return _transact(net_power_w, request, storage, dt_s)

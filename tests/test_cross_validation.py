@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core.composition import MicrogridComposition
+from repro.core.dispatch import POLICY_NAMES, make_policy
 from repro.core.evaluator import CompositionEvaluator
 from repro.core.fastsim import BatchEvaluator
 
@@ -74,3 +75,63 @@ def test_full_year_agreement_single_composition(houston):
         slow.operational_emissions_kg, rel=1e-9
     )
     assert fast.coverage == pytest.approx(slow.coverage, abs=1e-12)
+
+
+# -- vectorized policies vs their co-simulated twins (DESIGN.md §5) ----------
+
+#: one storage-exercising composition keeps the cosim runs affordable
+POLICY_COMP = MicrogridComposition.from_mw(9.0, 8.0, 22.5)
+
+
+def _assert_policy_paths_agree(scenario, policy_name, comp):
+    policy = make_policy(policy_name, [scenario])
+    fast = BatchEvaluator(scenario, policy=policy).evaluate_one(comp).metrics
+    slow = (
+        CompositionEvaluator(scenario, policy=policy.cosim_twin(scenario))
+        .evaluate(comp)
+        .metrics
+    )
+    assert fast.grid_import_wh == pytest.approx(slow.grid_import_wh, rel=1e-9, abs=1e-3)
+    assert fast.grid_export_wh == pytest.approx(slow.grid_export_wh, rel=1e-9, abs=1e-3)
+    assert fast.battery_charge_wh == pytest.approx(
+        slow.battery_charge_wh, rel=1e-9, abs=1e-3
+    )
+    assert fast.battery_discharge_wh == pytest.approx(
+        slow.battery_discharge_wh, rel=1e-9, abs=1e-3
+    )
+    assert fast.unserved_energy_wh == pytest.approx(
+        slow.unserved_energy_wh, rel=1e-9, abs=1e-3
+    )
+    assert fast.operational_emissions_kg == pytest.approx(
+        slow.operational_emissions_kg, rel=1e-9, abs=1e-6
+    )
+    assert fast.electricity_cost_usd == pytest.approx(
+        slow.electricity_cost_usd, rel=1e-9, abs=1e-6
+    )
+    assert fast.coverage == pytest.approx(slow.coverage, abs=1e-9)
+    assert fast.islanded_fraction == pytest.approx(slow.islanded_fraction, abs=1e-12)
+
+
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+@pytest.mark.parametrize("site", ["houston", "berkeley"])
+def test_policy_twins_agree(policy_name, site, houston_month, berkeley_month):
+    """Every vectorized policy matches its scalar cosim twin, both sites."""
+    scenario = houston_month if site == "houston" else berkeley_month
+    _assert_policy_paths_agree(scenario, policy_name, POLICY_COMP)
+
+
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+@pytest.mark.parametrize("site", ["houston", "berkeley"])
+def test_policy_twins_agree_no_battery(policy_name, site, houston_month, berkeley_month):
+    """Twin agreement must also hold when there is no storage to dispatch."""
+    scenario = houston_month if site == "houston" else berkeley_month
+    _assert_policy_paths_agree(scenario, policy_name, MicrogridComposition.from_mw(6.0, 4.0, 0.0))
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+@pytest.mark.parametrize("site", ["houston", "berkeley"])
+def test_policy_twins_agree_full_year(policy_name, site, houston, berkeley):
+    """Full-year twin agreement on both paper scenarios (slow tier)."""
+    scenario = houston if site == "houston" else berkeley
+    _assert_policy_paths_agree(scenario, policy_name, POLICY_COMP)
