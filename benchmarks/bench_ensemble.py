@@ -1,0 +1,91 @@
+"""Scenario-ensemble throughput: S members × N candidates, one loop.
+
+The perf point of the ensemble subsystem (DESIGN.md §6): a 10-member
+ensemble — five weather years × two workload-growth futures — evaluated
+as one stacked time loop must be **bit-for-bit** identical to evaluating
+every member serially through ``BatchEvaluator``, while amortizing the
+Python-level time loop across all members.
+
+The equality assertion always runs; the wall-clock speedup assertion
+(≥ 1.2×, easily met when the per-step Python overhead dominates) is
+opt-in behind the ``bench`` marker (``pytest -m bench benchmarks/``)
+because wall-clock on a loaded single-CPU container is noisy.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.ensemble import EnsembleSpec, build_ensemble
+from repro.core.fastsim import BatchEvaluator, evaluate_across_scenarios
+from repro.core.metrics import COMPARABLE_METRIC_FIELDS as METRIC_FIELDS
+from repro.core.parameterspace import ParameterSpace
+
+#: 10 members: 5 weather years × 2 growth futures, one quarter each.
+ENSEMBLE_SPEC = EnsembleSpec.parse(
+    "years=2020-2024,growth=1.0:1.2", sites=("houston",), n_hours=24 * 90
+)
+
+#: 72 candidates — wide enough to be a real batch, small enough that the
+#: stacked loop's per-step overhead amortization is what gets measured.
+SPACE = ParameterSpace(max_turbines=5, max_solar_increments=3, max_battery_units=2)
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    return build_ensemble(ENSEMBLE_SPEC)
+
+
+def _time_both(scenarios, comps):
+    start = time.perf_counter()
+    serial = [BatchEvaluator(sc).evaluate(comps) for sc in scenarios]
+    t_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    stacked = evaluate_across_scenarios(scenarios, comps)
+    t_stacked = time.perf_counter() - start
+    return serial, t_serial, stacked, t_stacked
+
+
+def test_ensemble_stacked_matches_serial_bit_for_bit(ensemble, output_dir):
+    comps = SPACE.all_compositions()
+    serial, t_serial, stacked, t_stacked = _time_both(ensemble, comps)
+
+    mismatches = 0
+    for s in range(len(ensemble)):
+        for e_serial, e_stacked in zip(serial[s], stacked[s]):
+            for name in METRIC_FIELDS:
+                if getattr(e_serial.metrics, name) != getattr(e_stacked.metrics, name):
+                    mismatches += 1
+    assert mismatches == 0, f"{mismatches} metric values differ from serial evaluation"
+
+    cells = len(comps) * len(ensemble) * ensemble[0].n_steps
+    speedup = t_serial / t_stacked if t_stacked > 0 else float("inf")
+    report = (
+        f"ensemble tensor benchmark ({len(comps)} candidates x "
+        f"{len(ensemble)} members x {ensemble[0].n_steps} steps):\n"
+        f"  members             : {', '.join(sc.name for sc in ensemble)}\n"
+        f"  serial per-member   : {t_serial:6.2f} s "
+        f"({cells / t_serial / 1e6:6.1f} M cell-steps/s)\n"
+        f"  stacked tensor      : {t_stacked:6.2f} s "
+        f"({cells / t_stacked / 1e6:6.1f} M cell-steps/s)\n"
+        f"  stacking speedup    : {speedup:5.2f}x\n"
+        f"  bit-for-bit         : yes ({len(METRIC_FIELDS)} metrics x "
+        f"{len(comps) * len(ensemble)} evaluations)\n"
+    )
+    print("\n" + report)
+    (output_dir / "ensemble_tensor.txt").write_text(report)
+
+
+@pytest.mark.bench
+def test_ensemble_stacking_speedup(ensemble):
+    comps = SPACE.all_compositions()
+    _time_both(ensemble, comps)  # warm the per-unit caches and allocator
+    _, t_serial, _, t_stacked = _time_both(ensemble, comps)
+    speedup = t_serial / t_stacked if t_stacked > 0 else float("inf")
+    assert speedup >= 1.2, (
+        f"stacked 10-member ensemble only {speedup:.2f}x vs serial "
+        f"({t_serial:.2f}s serial, {t_stacked:.2f}s stacked)"
+    )

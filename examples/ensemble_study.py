@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Risk-aware sizing over a scenario ensemble (DESIGN.md §6).
+
+Crosses five synthetic weather years with two dunkelflaute-severity
+futures into a 10-member ensemble, scores a Houston shortlist against
+all members in **one stacked time loop**, and compares the
+expected-value ranking (``mean``) with the risk-aware ranking
+(``cvar:0.25`` — mean of the worst quartile of members).
+
+The point of the exercise is the **ranking flip**: deep-battery designs
+flatter the *average* future (they time-shift surplus on ordinary
+days), but a severe multi-day dark doldrum outlasts any battery — in
+the worst quartile the robust pick swings toward generation overbuild,
+which still produces *something* through an attenuated week while an
+exhausted battery produces nothing.  Sizing by the mean therefore
+mis-ranks exactly the designs that differ in tail exposure.
+Everything is seeded and offline; the same search at scale is
+``repro study run --ensemble years=2020-2029,severity=1.0:1.8
+--aggregate cvar:0.25``.
+"""
+
+from repro import MicrogridComposition
+from repro.core.ensemble import EnsembleSpec, build_ensemble, evaluate_ensemble
+
+#: (wind MW, solar MW, battery MWh) — deliberately mixes "modest
+#: generation, deep battery" designs (great average, fragile tail) with
+#: "overbuild generation, skimp on storage" designs (the other way
+#: round), since that is the trade-off CVaR re-ranks.
+SHORTLIST = [
+    MicrogridComposition.from_mw(12.0, 0.0, 7.5),
+    MicrogridComposition.from_mw(0.0, 36.0, 7.5),
+    MicrogridComposition.from_mw(0.0, 12.0, 22.5),
+    MicrogridComposition.from_mw(6.0, 36.0, 0.0),
+    MicrogridComposition.from_mw(0.0, 16.0, 52.5),
+    MicrogridComposition.from_mw(30.0, 40.0, 60.0),
+]
+
+#: 45-day horizon keeps this demo quick while spanning several events.
+SPEC = EnsembleSpec.parse(
+    "years=2020-2024,severity=1.0:1.8",
+    sites=("houston",),
+    n_hours=24 * 45,
+)
+
+
+def _ranking(aggregate: str, scenarios) -> list[tuple[float, MicrogridComposition]]:
+    robust = evaluate_ensemble(scenarios, SHORTLIST, aggregate=aggregate)
+    return sorted((r.operational_tco2_per_day, r.composition) for r in robust)
+
+
+def main() -> None:
+    scenarios = build_ensemble(SPEC)
+    print(
+        f"{len(scenarios)}-member ensemble (houston, "
+        f"{len(SPEC.years)} weather years x {len(SPEC.severity)} severities):"
+    )
+    for sc in scenarios:
+        print(f"   {sc.name}")
+
+    by_mean = _ranking("mean", scenarios)
+    by_cvar = _ranking("cvar:0.25", scenarios)
+
+    print(f"\n{'rank':>4} {'by mean':>22} {'tCO2/d':>7}   {'by cvar:0.25':>22} {'tCO2/d':>7}")
+    for i, ((m_val, m_comp), (c_val, c_comp)) in enumerate(zip(by_mean, by_cvar), 1):
+        marker = "  <- flip" if m_comp != c_comp else ""
+        print(
+            f"{i:>4} {m_comp.label():>22} {m_val:>7.2f}   "
+            f"{c_comp.label():>22} {c_val:>7.2f}{marker}"
+        )
+
+    flips = [
+        i for i, (m, c) in enumerate(zip(by_mean, by_cvar), 1) if m[1] != c[1]
+    ]
+    if flips:
+        print(
+            f"\nranking flip at position(s) {flips}: the expected-value "
+            "ranking and the worst-quartile ranking disagree — batteries "
+            "carry ordinary days, but only generation overbuild survives "
+            "a severe multi-day dark doldrum, so sizing by the mean "
+            "mis-ranks the designs that differ in tail exposure."
+        )
+    else:
+        print("\nno ranking flip at this horizon (try a full year).")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,9 +4,12 @@
 The paper sizes against a single historical year and projects linearly.
 This example stress-tests a shortlist of Houston candidates with:
 
-1. **multi-year ensembles** — five synthetic weather years, ranking
-   compositions by CVaR (mean of the worst quartile) instead of the
-   single-year value;
+1. **multi-year ensembles** — five synthetic weather years evaluated as
+   one stacked 5-years × N-candidates time loop (DESIGN.md §6), ranking
+   compositions by CVaR (mean of the worst quartile, via the unified
+   ``repro.core.metrics`` reducers) instead of the single-year value —
+   richer ensembles (growth/carbon/tariff/severity axes) are
+   ``examples/ensemble_study.py``;
 2. **sensitivity/tornado analysis** — how the baseline-vs-buildout
    crossover year moves when the grid decarbonizes or hardware
    footprints change;
@@ -50,13 +53,15 @@ SHORTLIST = [
 
 
 def main() -> None:
-    # -- 1. multi-year robustness --------------------------------------------
-    print("1) five-weather-year ensemble (Houston):")
+    # -- 1. multi-year robustness (one stacked 5×N time loop) ----------------
+    print("1) five-weather-year ensemble (Houston, one stacked time loop):")
     outcomes = evaluate_across_years(
         "houston", SHORTLIST, year_labels=(2020, 2021, 2022, 2023, 2024)
     )
     print(f"{'composition':>16} {'op mean':>8} {'op worst':>9} {'CVaR25':>7} {'cov worst':>10}")
     for o in robust_ranking(outcomes):
+        # cvar_operational delegates to the unified metrics reducer
+        # (aggregate_values(values, "cvar:0.25"), DESIGN.md §6).
         print(
             f"{o.composition.label():>16} {o.operational_mean:>8.2f} "
             f"{o.operational_worst:>9.2f} {o.cvar_operational():>7.2f} "

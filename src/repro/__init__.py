@@ -31,6 +31,7 @@ Quickstart::
 from .core import (
     BatchEvaluator,
     CompositionEvaluator,
+    EnsembleSpec,
     EvaluatedComposition,
     MicrogridComposition,
     OptimizationRunner,
@@ -40,8 +41,10 @@ from .core import (
     Scenario,
     SimulationMetrics,
     VectorizedPolicy,
+    build_ensemble,
     build_scenario,
     evaluate_across_scenarios,
+    evaluate_ensemble,
     make_policy,
     embodied_carbon_tonnes,
     greedy_diversity_candidates,
@@ -71,7 +74,10 @@ __all__ = [
     "BatchEvaluator",
     "CompositionEvaluator",
     "VectorizedPolicy",
+    "EnsembleSpec",
+    "build_ensemble",
     "evaluate_across_scenarios",
+    "evaluate_ensemble",
     "make_policy",
     "OptimizationRunner",
     "run_exhaustive_search",

@@ -23,10 +23,18 @@ stacked time loop and optimize the worst case::
     python -m repro.cli study run --journal robust.jsonl \
         --sites berkeley,houston --policy tou_arbitrage --aggregate worst
 
+Scenario-ensemble search (DESIGN.md §6) — cross weather years, workload
+growth, carbon trajectories, tariff variants, and dunkelflaute severity
+into one ensemble, and optimize a risk-aware aggregate (``worst``,
+``mean``, ``cvar:alpha``, ``quantile:q``) across all members::
+
+    python -m repro.cli study run --journal ensemble.jsonl \
+        --ensemble years=2020-2029,growth=1.0:1.3 --aggregate cvar:0.25
+
 ``study run`` journals every trial; kill it at any point and ``study
-resume`` continues to the identical final Pareto front (the scenario and
-search configuration are persisted in the journal's study metadata, so
-``resume`` needs only the journal path).
+resume`` continues to the identical final Pareto front (the scenario,
+ensemble, and search configuration are persisted in the journal's study
+metadata, so ``resume`` needs only the journal path).
 
 Mirrors the Hydra-style entry point of the paper's implementation:
 every command accepts ``--set key=value`` overrides applied to the
@@ -193,6 +201,38 @@ def _study_launcher(workers: int):
     return None
 
 
+def _aggregate_arg(value: str) -> str:
+    """argparse type: validate --aggregate via the shared grammar."""
+    from .core.metrics import parse_aggregate
+    from .exceptions import ConfigurationError
+
+    try:
+        parse_aggregate(value)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _study_scenarios(cfg: Config, sites: "list[str]", ensemble: "str | None", launcher):
+    """Scenario list for a study: an ensemble spec or plain per-site list.
+
+    Returns ``(scenarios, spec_string)`` where ``spec_string`` is the
+    round-trippable ensemble spec persisted in the journal metadata
+    (``None`` for plain multi-site studies).
+    """
+    if ensemble is None:
+        return _scenarios_from(cfg, sites), None
+    from .core.ensemble import EnsembleSpec, build_ensemble
+
+    spec = EnsembleSpec.parse(
+        ensemble,
+        sites=sites,
+        n_hours=cfg.scenario.n_hours,
+        mean_power_w=cfg.scenario.mean_power_mw * 1e6,
+    )
+    return build_ensemble(spec, launcher=launcher), spec.spec_string()
+
+
 def _print_search_summary(result, journal: str, name: str) -> None:
     front = result.front()
     print(
@@ -215,8 +255,19 @@ def cmd_study_run(cfg: Config, args) -> int:
     from .core.dispatch import make_policy
 
     sites = _parse_sites(args, cfg)
-    scenarios = _scenarios_from(cfg, sites)
-    name = args.name or "-".join(sites) + "-blackbox"
+    suffix = "-ensemble-blackbox" if args.ensemble else "-blackbox"
+    name = args.name or "-".join(sites) + suffix
+    # Check for a pre-existing study before the (possibly multi-minute)
+    # ensemble build, so the duplicate-run error path is near-instant.
+    storage = JournalStorage(args.journal)
+    if storage.load_study(name) is not None:
+        print(
+            f"study '{name}' already exists in {args.journal} — continue it with:\n"
+            f"  repro study resume --journal {args.journal}"
+        )
+        return 1
+    launcher = _study_launcher(args.workers)
+    scenarios, ensemble_spec = _study_scenarios(cfg, sites, args.ensemble, launcher)
     metadata = {
         "site": sites[0],
         "sites": sites,
@@ -229,19 +280,14 @@ def cmd_study_run(cfg: Config, args) -> int:
         "population": args.population,
         "seed": args.seed,
     }
+    if ensemble_spec:
+        metadata["ensemble"] = ensemble_spec
     runner = OptimizationRunner(
         scenarios,
-        launcher=_study_launcher(args.workers),
+        launcher=launcher,
         policy=make_policy(args.policy, scenarios),
         aggregate=args.aggregate,
     )
-    storage = JournalStorage(args.journal)
-    if storage.load_study(name) is not None:
-        print(
-            f"study '{name}' already exists in {args.journal} — continue it with:\n"
-            f"  repro study resume --journal {args.journal}"
-        )
-        return 1
     try:
         result = runner.run_blackbox(
             n_trials=args.trials,
@@ -283,10 +329,13 @@ def cmd_study_resume(cfg: Config, args) -> int:
         if key in md:
             site_cfg = site_cfg.updated(f"scenario.{key}", md[key])
     sites = [str(s) for s in md.get("sites", [site_cfg.scenario.location])]
-    scenarios = _scenarios_from(site_cfg, sites)
+    launcher = _study_launcher(args.workers)
+    # An ensemble study persists its round-trippable spec (DESIGN.md §6);
+    # rebuilding from it reproduces the identical member list and order.
+    scenarios, _ = _study_scenarios(site_cfg, sites, md.get("ensemble"), launcher)
     runner = OptimizationRunner(
         scenarios,
-        launcher=_study_launcher(args.workers),
+        launcher=launcher,
         policy=make_policy(str(md.get("policy", "default")), scenarios),
         aggregate=str(md.get("aggregate", "worst")),
     )
@@ -347,14 +396,20 @@ def cmd_study_status(cfg: Config, args) -> int:
         sites = stored.metadata.get("sites") or (
             [stored.metadata["site"]] if stored.metadata.get("site") else []
         )
+        ensemble = stored.metadata.get("ensemble")
         if sites:
             line += f" (sites: {','.join(str(s) for s in sites)}"
             if stored.metadata.get("policy"):
                 line += f", policy: {stored.metadata['policy']}"
-                if len(sites) > 1:
+                if len(sites) > 1 or ensemble:
                     line += f", aggregate: {stored.metadata.get('aggregate', 'worst')}"
             line += ")"
         print(line)
+        if ensemble:
+            from .core.ensemble import EnsembleSpec
+
+            n_members = len(EnsembleSpec.parse(str(ensemble)))
+            print(f"  ensemble ({n_members} members): {ensemble}")
     return 0
 
 
@@ -468,8 +523,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--aggregate",
         default="worst",
-        choices=["worst", "mean"],
-        help="robust reduction of each objective across scenarios",
+        type=_aggregate_arg,
+        help="robust reduction of each objective across scenarios: "
+        "worst | mean | cvar:alpha | quantile:q (DESIGN.md §6)",
+    )
+    p_run.add_argument(
+        "--ensemble",
+        default=None,
+        metavar="AXIS=VALUES[,AXIS=VALUES...]",
+        help="scenario-ensemble axes crossed with the site(s), e.g. "
+        "years=2020-2029,growth=1.0:1.3,carbon=baseline:cleaner,"
+        "severity=1.0:1.5 (DESIGN.md §6)",
     )
     p_res = ssub.add_parser("resume", help="resume an interrupted journaled study")
     p_res.add_argument("--journal", required=True)

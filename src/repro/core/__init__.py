@@ -27,9 +27,11 @@ from .metrics import (
     EvaluatedComposition,
     RobustEvaluatedComposition,
     SimulationMetrics,
+    aggregate_values,
+    parse_aggregate,
     robust_evaluations,
 )
-from .scenario import Scenario, build_scenario
+from .scenario import Scenario, build_scenario, unit_profiles
 from .evaluator import CompositionEvaluator
 from .dispatch import (
     POLICY_NAMES,
@@ -58,6 +60,7 @@ from .finance import (
     net_present_cost_usd,
 )
 from .multiyear import MultiYearOutcome, evaluate_across_years, robust_ranking
+from .ensemble import EnsembleMember, EnsembleSpec, build_ensemble, evaluate_ensemble
 from .sensitivity import (
     best_under_budget_stability,
     crossover_year_analytic,

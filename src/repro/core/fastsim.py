@@ -24,7 +24,11 @@ looping the co-simulator, while agreeing with it to float tolerance
 loop (:func:`evaluate_across_scenarios`) is additionally bit-for-bit
 identical to evaluating each scenario serially — every (scenario,
 candidate) cell is independent, so stacking cannot change the numbers
-(``benchmarks/bench_dispatch.py`` measures the throughput gain).
+(``benchmarks/bench_dispatch.py`` measures the throughput gain).  The
+scenario axis is deliberately agnostic about *what* the scenarios are:
+paper sites, weather years, or a full cross-product ensemble from
+:mod:`repro.core.ensemble` (DESIGN.md §6,
+``benchmarks/bench_ensemble.py``) all ride the same loop.
 """
 
 from __future__ import annotations

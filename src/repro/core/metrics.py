@@ -10,7 +10,9 @@ can be optimized.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import NamedTuple, Sequence
+
+import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..units import DAYS_PER_YEAR, KG_PER_TONNE, WH_PER_KWH, WH_PER_MWH
@@ -180,22 +182,112 @@ COMPARABLE_METRIC_FIELDS = (
     "islanded_fraction",
 )
 
-#: Supported robust aggregations over scenarios (all objectives minimized,
-#: so "worst" is the elementwise maximum).
+#: Base robust aggregations over scenarios (all objectives minimized, so
+#: "worst" is the elementwise maximum).  The full grammar accepted by
+#: :func:`parse_aggregate` additionally includes the parameterized
+#: ``cvar:alpha`` and ``quantile:q`` reducers (DESIGN.md §6).
 AGGREGATES = ("worst", "mean")
+
+#: Parameterized reducer kinds: ``kind:param`` with param in (0, 1].
+PARAMETRIC_AGGREGATES = ("cvar", "quantile")
+
+
+class Aggregate(NamedTuple):
+    """A parsed scenario-reduction spec (DESIGN.md §6)."""
+
+    kind: str
+    param: "float | None" = None
+
+
+def parse_aggregate(spec: str) -> Aggregate:
+    """Parse an aggregate spec string into a validated :class:`Aggregate`.
+
+    Grammar (DESIGN.md §6): ``worst`` | ``mean`` | ``cvar:alpha`` |
+    ``quantile:q``, with ``alpha`` in (0, 1] (fraction of worst
+    scenarios averaged) and ``q`` in [0, 1].  Anything else raises
+    :class:`~repro.exceptions.ConfigurationError` — this is the single
+    validation point the optimizer, CLI, and journal-resume path share.
+    """
+    if not isinstance(spec, str):
+        raise ConfigurationError(f"aggregate spec must be a string, got {spec!r}")
+    kind, sep, raw_param = spec.partition(":")
+    kind = kind.strip()
+    if kind in AGGREGATES:
+        if sep:
+            raise ConfigurationError(
+                f"aggregate '{kind}' takes no parameter (got '{spec}')"
+            )
+        return Aggregate(kind)
+    if kind in PARAMETRIC_AGGREGATES:
+        if not sep or not raw_param.strip():
+            raise ConfigurationError(
+                f"aggregate '{kind}' needs a parameter, e.g. '{kind}:0.25'"
+            )
+        try:
+            param = float(raw_param)
+        except ValueError:
+            raise ConfigurationError(
+                f"malformed aggregate parameter in '{spec}'"
+            ) from None
+        if kind == "cvar" and not 0.0 < param <= 1.0:
+            raise ConfigurationError(f"cvar alpha must be in (0, 1], got {param}")
+        if kind == "quantile" and not 0.0 <= param <= 1.0:
+            raise ConfigurationError(f"quantile q must be in [0, 1], got {param}")
+        return Aggregate(kind, param)
+    known = ", ".join(AGGREGATES + tuple(f"{k}:x" for k in PARAMETRIC_AGGREGATES))
+    raise ConfigurationError(f"unknown aggregate '{spec}' (known: {known})")
+
+
+def cvar(values: Sequence[float], alpha: float) -> float:
+    """Conditional value-at-risk: mean of the worst ``alpha`` fraction.
+
+    All objectives are minimized, so "worst" means *largest*;
+    ``alpha=1`` degenerates to the mean, small ``alpha`` to the max.
+    This is the one CVaR implementation in the codebase (DESIGN.md §6) —
+    the multi-year layer's ``cvar_operational`` delegates here.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(f"cvar alpha must be in (0, 1], got {alpha}")
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("cvar needs at least one value")
+    k = max(int(np.ceil(alpha * arr.size)), 1)
+    return float(np.sort(arr)[::-1][:k].mean())
+
+
+def aggregate_values(values: Sequence[float], spec: "str | Aggregate") -> float:
+    """Reduce one objective's per-scenario values by an aggregate spec."""
+    agg = parse_aggregate(spec) if isinstance(spec, str) else spec
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("cannot aggregate an empty value list")
+    if agg.kind == "worst":
+        return float(arr.max())
+    if agg.kind == "mean":
+        return float(arr.mean())
+    if agg.kind == "cvar":
+        return cvar(arr, agg.param)
+    if agg.kind == "quantile":
+        return float(np.quantile(arr, agg.param))
+    # A hand-built Aggregate can carry a kind parse_aggregate never minted.
+    raise ConfigurationError(f"unknown aggregate kind '{agg.kind}'")
 
 
 @dataclass(frozen=True)
 class RobustEvaluatedComposition:
-    """One composition scored against several scenarios (DESIGN.md §5).
+    """One composition scored against several scenarios (DESIGN.md §5–§6).
 
     Wraps the per-scenario :class:`EvaluatedComposition` results of a
     stacked multi-scenario evaluation and exposes the same
     ``objectives()`` interface the search/Pareto layers consume, with
-    each objective reduced across scenarios by ``aggregate``:
+    each objective reduced across scenarios by ``aggregate``
+    (the :func:`parse_aggregate` grammar):
 
-    * ``worst`` — minimax siting: minimize the worst per-site outcome;
-    * ``mean`` — expected-value siting across the scenario ensemble.
+    * ``worst`` — minimax siting: minimize the worst per-scenario outcome;
+    * ``mean`` — expected-value siting across the scenario ensemble;
+    * ``cvar:alpha`` — mean of the worst ``alpha`` fraction of scenarios
+      (risk-aware sizing, DESIGN.md §6);
+    * ``quantile:q`` — the q-quantile across scenarios.
     """
 
     composition: MicrogridComposition
@@ -204,10 +296,7 @@ class RobustEvaluatedComposition:
     aggregate: str = "worst"
 
     def __post_init__(self) -> None:
-        if self.aggregate not in AGGREGATES:
-            raise ConfigurationError(
-                f"unknown aggregate '{self.aggregate}' (known: {', '.join(AGGREGATES)})"
-            )
+        parse_aggregate(self.aggregate)
         if not self.per_scenario:
             raise ConfigurationError("need at least one per-scenario evaluation")
 
@@ -219,16 +308,15 @@ class RobustEvaluatedComposition:
     def operational_tco2_per_day(self) -> float:
         """Aggregated operational rate (same reduction as ``objectives``)."""
         values = [e.operational_tco2_per_day for e in self.per_scenario]
-        return max(values) if self.aggregate == "worst" else sum(values) / len(values)
+        return aggregate_values(values, self.aggregate)
 
     def objectives(
         self, names: Sequence[str] = ("operational", "embodied")
     ) -> tuple[float, ...]:
         """Robust-aggregate objective vector (all minimized)."""
+        agg = parse_aggregate(self.aggregate)
         vectors = [e.objectives(names) for e in self.per_scenario]
-        if self.aggregate == "worst":
-            return tuple(max(col) for col in zip(*vectors))
-        return tuple(sum(col) / len(col) for col in zip(*vectors))
+        return tuple(aggregate_values(col, agg) for col in zip(*vectors))
 
     def scenario_objectives(
         self, names: Sequence[str] = ("operational", "embodied")

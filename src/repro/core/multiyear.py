@@ -7,6 +7,16 @@ years** (different `year_label` seeds — same climatology, different
 realizations) and summarizes each composition's distribution of
 outcomes.  A composition that looks Pareto-optimal in one lucky year but
 degrades badly in a becalmed year is exactly what this analysis exposes.
+
+Since the scenario-ensemble subsystem landed (DESIGN.md §6) this module
+is a thin, weather-year-only veneer over the general machinery: the
+year ensemble is evaluated as **one stacked N-candidates × S-years time
+loop** (:func:`repro.core.fastsim.evaluate_across_scenarios`) instead of
+a serial per-year sweep, and all risk statistics delegate to the unified
+reducers in :mod:`repro.core.metrics`.  For ensembles that cross more
+axes than the weather year (workload growth, carbon trajectories,
+tariff variants, dunkelflaute severity), use
+:class:`repro.core.ensemble.EnsembleSpec` directly.
 """
 
 from __future__ import annotations
@@ -19,8 +29,8 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from .composition import MicrogridComposition
 from .embodied import embodied_carbon_kg
-from .fastsim import BatchEvaluator
-from .metrics import EvaluatedComposition
+from .fastsim import evaluate_across_scenarios
+from .metrics import aggregate_values
 from .scenario import build_scenario
 
 
@@ -54,12 +64,13 @@ class MultiYearOutcome:
         return float(self.coverage_by_year.min())
 
     def cvar_operational(self, alpha: float = 0.25) -> float:
-        """Mean of the worst ``alpha`` fraction of years (robust objective)."""
-        if not 0.0 < alpha <= 1.0:
-            raise ConfigurationError("alpha must be in (0, 1]")
-        values = np.sort(self.operational_tco2_day_by_year)[::-1]
-        k = max(int(np.ceil(alpha * values.size)), 1)
-        return float(values[:k].mean())
+        """Mean of the worst ``alpha`` fraction of years (robust objective).
+
+        Deprecation shim (DESIGN.md §6): the one CVaR implementation
+        lives in :func:`repro.core.metrics.cvar`; this method keeps the
+        historical signature and delegates there.
+        """
+        return aggregate_values(self.operational_tco2_day_by_year, f"cvar:{alpha}")
 
 
 def evaluate_across_years(
@@ -74,17 +85,25 @@ def evaluate_across_years(
     climatology (including its own dunkelflaute events); demand and the
     carbon-intensity *profile* also re-randomize while their calibrated
     means stay fixed.
+
+    All years are evaluated as **one** stacked time loop (DESIGN.md §6)
+    — bit-for-bit identical to the historical serial per-year sweep
+    (``benchmarks/bench_ensemble.py`` asserts this), just faster.
     """
     if not year_labels:
         raise ConfigurationError("need at least one year label")
     if not compositions:
         return []
 
+    scenarios = [
+        build_scenario(location, year_label=int(year), n_hours=n_hours)
+        for year in year_labels
+    ]
+    per_scenario = evaluate_across_scenarios(scenarios, list(compositions))
+
     operational = np.empty((len(compositions), len(year_labels)))
     coverage = np.empty_like(operational)
-    for j, year in enumerate(year_labels):
-        scenario = build_scenario(location, year_label=int(year), n_hours=n_hours)
-        evaluated = BatchEvaluator(scenario).evaluate(list(compositions))
+    for j, evaluated in enumerate(per_scenario):
         for i, e in enumerate(evaluated):
             operational[i, j] = e.metrics.operational_tco2_per_day
             coverage[i, j] = e.metrics.coverage
@@ -103,5 +122,9 @@ def evaluate_across_years(
 def robust_ranking(
     outcomes: Sequence[MultiYearOutcome], alpha: float = 0.25
 ) -> list[MultiYearOutcome]:
-    """Rank by CVaR of operational emissions (ascending = most robust)."""
+    """Rank by CVaR of operational emissions (ascending = most robust).
+
+    Deprecation shim like :meth:`MultiYearOutcome.cvar_operational`: the
+    reduction itself is :func:`repro.core.metrics.cvar` (DESIGN.md §6).
+    """
     return sorted(outcomes, key=lambda o: o.cvar_operational(alpha))

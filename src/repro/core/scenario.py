@@ -15,7 +15,12 @@ combination — the observation that makes the exhaustive 1 089-point sweep
 cheap (DESIGN.md §2, "two evaluation paths").
 
 Scenario construction costs a couple of seconds (resource synthesis +
-model runs), so built scenarios are cached per configuration.
+model runs), so built scenarios are cached per configuration — and the
+expensive half, the per-unit profiles, is cached separately
+(:func:`unit_profiles`) keyed only on the axes that actually change the
+weather, so ensemble members (DESIGN.md §6) that differ only in
+workload growth, carbon trajectory, or tariff variant share one
+resource synthesis and one pair of SAM model runs.
 """
 
 from __future__ import annotations
@@ -85,6 +90,83 @@ class Scenario:
 _SCENARIO_CACHE: dict[tuple, Scenario] = {}
 
 
+@dataclass(frozen=True)
+class UnitProfiles:
+    """The weather-determined half of a scenario (DESIGN.md §6).
+
+    Resource synthesis plus the two SAM model runs — everything keyed by
+    (site, year, horizon, event handling) and *nothing else*, so
+    ensemble members that vary only workload growth, carbon trajectory,
+    or tariff variant share one instance.
+    """
+
+    solar_resource: SolarResource
+    wind_resource: WindResource
+    solar_per_kw_w: np.ndarray
+    wind_per_turbine_w: np.ndarray
+
+
+_UNIT_PROFILE_CACHE: dict[tuple, UnitProfiles] = {}
+
+
+def unit_profiles(
+    location: "str | Location",
+    year_label: int = 2024,
+    n_hours: int = 8_760,
+    include_extreme_events: bool = True,
+    event_severity: float = 1.0,
+    use_cache: bool = True,
+) -> UnitProfiles:
+    """Build (or fetch from cache) a site-year's per-unit profiles.
+
+    This is the expensive part of :func:`build_scenario`; the ensemble
+    builder (:mod:`repro.core.ensemble`) precomputes missing entries in
+    parallel via the ``confsys`` launchers and primes this cache.
+    """
+    loc = get_location(location) if isinstance(location, str) else location
+    key = (loc.name, year_label, n_hours, include_extreme_events, float(event_severity))
+    if use_cache and key in _UNIT_PROFILE_CACHE:
+        return _UNIT_PROFILE_CACHE[key]
+
+    solar_resource = synthesize_solar_resource(
+        loc,
+        year_label,
+        n_hours,
+        include_extreme_events=include_extreme_events,
+        event_severity=event_severity,
+    )
+    wind_resource = synthesize_wind_resource(
+        loc,
+        year_label,
+        n_hours,
+        include_extreme_events=include_extreme_events,
+        event_severity=event_severity,
+    )
+    pv = PVWattsModel(PVWattsParameters(dc_capacity_kw=1.0))
+    wind = WindFarmModel(WindFarmParameters(n_turbines=1, wake_model="none"))
+    profiles = UnitProfiles(
+        solar_resource=solar_resource,
+        wind_resource=wind_resource,
+        solar_per_kw_w=pv.run(solar_resource).ac_power_w,
+        wind_per_turbine_w=wind.run(wind_resource).ac_power_w,
+    )
+    if use_cache:
+        _UNIT_PROFILE_CACHE[key] = profiles
+    return profiles
+
+
+def prime_unit_profile_cache(
+    entries: "dict[tuple, UnitProfiles]",
+) -> None:
+    """Insert precomputed profiles (the parallel ensemble-build seam)."""
+    _UNIT_PROFILE_CACHE.update(entries)
+
+
+def has_unit_profiles(key: tuple) -> bool:
+    """Whether a unit-profile cache entry exists (ensemble build planning)."""
+    return key in _UNIT_PROFILE_CACHE
+
+
 def build_scenario(
     location: "str | Location",
     year_label: int = 2024,
@@ -92,46 +174,65 @@ def build_scenario(
     mean_power_w: float = PERLMUTTER_MEAN_POWER_W,
     use_cache: bool = True,
     include_extreme_events: bool = True,
+    event_severity: float = 1.0,
+    carbon_trajectory: str = "baseline",
+    tariff_variant: str = "default",
+    name: str | None = None,
 ) -> Scenario:
     """Build (or fetch from cache) the evaluation scenario for a site.
 
     The two paper scenarios are ``build_scenario("berkeley")`` and
     ``build_scenario("houston")``.  ``include_extreme_events=False``
     removes the coordinated dunkelflaute events (ablation A4).
+
+    The ensemble axes (DESIGN.md §6) thread through here:
+    ``event_severity`` scales the dunkelflaute depth/length,
+    ``carbon_trajectory`` names a grid-decarbonization future, and
+    ``tariff_variant`` a rate-structure future; workload growth is plain
+    ``mean_power_w`` scaling.  ``name`` overrides the scenario's display
+    name (ensemble members need unique ones).
     """
     loc = get_location(location) if isinstance(location, str) else location
     # Key on the exact float: rounding made two mean powers within 0.5 W
     # silently share a cached scenario.
-    key = (loc.name, year_label, n_hours, float(mean_power_w), include_extreme_events)
+    key = (
+        loc.name,
+        year_label,
+        n_hours,
+        float(mean_power_w),
+        include_extreme_events,
+        float(event_severity),
+        carbon_trajectory,
+        tariff_variant,
+        name,
+    )
     if use_cache and key in _SCENARIO_CACHE:
         return _SCENARIO_CACHE[key]
 
-    solar_resource = synthesize_solar_resource(
-        loc, year_label, n_hours, include_extreme_events=include_extreme_events
-    )
-    wind_resource = synthesize_wind_resource(
-        loc, year_label, n_hours, include_extreme_events=include_extreme_events
+    units = unit_profiles(
+        loc,
+        year_label,
+        n_hours,
+        include_extreme_events=include_extreme_events,
+        event_severity=event_severity,
+        use_cache=use_cache,
     )
     workload = synthesize_datacenter_trace(mean_power_w, year_label, n_hours)
-    carbon = synthesize_carbon_intensity(loc.grid_region, year_label, n_hours)
-    tariff = tou_tariff_for(loc.grid_region)
-
-    pv = PVWattsModel(PVWattsParameters(dc_capacity_kw=1.0))
-    solar_per_kw = pv.run(solar_resource).ac_power_w
-
-    wind = WindFarmModel(WindFarmParameters(n_turbines=1, wake_model="none"))
-    wind_per_turbine = wind.run(wind_resource).ac_power_w
+    carbon = synthesize_carbon_intensity(
+        loc.grid_region, year_label, n_hours, trajectory=carbon_trajectory
+    )
+    tariff = tou_tariff_for(loc.grid_region, variant=tariff_variant)
 
     scenario = Scenario(
-        name=loc.name,
+        name=name or loc.name,
         location=loc,
-        solar_resource=solar_resource,
-        wind_resource=wind_resource,
+        solar_resource=units.solar_resource,
+        wind_resource=units.wind_resource,
         workload=workload,
         carbon=carbon,
         tariff=tariff,
-        solar_per_kw_w=solar_per_kw,
-        wind_per_turbine_w=wind_per_turbine,
+        solar_per_kw_w=units.solar_per_kw_w,
+        wind_per_turbine_w=units.wind_per_turbine_w,
     )
     if use_cache:
         _SCENARIO_CACHE[key] = scenario
@@ -139,5 +240,6 @@ def build_scenario(
 
 
 def clear_scenario_cache() -> None:
-    """Drop all cached scenarios (tests use this for isolation)."""
+    """Drop all cached scenarios and unit profiles (test isolation)."""
     _SCENARIO_CACHE.clear()
+    _UNIT_PROFILE_CACHE.clear()

@@ -23,12 +23,14 @@ Both modes compose with the persistence/parallelism subsystem
   out across worker processes (order-preserving, numerically identical
   to serial).
 
-Multi-scenario robustness (DESIGN.md §5): pass a *list* of scenarios
-(``OptimizationRunner([berkeley, houston], aggregate="worst")``) and
-every candidate is scored against all scenarios in one stacked
-N×S time loop; objectives seen by the sampler are the per-candidate
-robust aggregates (worst-case or mean across scenarios).  ``policy``
-swaps the dispatch strategy on the same fast path.
+Multi-scenario robustness (DESIGN.md §5–§6): pass a *list* of scenarios
+(``OptimizationRunner([berkeley, houston], aggregate="worst")`` — or an
+ensemble built by :func:`repro.core.ensemble.build_ensemble`) and every
+candidate is scored against all scenarios in one stacked N×S time loop;
+objectives seen by the sampler are the per-candidate robust aggregates
+(``worst``, ``mean``, ``cvar:alpha``, or ``quantile:q`` across
+scenarios — the :func:`repro.core.metrics.parse_aggregate` grammar).
+``policy`` swaps the dispatch strategy on the same fast path.
 """
 
 from __future__ import annotations
@@ -50,6 +52,7 @@ from .fastsim import evaluate_across_scenarios
 from .metrics import (
     EvaluatedComposition,
     RobustEvaluatedComposition,
+    parse_aggregate,
     robust_evaluations,
 )
 from .parameterspace import PAPER_SPACE, ParameterSpace
@@ -159,10 +162,11 @@ class CompositionObjective:
 class OptimizationRunner:
     """Runs composition searches against one scenario — or several.
 
-    With a sequence of scenarios, every batch is evaluated as one
-    stacked N-candidates × S-scenarios time loop (DESIGN.md §5) and the
-    search optimizes the robust ``aggregate`` ("worst" or "mean") of
-    each objective across scenarios — multi-site NSGA-II objectives.
+    With a sequence of scenarios — paper sites or a full scenario
+    ensemble (DESIGN.md §6) — every batch is evaluated as one stacked
+    N-candidates × S-scenarios time loop (DESIGN.md §5) and the search
+    optimizes the robust ``aggregate`` (``worst``, ``mean``,
+    ``cvar:alpha``, ``quantile:q``) of each objective across scenarios.
 
     With ``launcher`` set to a
     :class:`~repro.confsys.launcher.MultiprocessingLauncher`, batch
@@ -180,6 +184,7 @@ class OptimizationRunner:
     aggregate: str = "worst"
 
     def __post_init__(self) -> None:
+        parse_aggregate(self.aggregate)  # fail fast, before any evaluation
         self.scenarios: tuple[Scenario, ...] = _as_scenarios(self.scenario)
         self._cache: "dict[MicrogridComposition, AnyEvaluated]" = {}
 

@@ -38,6 +38,29 @@ REGION_MEANS_G_PER_KWH = {
     "CAISO": 240.0,
 }
 
+#: Named grid-decarbonization futures (DESIGN.md §6): each trajectory is
+#: a pure multiplier on the calibrated regional mean, applied *after*
+#: the shape/anomaly synthesis, so every trajectory of an ensemble sees
+#: the same hourly structure at a different carbon level and adding the
+#: axis never perturbs any other member's RNG streams.
+CARBON_TRAJECTORIES = {
+    "baseline": 1.0,   # today's calibrated grid mix
+    "cleaner": 0.7,    # sustained renewable build-out
+    "cleanest": 0.4,   # aggressive decarbonization
+    "dirtier": 1.3,    # gas/coal backsliding
+}
+
+
+def carbon_trajectory_multiplier(trajectory: str) -> float:
+    """Mean-CI multiplier for a named grid future (DESIGN.md §6)."""
+    try:
+        return CARBON_TRAJECTORIES[trajectory]
+    except KeyError:
+        known = ", ".join(sorted(CARBON_TRAJECTORIES))
+        raise ConfigurationError(
+            f"unknown carbon trajectory '{trajectory}' (known: {known})"
+        ) from None
+
 
 @dataclass(frozen=True)
 class CarbonIntensityProfile:
@@ -98,13 +121,20 @@ def synthesize_carbon_intensity(
     year_label: int = 2024,
     n_hours: int = HOURS_PER_YEAR,
     mean_g_per_kwh: float | None = None,
+    trajectory: str = "baseline",
 ) -> CarbonIntensityProfile:
-    """Generate a deterministic synthetic hourly CI year for a region."""
+    """Generate a deterministic synthetic hourly CI year for a region.
+
+    ``trajectory`` names a grid future from :data:`CARBON_TRAJECTORIES`
+    (DESIGN.md §6): the mean is rescaled, the hourly structure and the
+    RNG stream are untouched.
+    """
     key = region.strip().upper()
     if key not in _SHAPES:
         known = ", ".join(sorted(_SHAPES))
         raise ConfigurationError(f"unknown grid region '{region}' (known: {known})")
     target_mean = mean_g_per_kwh if mean_g_per_kwh is not None else REGION_MEANS_G_PER_KWH[key]
+    target_mean *= carbon_trajectory_multiplier(trajectory)
     if target_mean <= 0:
         raise ConfigurationError("mean carbon intensity must be positive")
 

@@ -103,11 +103,14 @@ def synthesize_solar_resource(
     year_label: int = 2024,
     n_hours: int = HOURS_PER_YEAR,
     include_extreme_events: bool = True,
+    event_severity: float = 1.0,
 ) -> SolarResource:
     """Generate one deterministic synthetic resource year for a site.
 
     ``include_extreme_events=False`` drops the coordinated dunkelflaute
     events (ablation use only — real climates have them).
+    ``event_severity`` scales their depth/length for harsher ensemble
+    futures (DESIGN.md §6) without consuming extra RNG draws.
     """
     if n_hours <= 0 or n_hours % 24 != 0:
         raise ConfigurationError(f"n_hours must be a positive multiple of 24, got {n_hours}")
@@ -150,7 +153,7 @@ def synthesize_solar_resource(
     # Coordinated multi-day dark-doldrum events (shared with the wind
     # generator; see repro.data.weather_events).
     if include_extreme_events:
-        events = dunkelflaute_events(location, year_label, n_hours)
+        events = dunkelflaute_events(location, year_label, n_hours, event_severity)
         ghi = apply_events(ghi, events, "solar", n_hours)
     dni, dhi = erbs_decomposition(ghi, solar.zenith_deg, solar.extraterrestrial_w_m2)
 

@@ -9,7 +9,7 @@ price signal to work against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -83,12 +83,41 @@ ERCOT_TOU = TouTariff(
 
 _TARIFFS = {"CAISO": CAISO_TOU, "ERCOT": ERCOT_TOU}
 
+#: Named rate-structure futures for scenario ensembles (DESIGN.md §6):
+#: deterministic transforms of the regional base tariff, so the tariff
+#: axis crosses freely with every other axis and consumes no RNG.
+TARIFF_VARIANTS = ("default", "flat", "volatile")
 
-def tou_tariff_for(region: str) -> TouTariff:
-    """Look up the stylized tariff for a grid region."""
+
+def tou_tariff_for(region: str, variant: str = "default") -> TouTariff:
+    """Look up the stylized tariff for a grid region.
+
+    ``variant`` selects a rate-structure future (DESIGN.md §6):
+    ``default`` is today's tariff, ``flat`` removes the TOU spread
+    (every hour priced at the mid-peak rate), and ``volatile`` widens it
+    (cheaper off-peak, a much more expensive evening peak).
+    """
     key = region.strip().upper()
     try:
-        return _TARIFFS[key]
+        base = _TARIFFS[key]
     except KeyError:
         known = ", ".join(sorted(_TARIFFS))
         raise ConfigurationError(f"no tariff for region '{region}' (known: {known})") from None
+    if variant == "default":
+        return base
+    if variant == "flat":
+        return replace(
+            base,
+            name=f"{base.name}-flat",
+            off_peak_usd_kwh=base.mid_peak_usd_kwh,
+            on_peak_usd_kwh=base.mid_peak_usd_kwh,
+        )
+    if variant == "volatile":
+        return replace(
+            base,
+            name=f"{base.name}-volatile",
+            off_peak_usd_kwh=0.8 * base.off_peak_usd_kwh,
+            on_peak_usd_kwh=1.6 * base.on_peak_usd_kwh,
+        )
+    known = ", ".join(TARIFF_VARIANTS)
+    raise ConfigurationError(f"unknown tariff variant '{variant}' (known: {known})")

@@ -12,11 +12,18 @@ Independent AR(1) weather layers do not produce correlated multi-day
 droughts, so this module synthesizes them explicitly: a seeded event list
 per (site, year) that *both* the solar and wind generators apply, keeping
 the two resource files consistent (the events share one RNG stream).
+
+Scenario ensembles (DESIGN.md §6) stress-test sizing against *harsher*
+climate futures through the ``severity`` hook: the base events are drawn
+from the unchanged ``("dunkelflaute", site, year)`` RNG stream and then
+scaled by a deterministic transform (deeper attenuation, longer
+duration), so adding the severity axis to an ensemble never perturbs any
+other member's weather realization.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -40,6 +47,26 @@ class WeatherEvent:
         if not 0.0 <= self.wind_factor <= 1.0 or not 0.0 <= self.solar_factor <= 1.0:
             raise ConfigurationError("attenuation factors must lie in [0, 1]")
 
+    def scaled(self, severity: float) -> "WeatherEvent":
+        """This event under a harsher (or milder) climate future.
+
+        ``severity > 1`` deepens the attenuation (factors are raised to
+        the ``severity`` power, pushing them toward 0) and stretches the
+        duration proportionally; ``severity = 1`` returns ``self``
+        unchanged, so the default ensemble axis is bit-identical to the
+        historical event list (DESIGN.md §6).
+        """
+        if severity <= 0.0:
+            raise ConfigurationError(f"severity must be positive, got {severity}")
+        if severity == 1.0:
+            return self
+        return WeatherEvent(
+            start_hour=self.start_hour,
+            duration_hours=max(int(round(self.duration_hours * severity)), 1),
+            wind_factor=min(self.wind_factor**severity, 1.0),
+            solar_factor=min(self.solar_factor**severity, 1.0),
+        )
+
 
 #: events per synthetic year by site (Gulf-coast winters see more stagnant
 #: high-pressure stretches than the Bay Area)
@@ -51,13 +78,24 @@ _WINTER_DAYS = list(range(305, 365)) + list(range(0, 60))
 
 
 def dunkelflaute_events(
-    location: Location, year_label: int = 2024, n_hours: int = 8_760
+    location: Location,
+    year_label: int = 2024,
+    n_hours: int = 8_760,
+    severity: float = 1.0,
 ) -> list[WeatherEvent]:
     """The deterministic event list for a site-year.
 
     Both resource generators call this with identical arguments, so the
     wind lull and the overcast period coincide by construction.
+
+    ``severity`` scales the drawn events through
+    :meth:`WeatherEvent.scaled` *after* all RNG draws, so every severity
+    level of an ensemble (DESIGN.md §6) sees the same base events at a
+    different depth/length, and ``severity=1.0`` is bit-identical to the
+    historical list.
     """
+    if severity <= 0.0:
+        raise ConfigurationError(f"severity must be positive, got {severity}")
     rng = generator_for("dunkelflaute", location.name, year_label)
     n_events = _EVENTS_PER_YEAR.get(location.name, _DEFAULT_EVENTS)
     events: list[WeatherEvent] = []
@@ -68,13 +106,14 @@ def dunkelflaute_events(
         wind_factor = float(rng.uniform(0.05, 0.25))
         solar_factor = float(rng.uniform(0.30, 0.55))
         if start < n_hours:
+            event = WeatherEvent(
+                start_hour=start,
+                duration_hours=duration,
+                wind_factor=wind_factor,
+                solar_factor=solar_factor,
+            ).scaled(severity)
             events.append(
-                WeatherEvent(
-                    start_hour=start,
-                    duration_hours=min(duration, n_hours - start),
-                    wind_factor=wind_factor,
-                    solar_factor=solar_factor,
-                )
+                replace(event, duration_hours=min(event.duration_hours, n_hours - start))
             )
     events.sort(key=lambda e: e.start_hour)
     return events

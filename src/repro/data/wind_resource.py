@@ -85,11 +85,14 @@ def synthesize_wind_resource(
     year_label: int = 2024,
     n_hours: int = HOURS_PER_YEAR,
     include_extreme_events: bool = True,
+    event_severity: float = 1.0,
 ) -> WindResource:
     """Generate one deterministic synthetic wind year for a site.
 
     ``include_extreme_events=False`` drops the coordinated dunkelflaute
-    events (ablation use only).
+    events (ablation use only).  ``event_severity`` scales their
+    depth/length for harsher ensemble futures (DESIGN.md §6) without
+    consuming extra RNG draws.
     """
     if n_hours <= 0:
         raise ConfigurationError(f"n_hours must be positive, got {n_hours}")
@@ -126,7 +129,7 @@ def synthesize_wind_resource(
     # the way a real stagnant system does, rather than being smoothed away
     # by renormalization.
     if include_extreme_events:
-        events = dunkelflaute_events(location, year_label, n_hours)
+        events = dunkelflaute_events(location, year_label, n_hours, event_severity)
         speed = apply_events(speed, events, "wind", n_hours)
 
     # Hub-layer temperature (used for air density): reuse the seasonal

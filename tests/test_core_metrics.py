@@ -103,3 +103,101 @@ class TestEvaluatedComposition:
         comp = MicrogridComposition(0, 0.0, 0)
         e = EvaluatedComposition(comp, 0.0, metrics(battery_usable_wh=0.0))
         assert e.table_row()["battery_cycles"] == "-"
+
+
+class TestAggregateGrammar:
+    """The unified scenario-reduction grammar (DESIGN.md §6)."""
+
+    def test_base_aggregates(self):
+        from repro.core.metrics import Aggregate, parse_aggregate
+
+        assert parse_aggregate("worst") == Aggregate("worst", None)
+        assert parse_aggregate("mean") == Aggregate("mean", None)
+
+    def test_parametric_aggregates(self):
+        from repro.core.metrics import Aggregate, parse_aggregate
+
+        assert parse_aggregate("cvar:0.25") == Aggregate("cvar", 0.25)
+        assert parse_aggregate("quantile:0.9") == Aggregate("quantile", 0.9)
+        assert parse_aggregate("cvar:1") == Aggregate("cvar", 1.0)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "median",           # unknown kind
+            "worst:2",          # base aggregate takes no parameter
+            "cvar",             # missing parameter
+            "cvar:",            # empty parameter
+            "cvar:x",           # non-numeric parameter
+            "cvar:0",           # alpha out of (0, 1]
+            "cvar:1.5",
+            "quantile:-0.1",    # q out of [0, 1]
+            "quantile:1.01",
+            "",
+        ],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        from repro.core.metrics import parse_aggregate
+
+        with pytest.raises(ConfigurationError):
+            parse_aggregate(bad)
+
+    def test_aggregate_values_semantics(self):
+        from repro.core.metrics import aggregate_values
+
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert aggregate_values(values, "worst") == 4.0
+        assert aggregate_values(values, "mean") == pytest.approx(2.5)
+        # worst half = {4, 3}
+        assert aggregate_values(values, "cvar:0.5") == pytest.approx(3.5)
+        assert aggregate_values(values, "quantile:1.0") == 4.0
+        assert aggregate_values(values, "quantile:0.0") == 1.0
+
+    def test_cvar_between_mean_and_worst(self):
+        from repro.core.metrics import aggregate_values
+
+        values = [5.0, 1.0, 2.0, 8.0, 3.0]
+        mean = aggregate_values(values, "mean")
+        worst = aggregate_values(values, "worst")
+        for alpha in (0.2, 0.4, 0.6, 0.8, 1.0):
+            cvar = aggregate_values(values, f"cvar:{alpha}")
+            assert mean - 1e-12 <= cvar <= worst + 1e-12
+        assert aggregate_values(values, "cvar:1.0") == pytest.approx(mean)
+
+    def test_empty_values_rejected(self):
+        from repro.core.metrics import aggregate_values, cvar
+
+        with pytest.raises(ConfigurationError):
+            aggregate_values([], "worst")
+        with pytest.raises(ConfigurationError):
+            cvar([], 0.5)
+
+    def test_robust_composition_accepts_extended_grammar(self):
+        from repro.core.metrics import RobustEvaluatedComposition
+
+        comp = MicrogridComposition(3, 9_000.0, 2)
+        per_scenario = tuple(
+            EvaluatedComposition(
+                comp, 1.0e6, metrics(operational_emissions_kg=kg)
+            )
+            for kg in (1_000_000.0, 3_000_000.0, 2_000_000.0, 4_000_000.0)
+        )
+        cvar = RobustEvaluatedComposition(
+            composition=comp, embodied_kg=1.0e6,
+            per_scenario=per_scenario, aggregate="cvar:0.5",
+        )
+        worst = RobustEvaluatedComposition(
+            composition=comp, embodied_kg=1.0e6,
+            per_scenario=per_scenario, aggregate="worst",
+        )
+        rates = [e.operational_tco2_per_day for e in per_scenario]
+        assert worst.operational_tco2_per_day == pytest.approx(max(rates))
+        # worst half of {1, 3, 2, 4} MtCO2-years = {4, 3}
+        expected = (rates[3] + rates[1]) / 2.0
+        assert cvar.operational_tco2_per_day == pytest.approx(expected)
+        assert cvar.objectives(("operational",))[0] == pytest.approx(expected)
+        with pytest.raises(ConfigurationError):
+            RobustEvaluatedComposition(
+                composition=comp, embodied_kg=1.0e6,
+                per_scenario=per_scenario, aggregate="cvar:nope",
+            )

@@ -18,6 +18,7 @@ import pytest
 
 import repro
 import repro.core
+import repro.core.ensemble
 import repro.core.multiyear
 import repro.core.scenario
 
@@ -38,13 +39,23 @@ def _capped_build_scenario(location, year_label=2024, n_hours=8_760, **kwargs):
 
 @pytest.fixture
 def capped_scenarios(monkeypatch):
-    for module in (repro, repro.core, repro.core.scenario, repro.core.multiyear):
+    for module in (
+        repro,
+        repro.core,
+        repro.core.scenario,
+        repro.core.multiyear,
+        repro.core.ensemble,
+    ):
         monkeypatch.setattr(module, "build_scenario", _capped_build_scenario)
 
 
 def test_all_examples_are_covered():
     assert EXAMPLES, "examples/ directory is empty?"
-    assert {p.name for p in EXAMPLES} >= {"quickstart.py", "resumable_search.py"}
+    assert {p.name for p in EXAMPLES} >= {
+        "quickstart.py",
+        "resumable_search.py",
+        "ensemble_study.py",
+    }
 
 
 @pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
