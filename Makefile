@@ -1,0 +1,17 @@
+# Convenience targets — every command also works standalone with
+# PYTHONPATH=src (no install needed; see README.md "Install").
+
+.PHONY: test tier2 bench
+
+# Tier-1 gate: what CI runs (pytest.ini deselects tier2/bench markers).
+test:
+	PYTHONPATH=src python -m pytest -x -q
+
+# Slow tier: full-year policy cross-validations.
+tier2:
+	PYTHONPATH=src python -m pytest -m tier2 -q
+
+# Every benchmark, with the perf trajectory recorded in
+# benchmarks/output/BENCH_storage.json (see benchmarks/run_all.py).
+bench:
+	PYTHONPATH=src python benchmarks/run_all.py

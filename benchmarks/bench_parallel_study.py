@@ -39,6 +39,7 @@ from repro.cli import main as cli_main
 from repro.confsys import MultiprocessingLauncher, SerialLauncher
 from repro.core.parameterspace import PAPER_SPACE
 from repro.core.study_runner import CompositionObjective, OptimizationRunner
+from repro.units import PERLMUTTER_MEAN_POWER_W
 
 N_WORKERS = 4
 N_COSIM_TRIALS = 16
@@ -144,8 +145,12 @@ def test_350_trial_kill_and_resume_via_cli(houston, output_dir, tmp_path):
         sampler=NSGA2Sampler(population_size=POPULATION, seed=SEED),
         storage=JournalStorage(killed_journal),
         study_name="houston-blackbox",
-        metadata={"site": "houston", "n_trials": N_TRIALS,
-                  "population": POPULATION, "seed": SEED},
+        # The metadata `study run` writes before the first trial — all of
+        # it is required by `study resume`, which refuses to guess.
+        metadata={"site": "houston", "sites": ["houston"], "policy": "default",
+                  "aggregate": "worst", "year": 2024, "n_hours": 8_760,
+                  "mean_power_mw": PERLMUTTER_MEAN_POWER_W / 1e6,
+                  "n_trials": N_TRIALS, "population": POPULATION, "seed": SEED},
     )
 
     # Resume through the CLI: scenario + search config come from metadata.

@@ -1,0 +1,186 @@
+"""Storage-backend throughput: long journals vs compaction vs SQLite (DESIGN.md §7).
+
+The journal's replay cost grows with *history*, not live trials: every
+resume re-tell and shard renumber appends a record that last-write-wins
+replay immediately overwrites.  This bench builds the pathological case
+— a 10k-record journal covering 1k live trials (each re-told 10×, the
+shape an often-resumed long study produces) — and measures ``load_study``
+against (a) the raw append-only journal, (b) the same journal after
+``compact()``, and (c) the SQLite backend, plus per-record append
+throughput for each writable backend.
+
+Results land in ``benchmarks/output/BENCH_storage.json``
+(machine-readable; merged with the other benches' numbers by
+``benchmarks/run_all.py``).  The replay-equivalence assertions run in
+any ``pytest benchmarks/`` invocation; the ≥2× wall-clock speedup gate
+follows the repo convention and sits behind the opt-in ``bench`` marker
+(``run_all.py`` clears the deselection, so ``make bench`` enforces it).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+
+import pytest
+
+from repro.blackbox import InMemoryStorage, JournalStorage, SQLiteStorage, TrialState
+from repro.blackbox.storage import encode_trial
+from repro.blackbox.trial import FrozenTrial
+
+N_LIVE = 1_000  # distinct trial numbers (the state resume actually needs)
+REWRITES = 10  # finish records per trial number → 10k-record history
+N_APPENDS = 200  # per-backend sample for append throughput
+STUDY = "bench"
+
+
+def _trial(number: int, generation: int) -> FrozenTrial:
+    return FrozenTrial(
+        number=number,
+        state=TrialState.COMPLETE,
+        params={"x": number * 0.001, "k": number % 6},
+        values=(float(number % 97) + generation, float(number % 31)),
+    )
+
+
+def _build_raw_journal(path) -> int:
+    """The 10k-record history, written directly (no per-line fsync)."""
+    records = [
+        json.dumps(
+            {"op": "create", "study": STUDY, "directions": ["minimize", "minimize"],
+             "metadata": {"n_trials": N_LIVE}}
+        )
+    ]
+    for generation in range(REWRITES):
+        for n in range(N_LIVE):
+            records.append(
+                json.dumps(
+                    {"op": "finish", "study": STUDY,
+                     "trial": encode_trial(_trial(n, generation))}
+                )
+            )
+    path.write_text("\n".join(records) + "\n")
+    return len(records)
+
+
+def _build_sqlite(path) -> SQLiteStorage:
+    storage = SQLiteStorage(path)
+    storage.create_study(STUDY, ["minimize", "minimize"], {"n_trials": N_LIVE})
+    for n in range(N_LIVE):
+        storage.record_trial_finish(STUDY, _trial(n, REWRITES - 1))
+    return storage
+
+
+def _time_load(make_storage, repeats: int = 3) -> float:
+    """Best-of-N cold loads (fresh instance each time: no record cache)."""
+    best = float("inf")
+    for _ in range(repeats):
+        storage = make_storage()
+        start = time.perf_counter()
+        stored = storage.load_study(STUDY)
+        best = min(best, time.perf_counter() - start)
+        assert stored is not None and len(stored.finished_trials()) == N_LIVE
+        storage.close()
+    return best
+
+
+def _time_appends(storage) -> float:
+    """Records/s through the real (fsynced/committed) append path."""
+    storage.create_study(STUDY, ["minimize", "minimize"], {})
+    start = time.perf_counter()
+    for n in range(N_APPENDS):
+        storage.record_trial_finish(STUDY, _trial(n, 0))
+    elapsed = time.perf_counter() - start
+    storage.close()
+    return N_APPENDS / elapsed
+
+
+@pytest.fixture(scope="module")
+def measurements(tmp_path_factory, output_dir) -> dict:
+    """Build the three stores, time them, record BENCH_storage.json."""
+    tmp_path = tmp_path_factory.mktemp("storage-bench")
+    raw_path = tmp_path / "history.jsonl"
+    n_records = _build_raw_journal(raw_path)
+
+    compacted_path = tmp_path / "compacted.jsonl"
+    shutil.copyfile(raw_path, compacted_path)
+    before, after = JournalStorage(compacted_path).compact()
+    assert before == n_records
+    assert after == N_LIVE + 1  # one create + one record per live trial
+
+    sqlite_path = tmp_path / "store.db"
+    _build_sqlite(sqlite_path).close()
+
+    t_journal = _time_load(lambda: JournalStorage(raw_path))
+    t_compacted = _time_load(lambda: JournalStorage(compacted_path))
+    t_sqlite = _time_load(lambda: SQLiteStorage(sqlite_path))
+    append_rates = {
+        "journal": _time_appends(JournalStorage(tmp_path / "append.jsonl")),
+        "sqlite": _time_appends(SQLiteStorage(tmp_path / "append.db")),
+        "memory": _time_appends(InMemoryStorage()),
+    }
+
+    speedup_compacted = t_journal / t_compacted
+    speedup_sqlite = t_journal / t_sqlite
+    results = {
+        "generated_by": "benchmarks/bench_storage.py",
+        "config": {
+            "live_trials": N_LIVE,
+            "journal_records": n_records,
+            "rewrites_per_trial": REWRITES,
+            "append_sample": N_APPENDS,
+        },
+        "load_seconds": {
+            "journal_10k_history": round(t_journal, 6),
+            "compacted_journal": round(t_compacted, 6),
+            "sqlite": round(t_sqlite, 6),
+        },
+        "load_speedup_vs_journal": {
+            "compacted_journal": round(speedup_compacted, 2),
+            "sqlite": round(speedup_sqlite, 2),
+        },
+        "append_records_per_s": {k: round(v, 1) for k, v in append_rates.items()},
+    }
+    out_path = output_dir / "BENCH_storage.json"
+    existing = json.loads(out_path.read_text()) if out_path.exists() else {}
+    existing["storage"] = results
+    out_path.write_text(json.dumps(existing, indent=2) + "\n")
+
+    report = (
+        f"storage bench ({n_records}-record journal, {N_LIVE} live trials):\n"
+        f"  load journal        : {t_journal * 1e3:8.1f} ms\n"
+        f"  load compacted      : {t_compacted * 1e3:8.1f} ms  ({speedup_compacted:5.1f}x)\n"
+        f"  load sqlite         : {t_sqlite * 1e3:8.1f} ms  ({speedup_sqlite:5.1f}x)\n"
+        f"  append journal      : {append_rates['journal']:8.0f} rec/s\n"
+        f"  append sqlite       : {append_rates['sqlite']:8.0f} rec/s\n"
+        f"  append memory       : {append_rates['memory']:8.0f} rec/s\n"
+    )
+    print("\n" + report)
+    return {
+        "paths": {"raw": raw_path, "compacted": compacted_path, "sqlite": sqlite_path},
+        "speedups": {"compacted": speedup_compacted, "sqlite": speedup_sqlite},
+        "report": report,
+    }
+
+
+def test_backends_replay_identically(measurements):
+    """Raw journal, compacted journal, and sqlite hold the same live state."""
+    paths = measurements["paths"]
+    assert (
+        JournalStorage(paths["raw"]).load_study(STUDY).trials_by_number
+        == JournalStorage(paths["compacted"]).load_study(STUDY).trials_by_number
+        == SQLiteStorage(paths["sqlite"]).load_study(STUDY).trials_by_number
+    )
+
+
+@pytest.mark.bench
+def test_storage_load_speedup_gate(measurements):
+    """The storage layer's point: resume/status stop paying O(history).
+
+    Generous 2x floor (observed ~10x) keeps this stable on loaded
+    machines; wall-clock assertion, hence the opt-in ``bench`` marker.
+    """
+    speedups = measurements["speedups"]
+    assert speedups["compacted"] >= 2.0, measurements["report"]
+    assert speedups["sqlite"] >= 2.0, measurements["report"]

@@ -1,0 +1,105 @@
+"""Run every benchmark and record the perf trajectory in one JSON file.
+
+``python benchmarks/run_all.py`` (or ``make bench``) executes each
+``bench_*.py`` in its own pytest process and folds the results into
+``benchmarks/output/BENCH_storage.json``:
+
+* ``storage`` — the machine-readable load/append numbers written by
+  ``bench_storage.py`` itself;
+* ``benches`` — per-bench status (passed/failed/skipped) and wall-clock
+  duration, so regressions in *any* bench show up as a diff;
+* ``artifacts`` — the text reports the dispatch/ensemble/parallel
+  benches drop in ``benchmarks/output/`` (their headline numbers, e.g.
+  the stacking speedups, ride along verbatim).
+
+Wall-clock speedup assertions behind the opt-in ``bench`` pytest marker
+are included (``-m ""`` clears the default deselection); on loaded or
+single-core machines those benches skip rather than fail, and the skip
+is recorded.  Use ``--only PATTERN`` to run a subset (substring match
+on the file name), e.g. ``--only storage``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO = BENCH_DIR.parent
+OUTPUT = BENCH_DIR / "output"
+RESULTS = OUTPUT / "BENCH_storage.json"
+
+
+def _run_bench(path: Path) -> dict:
+    """One bench file in its own pytest process; returns its record."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", str(path), "-q", "-m", "", "-p", "no:cacheprovider"],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.perf_counter() - start
+    tail = proc.stdout.strip().splitlines()[-1] if proc.stdout.strip() else ""
+    status = "passed" if proc.returncode == 0 else "failed"
+    if proc.returncode == 0 and " skipped" in tail and " passed" not in tail:
+        status = "skipped"
+    return {
+        "status": status,
+        "seconds": round(elapsed, 2),
+        "summary": tail,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="PATTERN",
+        help="run only bench files whose name contains PATTERN",
+    )
+    args = parser.parse_args(argv)
+
+    benches = sorted(BENCH_DIR.glob("bench_*.py"))
+    if args.only:
+        benches = [b for b in benches if args.only in b.name]
+    if not benches:
+        print(f"no bench files match {args.only!r}")
+        return 1
+
+    OUTPUT.mkdir(exist_ok=True)
+    records: dict[str, dict] = {}
+    failed = []
+    for path in benches:
+        print(f"{path.name} ... ", end="", flush=True)
+        record = _run_bench(path)
+        records[path.name] = record
+        print(f"{record['status']} ({record['seconds']}s)  {record['summary']}")
+        if record["status"] == "failed":
+            failed.append(path.name)
+
+    results = json.loads(RESULTS.read_text()) if RESULTS.exists() else {}
+    results["benches"] = records
+    results["artifacts"] = {
+        p.name: p.read_text()
+        for p in sorted(OUTPUT.glob("*.txt"))
+    }
+    RESULTS.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {RESULTS.relative_to(REPO)}")
+    if failed:
+        print(f"FAILED: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,9 +13,12 @@ reimplements the subset of Optuna's API the paper exercises:
   hypervolume) shared with :mod:`repro.core.pareto`,
 * a median pruner for the "dynamic pruning / early stopping" future-work
   hook (§4.4),
-* **study persistence** (:mod:`repro.blackbox.storage`, DESIGN.md §3) —
-  ``create_study(storage=..., load_if_exists=True)`` resumes a killed
-  study from an append-only journal,
+* **study persistence** (:mod:`repro.blackbox.storage`, DESIGN.md §3,
+  §7) — ``create_study(storage=..., load_if_exists=True)`` resumes a
+  killed study from a pluggable backend (in-memory, JSONL journal, or
+  SQLite — any spec the URL registry resolves, e.g.
+  ``sqlite:///study.db``), with sharded stores and offline merge for
+  multi-worker runs,
 * **parallel trial execution** (:mod:`repro.blackbox.parallel`,
   DESIGN.md §4) — :class:`ParallelStudyRunner` fans independent trials
   out across processes with deterministic per-trial RNG seeding.
@@ -43,7 +46,16 @@ from .pruners import MedianPruner, NopPruner
 from .samplers import GridSampler, NSGA2Sampler, RandomSampler, ScalarizationSampler, TPESampler
 from .study import Study, StudyDirection, create_study
 from .trial import FrozenTrial, Trial, TrialState
-from .storage import InMemoryStorage, JournalStorage, StoredStudy, StudyStorage
+from .storage import (
+    InMemoryStorage,
+    JournalStorage,
+    ShardedStorage,
+    SQLiteStorage,
+    StoredStudy,
+    StudyStorage,
+    merge_stores,
+    storage_from_url,
+)
 from .parallel import ParallelStudyRunner
 
 __all__ = [
@@ -51,6 +63,10 @@ __all__ = [
     "StoredStudy",
     "InMemoryStorage",
     "JournalStorage",
+    "SQLiteStorage",
+    "ShardedStorage",
+    "merge_stores",
+    "storage_from_url",
     "ParallelStudyRunner",
     "Distribution",
     "FloatDistribution",

@@ -23,9 +23,15 @@ Determinism contract:
   trials when breeding, so generation-batched evaluation is semantically
   identical to the serial generational loop.
 
-The runner composes with storage (DESIGN.md §3): give the study a
-:class:`~repro.blackbox.storage.StudyStorage` and every batch is
-journaled as it completes, making a killed parallel run resumable.
+The runner composes with storage (DESIGN.md §3, §7): give the study a
+:class:`~repro.blackbox.storage.StudyStorage` — or pass the runner a
+``storage`` spec string such as ``sqlite:///study.db`` — and every
+batch is recorded as it completes, making a killed parallel run
+resumable.  With ``shards=W`` the records fan out across W per-worker
+shard stores (``spec.shard0`` … ``spec.shardW-1``) instead of funneling
+through one fsynced file; ``repro study merge`` (or
+:func:`repro.blackbox.storage.merge_stores`) folds the shards back into
+one store with the identical final Pareto front.
 
 The objective must be picklable (a module-level function, or an
 instance of a module-level class such as
@@ -112,6 +118,18 @@ class ParallelStudyRunner:
         Trials evaluated concurrently per round.  Defaults to the
         sampler's ``population_size`` (one NSGA-II generation) or the
         launcher's worker count.
+    storage:
+        Optional storage to attach to a not-yet-persistent study: a
+        :class:`~repro.blackbox.storage.StudyStorage` instance or a
+        spec string resolved through the URL registry (DESIGN.md §7).
+        The study is registered in the backend on attach; to *resume*
+        a persisted study, build it with
+        ``create_study(storage=..., load_if_exists=True)`` instead.
+    shards:
+        With ``shards=W > 1`` (and ``storage`` given as a spec string),
+        records fan out across W per-worker shard stores so concurrent
+        batches stop serializing on one file; fold them back with
+        ``repro study merge``.
     """
 
     def __init__(
@@ -120,6 +138,8 @@ class ParallelStudyRunner:
         space: dict[str, Distribution],
         launcher=None,
         batch_size: int | None = None,
+        storage=None,
+        shards: int | None = None,
     ) -> None:
         if not space:
             raise OptimizationError("parallel execution needs a declared search space")
@@ -137,6 +157,33 @@ class ParallelStudyRunner:
             or getattr(study.sampler, "population_size", None)
             or getattr(self.launcher, "n_workers", 1)
         )
+        if storage is not None:
+            self._attach_storage(storage, shards)
+
+    def _attach_storage(self, storage, shards: int | None) -> None:
+        """Resolve ``storage`` and register the (fresh) study in it."""
+        from .storage import resolve_storage
+
+        if self.study.storage is not None:
+            raise OptimizationError(
+                "study already has a storage backend; build it with "
+                "create_study(storage=..., load_if_exists=True) to resume"
+            )
+        backend = resolve_storage(storage, shards=shards)
+        if backend.load_study(self.study.study_name) is not None:
+            raise OptimizationError(
+                f"study '{self.study.study_name}' already exists in that "
+                "storage; resume it via create_study(load_if_exists=True)"
+            )
+        # Persist the generation boundary so a resume can detect a
+        # mismatched batch size instead of silently misaligning.
+        self.study.metadata.setdefault("batch", self.batch_size)
+        backend.create_study(
+            self.study.study_name,
+            [d.value for d in self.study.directions],
+            self.study.metadata,
+        )
+        self.study.storage = backend
 
     def optimize(
         self,
@@ -167,6 +214,29 @@ class ParallelStudyRunner:
         # run (restored afterwards — the sampler is the caller's).
         sampler.per_trial_seeding = True
         try:
+            persisted_batch = self.study.metadata.get("batch")
+            if (
+                self.study.storage is not None
+                and not self.study.trials
+                and persisted_batch is None
+            ):
+                # A fresh study built via create_study(storage=...) was
+                # registered before the runner knew its generation size;
+                # persist it now so a mismatched resume is detectable.
+                self.study.metadata["batch"] = self.batch_size
+                self.study.storage.update_metadata(
+                    self.study.study_name, self.study.metadata
+                )
+            if (
+                self.study.trials
+                and persisted_batch is not None
+                and int(persisted_batch) != self.batch_size
+            ):
+                raise OptimizationError(
+                    f"study '{self.study.study_name}' was run with batch "
+                    f"{int(persisted_batch)}, resumed with {self.batch_size}; "
+                    "generation boundaries cannot be aligned across batch sizes"
+                )
             if len(self.study.trials) < n_trials:
                 self.study.drop_trailing_partial_batch(self.batch_size)
             remaining = max(n_trials - len(self.study.trials), 0)

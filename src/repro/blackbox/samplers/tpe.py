@@ -46,6 +46,8 @@ class TPESampler(Sampler):
             raise OptimizationError("need at least one startup trial")
         if not 0.0 < gamma < 1.0:
             raise OptimizationError("gamma must be in (0, 1)")
+        if n_candidates < 1:
+            raise OptimizationError("need at least one candidate draw")
         self.n_startup_trials = n_startup_trials
         self.gamma = gamma
         self.n_candidates = n_candidates

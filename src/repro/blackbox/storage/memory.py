@@ -1,0 +1,69 @@
+"""In-memory storage backend (``memory://``)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...exceptions import OptimizationError
+from ..trial import FrozenTrial
+from .base import StoredStudy, StudyStorage, _encode_value, _decode_value, decode_trial, encode_trial
+
+
+class InMemoryStorage(StudyStorage):
+    """Process-local storage — the default behaviour, made explicit.
+
+    Stores the *encoded* records (not live objects), so anything that
+    works against :class:`InMemoryStorage` persists identically under
+    :class:`~repro.blackbox.storage.journal.JournalStorage` or
+    :class:`~repro.blackbox.storage.sqlite.SQLiteStorage`, and loaded
+    trials never alias stored ones.
+    """
+
+    def __init__(self) -> None:
+        self._studies: dict[str, dict[str, Any]] = {}
+
+    def create_study(
+        self, study_name: str, directions: list[str], metadata: dict[str, Any]
+    ) -> None:
+        if study_name in self._studies:
+            raise OptimizationError(f"study '{study_name}' already exists in storage")
+        self._studies[study_name] = {
+            "directions": list(directions),
+            "metadata": _encode_value(dict(metadata)),
+            "trials": {},
+        }
+
+    def _require(self, study_name: str) -> dict[str, Any]:
+        if study_name not in self._studies:
+            raise OptimizationError(f"unknown study '{study_name}' in storage")
+        return self._studies[study_name]
+
+    def load_study(self, study_name: str) -> StoredStudy | None:
+        if study_name not in self._studies:
+            return None
+        raw = self._studies[study_name]
+        return StoredStudy(
+            name=study_name,
+            directions=list(raw["directions"]),
+            metadata=_decode_value(raw["metadata"]),
+            trials_by_number={
+                n: decode_trial(rec) for n, rec in raw["trials"].items()
+            },
+        )
+
+    def update_metadata(self, study_name: str, metadata: dict[str, Any]) -> None:
+        self._require(study_name)["metadata"] = _encode_value(dict(metadata))
+
+    def record_trial_start(self, study_name: str, trial: FrozenTrial) -> None:
+        self._require(study_name)["trials"][trial.number] = encode_trial(trial)
+
+    def record_trial_finish(self, study_name: str, trial: FrozenTrial) -> None:
+        self._require(study_name)["trials"][trial.number] = encode_trial(trial)
+
+    def load_all(self) -> dict[str, StoredStudy]:
+        out = {}
+        for name in self._studies:
+            loaded = self.load_study(name)
+            assert loaded is not None
+            out[name] = loaded
+        return out

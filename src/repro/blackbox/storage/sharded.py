@@ -1,0 +1,151 @@
+"""Sharded studies: one store per worker, merged after the fact.
+
+A multi-worker study writing through one store funnels every record
+through a single fsynced file or database.  :class:`ShardedStorage`
+removes the funnel (DESIGN.md §7): trial *number n* always routes to
+shard ``n % W``, so per-number last-write-wins ordering is preserved
+inside exactly one shard and the union across shards is conflict-free
+by construction.  Each shard is a complete, independently loadable
+store (it carries the study record and metadata too), which is what
+makes offline folding possible: :func:`merge_stores` — exposed as
+``repro study merge`` — replays every shard and writes one consolidated
+store whose replayed state (and therefore final Pareto front) is
+identical to a single-store run of the same seeded study.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ...exceptions import OptimizationError
+from ..trial import FrozenTrial
+from .base import StoredStudy, StudyStorage
+
+
+class ShardedStorage(StudyStorage):
+    """Fan one study's records across per-worker shard stores.
+
+    The study layer sees a single :class:`StudyStorage`; underneath,
+    ``record_trial_start``/``record_trial_finish`` route each trial to
+    shard ``number % n_shards`` and loads union the shards back
+    together.  Because a given trial number always lands in the same
+    shard, every per-number invariant of the single-store backends
+    (last-write-wins replay, tombstoning renumbered trials, resume
+    alignment) carries over unchanged.
+
+    ``create_study`` registers the study in *every* shard — metadata
+    included — so each shard file is self-describing and
+    :func:`merge_stores` (or a status call against one shard) never
+    needs the others to interpret it.
+    """
+
+    def __init__(self, shards: Sequence[StudyStorage]) -> None:
+        if not shards:
+            raise OptimizationError("need at least one shard store")
+        self.shards = list(shards)
+
+    def _shard_for(self, number: int) -> StudyStorage:
+        return self.shards[int(number) % len(self.shards)]
+
+    def create_study(
+        self, study_name: str, directions: list[str], metadata: dict[str, Any]
+    ) -> None:
+        for shard in self.shards:
+            shard.create_study(study_name, directions, metadata)
+
+    def update_metadata(self, study_name: str, metadata: dict[str, Any]) -> None:
+        for shard in self.shards:  # shards stay self-describing
+            shard.update_metadata(study_name, metadata)
+
+    def record_trial_start(self, study_name: str, trial: FrozenTrial) -> None:
+        self._shard_for(trial.number).record_trial_start(study_name, trial)
+
+    def record_trial_finish(self, study_name: str, trial: FrozenTrial) -> None:
+        self._shard_for(trial.number).record_trial_finish(study_name, trial)
+
+    def load_study(self, study_name: str) -> StoredStudy | None:
+        merged: StoredStudy | None = None
+        for shard in self.shards:
+            stored = shard.load_study(study_name)
+            if stored is None:
+                continue
+            if merged is None:
+                merged = stored
+            else:
+                merged.trials_by_number.update(stored.trials_by_number)
+        return merged
+
+    def load_all(self) -> dict[str, StoredStudy]:
+        names = sorted({name for shard in self.shards for name in shard.load_all()})
+        out = {}
+        for name in names:
+            loaded = self.load_study(name)
+            assert loaded is not None
+            out[name] = loaded
+        return out
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+
+def merge_stores(
+    sources: Sequence[StudyStorage],
+    dest: StudyStorage,
+    study_name: str | None = None,
+) -> StoredStudy:
+    """Fold shard stores into one consolidated store.
+
+    Replays every source, unions the named study's trials by number
+    (across shards the numbers are disjoint by construction; on overlap
+    — e.g. merging two clean copies — later sources win), renumbers the
+    finished trials consecutively in number order, and writes one
+    ``create`` plus one finish record per trial into ``dest``.  Trials
+    still RUNNING at a crash carry no parameters and are dropped, just
+    as resume drops them; the renumbering closes the gaps they leave so
+    the merged store satisfies the ``list-index == trial-number``
+    invariant and can be resumed or analysed like a single-store run.
+
+    Returns the merged study as replayed from ``dest``.  Raises if the
+    sources disagree on directions, if ``study_name`` is ambiguous, or
+    if ``dest`` already contains the study.
+    """
+    if not sources:
+        raise OptimizationError("need at least one source store to merge")
+    per_source = [src.load_all() for src in sources]
+    names = sorted({name for loaded in per_source for name in loaded})
+    if study_name is None:
+        if len(names) != 1:
+            raise OptimizationError(
+                f"sources hold {len(names)} studies ({names}); pass study_name"
+            )
+        study_name = names[0]
+    parts = [loaded[study_name] for loaded in per_source if study_name in loaded]
+    if not parts:
+        raise OptimizationError(f"study '{study_name}' not found in any source store")
+    directions = parts[0].directions
+    for part in parts[1:]:
+        if part.directions != directions:
+            raise OptimizationError(
+                f"shards disagree on directions for '{study_name}': "
+                f"{directions} vs {part.directions}"
+            )
+    if dest.load_study(study_name) is not None:
+        raise OptimizationError(
+            f"study '{study_name}' already exists in the destination store"
+        )
+
+    merged: dict[int, FrozenTrial] = {}
+    for part in parts:
+        merged.update(part.trials_by_number)
+    finished = [merged[n] for n in sorted(merged) if merged[n].state.is_finished()]
+
+    metadata = dict(parts[0].metadata)
+    metadata.pop("shards", None)  # the merged store is a single store
+    dest.create_study(study_name, list(directions), metadata)
+    for i, trial in enumerate(finished):
+        trial.number = i
+        dest.record_trial_finish(study_name, trial)
+    result = dest.load_study(study_name)
+    assert result is not None
+    return result

@@ -5,10 +5,12 @@ protocol and the higher-level ``optimize`` loop, trial bookkeeping,
 Pareto-front extraction (``best_trials``), and pluggable samplers/pruners.
 
 Studies are **storage-aware** (DESIGN.md §3): pass a
-:class:`~repro.blackbox.storage.StudyStorage` to :func:`create_study`
-and every ``ask``/``tell`` is recorded through it; with
-``load_if_exists=True`` a previously persisted study is reloaded and
-continues where it stopped (Optuna-style resume).
+:class:`~repro.blackbox.storage.StudyStorage` — or a storage spec
+string such as ``sqlite:///study.db`` resolved through the URL registry
+(DESIGN.md §7) — to :func:`create_study` and every ``ask``/``tell`` is
+recorded through it; with ``load_if_exists=True`` a previously
+persisted study is reloaded and continues where it stopped
+(Optuna-style resume).
 """
 
 from __future__ import annotations
@@ -61,17 +63,20 @@ class Study:
         sampler: Sampler | None = None,
         pruner=None,
         study_name: str = "study",
-        storage: "StudyStorage | None" = None,
+        storage: "StudyStorage | str | None" = None,
         metadata: dict[str, Any] | None = None,
     ) -> None:
         if not directions:
             raise OptimizationError("need at least one direction")
+        from .storage import resolve_storage
+
         self.directions = [StudyDirection.parse(d) for d in directions]
         self.sampler = sampler or RandomSampler()
         self.pruner = pruner or NopPruner()
         self.study_name = study_name
         #: persistence backend; ``None`` keeps the study purely in-process
-        self.storage = storage
+        #: (spec strings resolve through the URL registry, DESIGN.md §7)
+        self.storage = resolve_storage(storage)
         #: free-form study metadata, persisted with the study record
         self.metadata: dict[str, Any] = dict(metadata or {})
         self.trials: list[FrozenTrial] = []
@@ -227,12 +232,15 @@ def create_study(
     sampler: Sampler | None = None,
     pruner=None,
     study_name: str = "study",
-    storage: "StudyStorage | None" = None,
+    storage: "StudyStorage | str | None" = None,
     load_if_exists: bool = False,
     metadata: dict[str, Any] | None = None,
 ) -> Study:
     """Factory mirroring ``optuna.create_study`` (storage-aware).
 
+    ``storage`` may be a backend instance or a spec string
+    (``journal:///p.jsonl``, ``sqlite:///p.db``, ``memory://``, or a
+    bare path) resolved through the URL registry (DESIGN.md §7).
     With ``storage`` set, the study is registered in the backend and all
     subsequent ``ask``/``tell`` calls are recorded through it.  If the
     name already exists in the backend this raises — unless
@@ -257,6 +265,7 @@ def create_study(
         storage=storage,
         metadata=metadata,
     )
+    storage = study.storage  # spec strings were resolved by Study.__init__
     if storage is None:
         return study
 

@@ -16,6 +16,19 @@ Persistent, resumable, parallel studies (DESIGN.md §3–§4)::
     python -m repro.cli study resume --journal study.jsonl
     python -m repro.cli study status --journal study.jsonl
 
+Storage is pluggable (DESIGN.md §7): every verb also accepts
+``--storage`` with a URL-style spec resolved through the storage
+registry — ``journal:///study.jsonl``, ``sqlite:///study.db``, or a
+bare path whose extension picks the backend.  Journals are compacted to
+their last-write-wins fixed point with ``study compact``, and a study
+sharded across per-worker stores (``study run --shards 4``) is folded
+back into one store with ``study merge``::
+
+    python -m repro.cli study run     --storage sqlite:///study.db --site houston
+    python -m repro.cli study compact --journal study.jsonl
+    python -m repro.cli study merge   --into merged.db \
+        --from study.db.shard0 --from study.db.shard1
+
 Robust multi-site search with an alternative dispatch policy
 (DESIGN.md §5) — score every candidate against several scenarios in one
 stacked time loop and optimize the worst case::
@@ -233,37 +246,52 @@ def _study_scenarios(cfg: Config, sites: "list[str]", ensemble: "str | None", la
     return build_ensemble(spec, launcher=launcher), spec.spec_string()
 
 
-def _print_search_summary(result, journal: str, name: str) -> None:
+def _store_spec(args) -> str:
+    """The storage spec string: ``--storage URL`` or the ``--journal`` path."""
+    return args.storage or args.journal
+
+
+def _open_storage(args, shards: "int | None" = None):
+    """Resolve the study store, reopening an on-disk sharded topology."""
+    from .blackbox.storage import open_study_storage, resolve_storage
+
+    if shards is not None and shards > 1:
+        return resolve_storage(_store_spec(args), shards=shards)
+    return open_study_storage(_store_spec(args))
+
+
+def _print_search_summary(result, spec: str, name: str) -> None:
     front = result.front()
     print(
         f"study '{name}': {len(result.study.trials)} trials, "
         f"{result.n_simulations} simulations this run, "
-        f"front size {len(front)} (journal: {journal})"
+        f"front size {len(front)} (storage: {spec})"
     )
 
 
-def _interrupted(journal: str) -> int:
+def _interrupted(spec: str) -> int:
     print(
-        f"\ninterrupted — completed trials are journaled; continue with:\n"
-        f"  repro study resume --journal {journal}"
+        f"\ninterrupted — completed trials are persisted; continue with:\n"
+        f"  repro study resume --storage {spec}"
     )
     return 130
 
 
 def cmd_study_run(cfg: Config, args) -> int:
-    from .blackbox import JournalStorage, NSGA2Sampler
+    from .blackbox import NSGA2Sampler
     from .core.dispatch import make_policy
 
+    spec = _store_spec(args)
     sites = _parse_sites(args, cfg)
     suffix = "-ensemble-blackbox" if args.ensemble else "-blackbox"
     name = args.name or "-".join(sites) + suffix
     # Check for a pre-existing study before the (possibly multi-minute)
     # ensemble build, so the duplicate-run error path is near-instant.
-    storage = JournalStorage(args.journal)
+    storage = _open_storage(args, shards=args.shards)
     if storage.load_study(name) is not None:
         print(
-            f"study '{name}' already exists in {args.journal} — continue it with:\n"
-            f"  repro study resume --journal {args.journal}"
+            f"study '{name}' already exists in {spec} — continue it with:\n"
+            f"  repro study resume --storage {spec}"
         )
         return 1
     launcher = _study_launcher(args.workers)
@@ -280,6 +308,8 @@ def cmd_study_run(cfg: Config, args) -> int:
         "population": args.population,
         "seed": args.seed,
     }
+    if args.shards and args.shards > 1:
+        metadata["shards"] = args.shards
     if ensemble_spec:
         metadata["ensemble"] = ensemble_spec
     runner = OptimizationRunner(
@@ -297,37 +327,68 @@ def cmd_study_run(cfg: Config, args) -> int:
             metadata=metadata,
         )
     except KeyboardInterrupt:
-        return _interrupted(args.journal)
-    _print_search_summary(result, args.journal, name)
+        return _interrupted(spec)
+    _print_search_summary(result, spec, name)
     return 0
 
 
-def cmd_study_resume(cfg: Config, args) -> int:
-    from .blackbox import JournalStorage, NSGA2Sampler
+#: metadata keys that define the search objective and sampler identity —
+#: resuming with a *guessed* value for any of them silently produces a
+#: different Pareto front than the original run, the exact failure mode
+#: the persisted-metadata contract exists to prevent
+_RESUME_REQUIRED_KEYS = (
+    "site", "year", "n_hours", "mean_power_mw",  # scenario identity
+    "policy", "aggregate",                       # objective identity
+    "population", "seed", "n_trials",            # sampler identity
+)
 
-    storage = JournalStorage(args.journal)
+
+def _require_resume_metadata(md: dict, spec: str, trials_override: bool) -> None:
+    """Fail loudly — naming every missing key — instead of defaulting."""
+    required = [
+        k
+        for k in _RESUME_REQUIRED_KEYS
+        if not (k == "n_trials" and trials_override)
+    ]
+    missing = [k for k in required if md.get(k) is None]
+    if missing:
+        raise SystemExit(
+            f"cannot resume from {spec}: study metadata is missing "
+            f"{', '.join(repr(k) for k in missing)}. Resuming with defaults "
+            "would silently produce a different Pareto front than the "
+            "original run.  The study predates the persisted-search-"
+            "parameter contract (or was written by a custom driver); "
+            "re-run it with current code to resume safely."
+        )
+
+
+def cmd_study_resume(cfg: Config, args) -> int:
+    from .blackbox import NSGA2Sampler
+
+    spec = _store_spec(args)
+    storage = _open_storage(args)
     studies = storage.load_all()
     if not studies:
-        print(f"no studies found in {args.journal}")
+        print(f"no studies found in {spec}")
         return 1
     if args.name:
         if args.name not in studies:
-            print(f"study '{args.name}' not in {args.journal} (has: {sorted(studies)})")
+            print(f"study '{args.name}' not in {spec} (has: {sorted(studies)})")
             return 1
         name = args.name
     elif len(studies) == 1:
         name = next(iter(studies))
     else:
-        print(f"journal holds several studies, pass --name (one of {sorted(studies)})")
+        print(f"store holds several studies, pass --name (one of {sorted(studies)})")
         return 1
 
     from .core.dispatch import make_policy
 
     md = studies[name].metadata
-    site_cfg = cfg.updated("scenario.location", md.get("site", cfg.scenario.location))
+    _require_resume_metadata(md, spec, trials_override=args.trials is not None)
+    site_cfg = cfg.updated("scenario.location", md["site"])
     for key in ("year", "n_hours", "mean_power_mw"):
-        if key in md:
-            site_cfg = site_cfg.updated(f"scenario.{key}", md[key])
+        site_cfg = site_cfg.updated(f"scenario.{key}", md[key])
     sites = [str(s) for s in md.get("sites", [site_cfg.scenario.location])]
     launcher = _study_launcher(args.workers)
     # An ensemble study persists its round-trippable spec (DESIGN.md §6);
@@ -336,36 +397,56 @@ def cmd_study_resume(cfg: Config, args) -> int:
     runner = OptimizationRunner(
         scenarios,
         launcher=launcher,
-        policy=make_policy(str(md.get("policy", "default")), scenarios),
-        aggregate=str(md.get("aggregate", "worst")),
+        policy=make_policy(str(md["policy"]), scenarios),
+        aggregate=str(md["aggregate"]),
     )
     try:
         result = runner.run_blackbox(
-            n_trials=args.trials or int(md.get("n_trials", 350)),
+            n_trials=args.trials or int(md["n_trials"]),
             sampler=NSGA2Sampler(
-                population_size=int(md.get("population", 50)), seed=md.get("seed")
+                population_size=int(md["population"]), seed=int(md["seed"])
             ),
             storage=storage,
             study_name=name,
             load_if_exists=True,
         )
     except KeyboardInterrupt:
-        return _interrupted(args.journal)
-    _print_search_summary(result, args.journal, name)
+        return _interrupted(spec)
+    _print_search_summary(result, spec, name)
     return 0
 
 
-def cmd_study_status(cfg: Config, args) -> int:
+def _stored_front_size(stored) -> "int | None":
+    """Pareto-front size of a replayed study's completed trials.
+
+    Dedupes revisited genomes so the count matches the front size
+    ``study run``/``study resume`` print for the same store; ``None``
+    when nothing completed.
+    """
     import numpy as np
 
-    from .blackbox import JournalStorage
     from .blackbox.multiobjective import pareto_front_indices
     from .blackbox.trial import TrialState
 
-    storage = JournalStorage(args.journal)
+    completed = [
+        t for t in stored.trials if t.state == TrialState.COMPLETE and t.values
+    ]
+    if not completed:
+        return None
+    unique = {tuple(sorted(t.params.items())): t.values for t in completed}
+    signs = np.array([1.0 if d == "minimize" else -1.0 for d in stored.directions])
+    values = np.array(list(unique.values())) * signs
+    return len(pareto_front_indices(values))
+
+
+def cmd_study_status(cfg: Config, args) -> int:
+    from .blackbox.trial import TrialState
+
+    spec = _store_spec(args)
+    storage = _open_storage(args)
     studies = storage.load_all()
     if not studies:
-        print(f"no studies found in {args.journal}")
+        print(f"no studies found in {spec}")
         return 1
     for name in sorted(studies):
         stored = studies[name]
@@ -381,18 +462,9 @@ def cmd_study_status(cfg: Config, args) -> int:
             f"{counts['running']} in-flight, {counts['pruned']} pruned, "
             f"{counts['failed']} failed"
         )
-        completed = [t for t in trials if t.state == TrialState.COMPLETE and t.values]
-        if completed:
-            # Dedupe revisited genomes so the count matches the front
-            # size `study run`/`study resume` print for the same journal.
-            unique = {
-                tuple(sorted(t.params.items())): t.values for t in completed
-            }
-            signs = np.array(
-                [1.0 if d == "minimize" else -1.0 for d in stored.directions]
-            )
-            values = np.array(list(unique.values())) * signs
-            line += f", front size {len(pareto_front_indices(values))}"
+        front_size = _stored_front_size(stored)
+        if front_size is not None:
+            line += f", front size {front_size}"
         sites = stored.metadata.get("sites") or (
             [stored.metadata["site"]] if stored.metadata.get("site") else []
         )
@@ -413,10 +485,54 @@ def cmd_study_status(cfg: Config, args) -> int:
     return 0
 
 
+def cmd_study_compact(cfg: Config, args) -> int:
+    from .blackbox import JournalStorage
+
+    spec = _store_spec(args)
+    storage = _open_storage(args)
+    stores = storage.shards if hasattr(storage, "shards") else [storage]
+    if not all(isinstance(s, JournalStorage) for s in stores):
+        print(
+            f"{spec} is not journal-backed — compaction rewrites append-only "
+            "journals; sqlite stores are already their own fixed point"
+        )
+        return 1
+    for store in stores:
+        before, after = store.compact()
+        print(
+            f"compacted {store.path}: {before} records -> {after} "
+            f"({before - after} overwritten by later records)"
+        )
+    return 0
+
+
+def cmd_study_merge(cfg: Config, args) -> int:
+    from .blackbox.storage import merge_stores, storage_from_url
+
+    sources = [storage_from_url(src) for src in args.sources]
+    dest = storage_from_url(args.into)
+    try:
+        merged = merge_stores(sources, dest, study_name=args.name)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary: report, don't trace
+        print(f"merge failed: {exc}")
+        return 1
+    line = (
+        f"merged {len(args.sources)} stores into {args.into}: study "
+        f"'{merged.name}', {len(merged.trials)} trials"
+    )
+    front_size = _stored_front_size(merged)
+    if front_size is not None:
+        line += f", front size {front_size}"
+    print(line)
+    return 0
+
+
 _STUDY_COMMANDS = {
     "run": cmd_study_run,
     "resume": cmd_study_resume,
     "status": cmd_study_status,
+    "compact": cmd_study_compact,
+    "merge": cmd_study_merge,
 }
 
 
@@ -498,15 +614,38 @@ def build_parser() -> argparse.ArgumentParser:
     p = common(sub.add_parser("all", help="write every artifact for both sites"))
     p.add_argument("--output-dir", default="artifacts")
 
+    def store_args(p):
+        """``--journal`` (historical name) or ``--storage`` (any URL spec)."""
+        g = p.add_mutually_exclusive_group(required=True)
+        g.add_argument(
+            "--journal",
+            default=None,
+            help="append-only JSONL journal path (shorthand for journal:// specs)",
+        )
+        g.add_argument(
+            "--storage",
+            default=None,
+            metavar="URL",
+            help="storage spec: journal:///p.jsonl | sqlite:///p.db | memory:// "
+            "| bare path (.db/.sqlite → sqlite, else journal) (DESIGN.md §7)",
+        )
+        return p
+
     p = sub.add_parser("study", help="persistent, resumable, parallel studies")
     ssub = p.add_subparsers(dest="study_command", required=True)
-    p_run = common(ssub.add_parser("run", help="run a journaled NSGA-II study"))
-    p_run.add_argument("--journal", required=True, help="append-only JSONL journal path")
+    p_run = store_args(common(ssub.add_parser("run", help="run a persisted NSGA-II study")))
     p_run.add_argument("--name", default=None, help="study name (default: <sites>-blackbox)")
     p_run.add_argument("--trials", type=int, default=350)
     p_run.add_argument("--population", type=int, default=50)
     p_run.add_argument("--seed", type=int, default=42)
     p_run.add_argument("--workers", type=int, default=1, help="evaluation worker processes")
+    p_run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="fan trial records across N per-worker shard stores "
+        "(<path>.shard0 … shardN-1); fold back with `repro study merge`",
+    )
     p_run.add_argument(
         "--sites",
         default=None,
@@ -535,13 +674,35 @@ def build_parser() -> argparse.ArgumentParser:
         "years=2020-2029,growth=1.0:1.3,carbon=baseline:cleaner,"
         "severity=1.0:1.5 (DESIGN.md §6)",
     )
-    p_res = ssub.add_parser("resume", help="resume an interrupted journaled study")
-    p_res.add_argument("--journal", required=True)
-    p_res.add_argument("--name", default=None, help="study name (needed if journal holds several)")
+    p_res = store_args(ssub.add_parser("resume", help="resume an interrupted persisted study"))
+    p_res.add_argument("--name", default=None, help="study name (needed if the store holds several)")
     p_res.add_argument("--trials", type=int, default=None, help="override the persisted trial target")
     p_res.add_argument("--workers", type=int, default=1)
-    p_stat = ssub.add_parser("status", help="summarize the studies in a journal")
-    p_stat.add_argument("--journal", required=True)
+    p_stat = store_args(ssub.add_parser("status", help="summarize the studies in a store"))
+    store_args(
+        ssub.add_parser(
+            "compact",
+            help="rewrite a journal to its last-write-wins fixed point "
+            "(replay becomes O(live trials), not O(history))",
+        )
+    )
+    p_merge = ssub.add_parser(
+        "merge", help="fold shard stores into one store (renumbers trials)"
+    )
+    p_merge.add_argument(
+        "--into", required=True, metavar="URL", help="destination storage spec"
+    )
+    p_merge.add_argument(
+        "--from",
+        dest="sources",
+        action="append",
+        required=True,
+        metavar="URL",
+        help="source shard store (repeat per shard)",
+    )
+    p_merge.add_argument(
+        "--name", default=None, help="study to merge (needed if sources hold several)"
+    )
     return parser
 
 

@@ -14,11 +14,12 @@ evaluation, reproducing the paper's two search modes:
 Both modes compose with the persistence/parallelism subsystem
 (DESIGN.md §3–§4):
 
-* pass ``storage=JournalStorage(path)`` (and later
-  ``load_if_exists=True``) to ``run_blackbox`` and an interrupted search
-  resumes to the *identical* Pareto front an uninterrupted run produces
-  under the same seed — the CLI verbs ``repro study run / resume /
-  status`` drive exactly this path;
+* pass ``storage=JournalStorage(path)`` — or any storage spec the URL
+  registry resolves, e.g. ``"sqlite:///study.db"`` (DESIGN.md §7) —
+  (and later ``load_if_exists=True``) to ``run_blackbox`` and an
+  interrupted search resumes to the *identical* Pareto front an
+  uninterrupted run produces under the same seed — the CLI verbs
+  ``repro study run / resume / status`` drive exactly this path;
 * pass ``launcher=MultiprocessingLauncher(n)`` to fan batch evaluation
   out across worker processes (order-preserving, numerically identical
   to serial).
@@ -43,7 +44,7 @@ import numpy as np
 from ..blackbox.multiobjective import pareto_recovery_rate
 from ..blackbox.samplers.base import Sampler
 from ..blackbox.samplers.nsga2 import NSGA2Sampler
-from ..blackbox.storage import StudyStorage
+from ..blackbox.storage import StudyStorage, resolve_storage
 from ..blackbox.study import Study, create_study
 from ..exceptions import OptimizationError
 from .composition import MicrogridComposition
@@ -234,7 +235,7 @@ class OptimizationRunner:
         sampler: Sampler | None = None,
         seed: int | None = None,
         batch_size: int | None = None,
-        storage: StudyStorage | None = None,
+        storage: "StudyStorage | str | None" = None,
         study_name: str | None = None,
         load_if_exists: bool = False,
         metadata: dict[str, Any] | None = None,
@@ -266,8 +267,21 @@ class OptimizationRunner:
             raise OptimizationError("n_trials must be positive")
         sampler = sampler or NSGA2Sampler(population_size=50, seed=seed)
         batch = batch_size or getattr(sampler, "population_size", 25)
+        storage = resolve_storage(storage)  # spec strings → backend (§7)
         prior_seeding = sampler.per_trial_seeding
         if storage is not None:
+            # Persist everything resume needs to rebuild this exact
+            # search — a journal without these keys used to resume with
+            # default sampler parameters and silently produce a
+            # *different* front.  Caller-supplied metadata (e.g. the
+            # CLI's) wins; these fill the gaps for direct runner calls.
+            metadata = dict(metadata or {})
+            metadata.setdefault("n_trials", n_trials)
+            metadata.setdefault("seed", sampler.seed)
+            metadata.setdefault("batch", batch)
+            population = getattr(sampler, "population_size", None)
+            if population is not None:
+                metadata.setdefault("population", population)
             # Resume must replay the exact RNG draws of the original run.
             # Restored afterwards so a caller-supplied sampler keeps its
             # documented single-stream behaviour outside this run.
@@ -309,6 +323,20 @@ class OptimizationRunner:
             # sees) and rebuild the evaluation record for the rest.  A
             # study that already reached its target needs no alignment —
             # trimming would only re-run finished work.
+            #
+            # The generation boundary is the *original* run's batch size
+            # (persisted in the study metadata), not this call's:
+            # trimming a pop-50 history at a resumed batch of 40 would
+            # hand the sampler a history no uninterrupted run ever saw.
+            # A mismatch cannot be aligned, so it is a hard error.
+            persisted_batch = study.metadata.get("batch")
+            if persisted_batch is not None and int(persisted_batch) != batch:
+                raise OptimizationError(
+                    f"study '{study.study_name}' was run with batch/population "
+                    f"{int(persisted_batch)}, resumed with {batch}; resume with "
+                    "the original value (generation boundaries cannot be aligned "
+                    "across different batch sizes)"
+                )
             if len(study.trials) < n_trials:
                 study.drop_trailing_partial_batch(batch)
             comps = [self.space.from_params(t.params) for t in study.trials]
@@ -366,7 +394,7 @@ def run_blackbox_search(
     population_size: int = 50,
     seed: int | None = None,
     space: ParameterSpace | None = None,
-    storage: StudyStorage | None = None,
+    storage: "StudyStorage | str | None" = None,
     study_name: str | None = None,
     load_if_exists: bool = False,
     launcher: Any | None = None,

@@ -285,3 +285,107 @@ class TestPerTrialSeeding:
         rng_before = sampler.rng
         sampler.begin_trial(0)
         assert sampler.rng is rng_before
+
+
+class TestJournalCompaction:
+    def _finish(self, number, value):
+        return FrozenTrial(number=number, state=TrialState.COMPLETE, values=(value,))
+
+    def _history(self, path, rewrites=4, live=5):
+        """A journal whose every trial was re-told ``rewrites`` times."""
+        storage = JournalStorage(path)
+        storage.create_study("s", ["minimize"], {"n_trials": live})
+        for round_ in range(rewrites):
+            for n in range(live):
+                storage.record_trial_finish("s", self._finish(n, float(round_)))
+        return storage
+
+    def test_compact_reaches_last_write_wins_fixed_point(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        storage = self._history(path)
+        before_state = storage.load_study("s")
+        before, after = storage.compact()
+        assert before == 1 + 4 * 5
+        assert after == 1 + 5  # one create + one record per live trial
+        compacted = JournalStorage(path).load_study("s")
+        assert [t.values for t in compacted.trials] == [
+            t.values for t in before_state.trials
+        ]
+        assert compacted.metadata == before_state.metadata
+        # Idempotent: a compacted journal is its own fixed point.
+        assert storage.compact() == (after, after)
+
+    def test_compact_preserves_running_tombstones(self, tmp_path):
+        # A start-only (in-flight at crash) trial must survive compaction
+        # as a start record: resume relies on replaying it as RUNNING.
+        path = tmp_path / "journal.jsonl"
+        storage = JournalStorage(path)
+        storage.create_study("s", ["minimize"], {})
+        storage.record_trial_finish("s", self._finish(0, 1.0))
+        storage.record_trial_start("s", FrozenTrial(number=1))
+        storage.compact()
+        stored = JournalStorage(path).load_study("s")
+        assert stored.trials_by_number[0].state == TrialState.COMPLETE
+        assert stored.trials_by_number[1].state == TrialState.RUNNING
+
+    def test_appends_after_compact_land_in_new_file(self, tmp_path):
+        # compact() atomically replaces the file; a stale append handle
+        # would write into the unlinked old inode and lose the records.
+        path = tmp_path / "journal.jsonl"
+        storage = self._history(path)
+        storage.compact()
+        storage.record_trial_finish("s", self._finish(9, 9.0))
+        assert JournalStorage(path).load_study("s").trials_by_number[9].values == (9.0,)
+
+    def test_compact_empty_journal_is_a_noop(self, tmp_path):
+        storage = JournalStorage(tmp_path / "missing.jsonl")
+        assert storage.compact() == (0, 0)
+
+    def test_compact_invalidates_own_cache(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        storage = self._history(path)
+        assert len(storage.load_study("s").trials) == 5  # fills the cache
+        storage.compact()
+        # The same instance must not serve the pre-compaction decode.
+        assert len(storage.load_study("s").trials) == 5
+        assert storage._records_cache is not None
+        assert len(storage._records_cache[1]) == 6
+
+
+class TestJournalRecordCache:
+    def test_close_drops_the_cache(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        storage = JournalStorage(path)
+        storage.create_study("s", ["minimize"], {})
+        assert storage.load_study("s") is not None
+        assert storage._records_cache is not None
+        storage.close()
+        assert storage._records_cache is None
+
+    def test_cache_keyed_on_inode(self, tmp_path):
+        # An in-place rewrite to the same byte size within mtime
+        # granularity (exactly what compact() can produce) must not
+        # serve stale records: the inode is part of the signature.
+        path = tmp_path / "journal.jsonl"
+        storage = JournalStorage(path)
+        storage.create_study("s", ["minimize"], {})
+        storage.record_trial_finish(
+            "s", FrozenTrial(number=0, state=TrialState.COMPLETE, values=(1.0,))
+        )
+        storage.close()
+        assert storage.load_study("s").trials[0].values == (1.0,)
+
+        alt = tmp_path / "alt.jsonl"
+        rewriter = JournalStorage(alt)
+        rewriter.create_study("s", ["minimize"], {})
+        rewriter.record_trial_finish(
+            "s", FrozenTrial(number=0, state=TrialState.COMPLETE, values=(2.0,))
+        )
+        rewriter.close()
+        import os
+
+        stat = path.stat()
+        assert alt.stat().st_size == stat.st_size  # same size by construction
+        os.replace(alt, path)
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))  # same mtime too
+        assert storage.load_study("s").trials[0].values == (2.0,)

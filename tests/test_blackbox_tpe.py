@@ -1,0 +1,110 @@
+"""TPE sampler degenerate splits: empty-``bad``, single-trial, identical objectives.
+
+When front 0 is the entire completed set (every multi-objective trial
+mutually non-dominated, or a single completed trial), the good/bad
+split degenerates: ``bad`` is empty and the acquisition score collapses
+to the good-KDE log-density alone (the bad-KDE contributes a constant
+zero).  These tests pin that the sampler stays well-defined there —
+in-bounds draws, deterministic under a seed, no crash — for numeric and
+categorical parameters alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blackbox import TPESampler, create_study
+from repro.exceptions import OptimizationError
+
+
+def _completed_study(values_list, directions=("minimize",), seed=0):
+    """A study with one completed trial per entry of ``values_list``."""
+    study = create_study(
+        directions=list(directions),
+        sampler=TPESampler(n_startup_trials=1, seed=seed),
+        study_name="tpe-degenerate",
+    )
+    for values in values_list:
+        trial = study.ask()
+        trial.suggest_float("x", -1.0, 1.0)
+        trial.suggest_int("k", 0, 5)
+        trial.suggest_categorical("c", ["a", "b", "c"])
+        study.tell(trial, values)
+    return study
+
+
+def _ask_all(study):
+    trial = study.ask()
+    x = trial.suggest_float("x", -1.0, 1.0)
+    k = trial.suggest_int("k", 0, 5)
+    c = trial.suggest_categorical("c", ["a", "b", "c"])
+    return x, k, c
+
+
+class TestEmptyBadSet:
+    def test_front0_is_entire_set_multiobjective(self):
+        # Three mutually non-dominated points: front 0 == everything,
+        # so bad == [] and the score is the good-KDE alone.
+        study = _completed_study([(0.0, 3.0), (1.0, 2.0), (2.0, 1.0)], ("minimize",) * 2)
+        sampler = study.sampler
+        good, bad = sampler._split(study, "x")
+        assert len(good) == 3
+        assert bad == []
+        x, k, c = _ask_all(study)
+        assert -1.0 <= x <= 1.0
+        assert 0 <= k <= 5
+        assert c in ("a", "b", "c")
+
+    def test_empty_bad_is_deterministic_under_seed(self):
+        draws = []
+        for _ in range(2):
+            study = _completed_study([(0.0, 1.0), (1.0, 0.0)], ("minimize",) * 2, seed=7)
+            draws.append(_ask_all(study))
+        assert draws[0] == draws[1]
+
+    def test_empty_bad_kde_collapse_matches_good_only_score(self):
+        # With bad empty, _kde_logpdf(candidates, bad) is exactly zero —
+        # the acquisition ranks by good-density alone.
+        sampler = TPESampler(seed=3)
+        x = np.linspace(-1.0, 1.0, 5)
+        assert np.array_equal(
+            sampler._kde_logpdf(x, np.empty(0), bandwidth=0.25), np.zeros(5)
+        )
+
+
+class TestSingleTrial:
+    def test_single_completed_trial(self):
+        study = _completed_study([(0.5,)])
+        good, bad = study.sampler._split(study, "x")
+        assert len(good) == 1 and bad == []
+        x, k, c = _ask_all(study)
+        assert -1.0 <= x <= 1.0
+        assert 0 <= k <= 5
+        assert c in ("a", "b", "c")
+
+
+class TestIdenticalObjectives:
+    def test_all_identical_single_objective(self):
+        # gamma still carves a non-empty "good" head off the stable sort.
+        study = _completed_study([(1.0,)] * 8)
+        good, bad = study.sampler._split(study, "x")
+        assert len(good) == 2  # ceil(0.25 * 8)
+        assert len(bad) == 6
+        x, _, _ = _ask_all(study)
+        assert -1.0 <= x <= 1.0
+
+    def test_all_identical_multiobjective(self):
+        # Identical vectors are mutually non-dominated: front 0 is the
+        # entire set and bad collapses to empty.
+        study = _completed_study([(1.0, 2.0)] * 6, ("minimize",) * 2)
+        good, bad = study.sampler._split(study, "x")
+        assert len(good) == 6
+        assert bad == []
+        x, _, _ = _ask_all(study)
+        assert -1.0 <= x <= 1.0
+
+
+class TestValidation:
+    def test_n_candidates_must_be_positive(self):
+        # Used to reach numpy as a negative array dimension.
+        with pytest.raises(OptimizationError, match="candidate"):
+            TPESampler(n_candidates=0)

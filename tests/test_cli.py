@@ -83,3 +83,126 @@ class TestCommands:
         out = capsys.readouterr().out
         # Doubling the load roughly doubles baseline daily emissions.
         assert "31" in out or "30" in out
+
+
+def _stored_front(spec, name):
+    """(front key, params, values) of a persisted study's completed trials."""
+    from repro.blackbox import storage_from_url
+    from repro.blackbox.multiobjective import pareto_front_indices
+    from repro.blackbox.trial import TrialState
+
+    import numpy as np
+
+    stored = storage_from_url(spec).load_study(name)
+    completed = [t for t in stored.trials if t.state == TrialState.COMPLETE]
+    values = np.array([t.values for t in completed])
+    front = pareto_front_indices(values)
+    return (
+        sorted(tuple(sorted(completed[i].params.items())) for i in front),
+        [t.params for t in completed],
+        [t.values for t in completed],
+    )
+
+
+class TestStudyStorageCli:
+    """The storage subsystem behind the CLI: URL specs, sqlite resume,
+    compaction, shard merge, fail-loud metadata (DESIGN.md §7)."""
+
+    OVERRIDES = ["--set", "scenario.n_hours=720"]
+
+    def _run(self, spec, trials, extra=()):
+        return main(
+            ["study", "run", "--storage", spec, "--site", "houston",
+             "--trials", str(trials), "--population", "10", "--seed", "7",
+             *extra, *self.OVERRIDES]
+        )
+
+    def test_sqlite_kill_and_resume_reproduces_the_front(self, tmp_path, capsys):
+        full = str(tmp_path / "full.db")
+        killed = str(tmp_path / "killed.db")
+        assert self._run(full, trials=30) == 0
+        # The "kill": an identically-seeded run that only reached 15
+        # trials (what kill -9 leaves: fewer trials than the target).
+        assert self._run(killed, trials=15) == 0
+        assert (
+            main(["study", "resume", "--storage", killed, "--trials", "30"]) == 0
+        )
+        assert _stored_front(full, "houston-blackbox") == _stored_front(
+            killed, "houston-blackbox"
+        )
+
+    def test_resume_fails_loudly_on_missing_metadata(self, tmp_path):
+        # A store written by a pre-contract driver: no persisted search
+        # parameters.  Resuming must name the missing key, not guess a
+        # default and silently produce a different front.
+        from repro.blackbox import SQLiteStorage, TrialState
+        from repro.blackbox.trial import FrozenTrial
+
+        spec = str(tmp_path / "legacy.db")
+        storage = SQLiteStorage(spec)
+        storage.create_study("old", ["minimize", "minimize"], {"site": "houston"})
+        storage.record_trial_finish(
+            "old",
+            FrozenTrial(number=0, state=TrialState.COMPLETE, values=(1.0, 2.0)),
+        )
+        with pytest.raises(SystemExit, match="n_trials"):
+            main(["study", "resume", "--storage", spec])
+        # With the trial target overridden, the next missing key is named.
+        with pytest.raises(SystemExit, match="population"):
+            main(["study", "resume", "--storage", spec, "--trials", "10"])
+
+    def test_compact_verb_preserves_study_state(self, tmp_path, capsys):
+        spec = str(tmp_path / "c.jsonl")
+        assert self._run(spec, trials=20) == 0
+        before = _stored_front(spec, "houston-blackbox")
+        lines_before = len((tmp_path / "c.jsonl").read_text().splitlines())
+        assert main(["study", "compact", "--journal", spec]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out
+        lines_after = len((tmp_path / "c.jsonl").read_text().splitlines())
+        assert lines_after < lines_before
+        assert _stored_front(spec, "houston-blackbox") == before
+
+    def test_sharded_run_merges_to_the_single_store_front(self, tmp_path, capsys):
+        single = str(tmp_path / "single.db")
+        sharded = str(tmp_path / "sharded.db")
+        merged = str(tmp_path / "merged.db")
+        assert self._run(single, trials=20) == 0
+        assert self._run(sharded, trials=20, extra=["--shards", "2"]) == 0
+        assert (tmp_path / "sharded.db.shard0").exists()
+        assert (tmp_path / "sharded.db.shard1").exists()
+        assert not (tmp_path / "sharded.db").exists()
+        # status reopens the sharded topology transparently.
+        assert main(["study", "status", "--storage", sharded]) == 0
+        assert "20/20 complete" in capsys.readouterr().out
+        assert (
+            main(
+                ["study", "merge", "--into", merged,
+                 "--from", sharded + ".shard0", "--from", sharded + ".shard1"]
+            )
+            == 0
+        )
+        assert _stored_front(merged, "houston-blackbox") == _stored_front(
+            single, "houston-blackbox"
+        )
+
+    def test_journal_and_storage_flags_are_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["study", "status", "--journal", "a.jsonl", "--storage", "b.db"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "status"])  # one is required
+
+    def test_memory_scheme_runs_but_cannot_persist(self, capsys):
+        # memory:// flows through the same registry; useful for smoke
+        # runs where nothing should land on disk.
+        assert (
+            main(
+                ["study", "run", "--storage", "memory://", "--site", "houston",
+                 "--trials", "10", "--population", "5", "--seed", "1",
+                 *self.OVERRIDES]
+            )
+            == 0
+        )
+        assert "front size" in capsys.readouterr().out

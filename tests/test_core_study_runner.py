@@ -69,3 +69,112 @@ class TestBlackbox:
         runner = OptimizationRunner(houston_month, space=SMALL_SPACE)
         with pytest.raises(OptimizationError):
             runner.run_blackbox(n_trials=0)
+
+
+class TestPersistedSearchMetadata:
+    """run_blackbox persists the search parameters resume needs —
+    a direct runner call (no CLI metadata) must leave a resumable store."""
+
+    def test_metadata_filled_for_direct_runner_calls(self, houston_month):
+        from repro.blackbox import InMemoryStorage
+
+        storage = InMemoryStorage()
+        OptimizationRunner(houston_month, space=SMALL_SPACE).run_blackbox(
+            n_trials=20,
+            sampler=NSGA2Sampler(population_size=10, seed=5),
+            storage=storage,
+            study_name="direct",
+        )
+        md = storage.load_study("direct").metadata
+        assert md["n_trials"] == 20
+        assert md["population"] == 10
+        assert md["seed"] == 5
+        assert md["batch"] == 10
+
+    def test_caller_metadata_wins_over_defaults(self, houston_month):
+        from repro.blackbox import InMemoryStorage
+
+        storage = InMemoryStorage()
+        OptimizationRunner(houston_month, space=SMALL_SPACE).run_blackbox(
+            n_trials=20,
+            sampler=NSGA2Sampler(population_size=10, seed=5),
+            storage=storage,
+            study_name="direct",
+            metadata={"n_trials": 20, "site": "houston"},
+        )
+        md = storage.load_study("direct").metadata
+        assert md["site"] == "houston"
+        assert md["batch"] == 10  # the gap the runner fills
+
+    def test_storage_accepts_spec_strings(self, houston_month, tmp_path):
+        spec = str(tmp_path / "study.db")
+        result = OptimizationRunner(houston_month, space=SMALL_SPACE).run_blackbox(
+            n_trials=10,
+            sampler=NSGA2Sampler(population_size=5, seed=1),
+            storage=spec,
+            study_name="via-spec",
+        )
+        from repro.blackbox import SQLiteStorage
+
+        stored = SQLiteStorage(spec).load_study("via-spec")
+        assert len(stored.finished_trials()) == len(result.study.trials) == 10
+
+
+class TestResumeBatchAlignment:
+    """Regression: resuming with a different population/batch than the
+    original run used to trim generations at the *new* boundary, handing
+    the sampler a history no uninterrupted run ever saw."""
+
+    def _run(self, scenario, storage, n_trials, population, load_if_exists=False):
+        return OptimizationRunner(scenario, space=SMALL_SPACE).run_blackbox(
+            n_trials=n_trials,
+            sampler=NSGA2Sampler(population_size=population, seed=3),
+            storage=storage,
+            study_name="align",
+            load_if_exists=load_if_exists,
+        )
+
+    def test_mismatched_batch_on_resume_is_a_hard_error(self, houston_month, tmp_path):
+        from repro.blackbox import JournalStorage
+
+        path = tmp_path / "journal.jsonl"
+        self._run(houston_month, JournalStorage(path), n_trials=15, population=10)
+        with pytest.raises(OptimizationError, match="batch/population"):
+            self._run(
+                houston_month, JournalStorage(path), n_trials=30, population=8,
+                load_if_exists=True,
+            )
+
+    def test_matching_batch_resumes_cleanly(self, houston_month, tmp_path):
+        from repro.blackbox import JournalStorage
+
+        path = tmp_path / "journal.jsonl"
+        self._run(houston_month, JournalStorage(path), n_trials=15, population=10)
+        resumed = self._run(
+            houston_month, JournalStorage(path), n_trials=30, population=10,
+            load_if_exists=True,
+        )
+        assert len(resumed.study.trials) == 30
+
+    def test_legacy_store_without_batch_metadata_still_resumes(
+        self, houston_month, tmp_path
+    ):
+        # Pre-contract journals carry no "batch" key; resume falls back
+        # to the current call's batch size (the historical behaviour).
+        import json
+
+        from repro.blackbox import JournalStorage
+
+        path = tmp_path / "journal.jsonl"
+        self._run(houston_month, JournalStorage(path), n_trials=15, population=10)
+        lines = path.read_text().splitlines()
+        create = json.loads(lines[0])
+        for key in ("batch", "population", "seed", "n_trials"):
+            create["metadata"].pop(key, None)
+        path.write_text("\n".join([json.dumps(create)] + lines[1:]) + "\n")
+
+        resumed = self._run(
+            houston_month, JournalStorage(path), n_trials=20, population=10,
+            load_if_exists=True,
+        )
+        assert len(resumed.study.trials) == 20

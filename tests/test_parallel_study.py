@@ -256,3 +256,114 @@ class TestResumableBlackboxSearch:
         # Every journaled composition lies on the search grid.
         for t in result.study.trials:
             assert SMALL_SPACE.contains(SMALL_SPACE.from_params(t.params))
+
+
+class TestShardedParallelRunner:
+    """ParallelStudyRunner fanning records across per-worker shard stores
+    (DESIGN.md §7): same trials as single-store, resumable, mergeable."""
+
+    def test_storage_spec_attach_and_shard_fanout(self, tmp_path):
+        spec = str(tmp_path / "p.jsonl")
+        study = create_study(
+            direction="minimize", sampler=RandomSampler(seed=21), study_name="sh"
+        )
+        ParallelStudyRunner(
+            study, SPHERE_SPACE, batch_size=4, storage=spec, shards=2
+        ).optimize(sphere, n_trials=8)
+        assert (tmp_path / "p.jsonl.shard0").exists()
+        assert (tmp_path / "p.jsonl.shard1").exists()
+        assert not (tmp_path / "p.jsonl").exists()
+
+        single = create_study(
+            direction="minimize", sampler=RandomSampler(seed=21), study_name="sh",
+            storage=JournalStorage(tmp_path / "single.jsonl"),
+        )
+        ParallelStudyRunner(single, SPHERE_SPACE, batch_size=4).optimize(
+            sphere, n_trials=8
+        )
+        assert [t.params for t in study.trials] == [t.params for t in single.trials]
+        assert [t.values for t in study.trials] == [t.values for t in single.trials]
+
+    def test_sharded_study_resumes_to_total_target(self, tmp_path):
+        from repro.blackbox.storage import resolve_storage
+
+        spec = str(tmp_path / "p.jsonl")
+        study = create_study(
+            direction="minimize", sampler=RandomSampler(seed=22), study_name="sh"
+        )
+        ParallelStudyRunner(
+            study, SPHERE_SPACE, batch_size=4, storage=spec, shards=2
+        ).optimize(sphere, n_trials=8)
+
+        resumed = create_study(
+            direction="minimize", sampler=RandomSampler(seed=22), study_name="sh",
+            storage=resolve_storage(spec, shards=2), load_if_exists=True,
+        )
+        ParallelStudyRunner(resumed, SPHERE_SPACE, batch_size=4).optimize(
+            sphere, n_trials=12
+        )
+        assert len(resumed.trials) == 12
+
+        reference = create_study(
+            direction="minimize", sampler=RandomSampler(seed=22), study_name="sh"
+        )
+        ParallelStudyRunner(reference, SPHERE_SPACE, batch_size=4).optimize(
+            sphere, n_trials=12
+        )
+        assert [t.params for t in resumed.trials] == [
+            t.params for t in reference.trials
+        ]
+
+    def test_mismatched_batch_on_resume_raises(self, tmp_path):
+        from repro.blackbox.storage import resolve_storage
+
+        spec = str(tmp_path / "p.jsonl")
+        study = create_study(
+            direction="minimize", sampler=RandomSampler(seed=23), study_name="sh"
+        )
+        ParallelStudyRunner(
+            study, SPHERE_SPACE, batch_size=4, storage=spec
+        ).optimize(sphere, n_trials=8)
+        resumed = create_study(
+            direction="minimize", sampler=RandomSampler(seed=23), study_name="sh",
+            storage=resolve_storage(spec), load_if_exists=True,
+        )
+        with pytest.raises(OptimizationError, match="batch"):
+            ParallelStudyRunner(resumed, SPHERE_SPACE, batch_size=3).optimize(
+                sphere, n_trials=12
+            )
+
+    def test_attach_refuses_already_persistent_study(self, tmp_path):
+        study = create_study(
+            direction="minimize", study_name="sh",
+            storage=JournalStorage(tmp_path / "a.jsonl"),
+        )
+        with pytest.raises(OptimizationError, match="already has a storage"):
+            ParallelStudyRunner(
+                study, SPHERE_SPACE, storage=str(tmp_path / "b.jsonl")
+            )
+
+
+class TestBatchMetadataOnCreatePath:
+    def test_create_study_path_persists_batch_and_arms_the_guard(self, tmp_path):
+        # The documented flow — create_study(storage=...) first, runner
+        # second — must persist the generation size too, so a resume
+        # with a different batch is caught, not silently misaligned.
+        path = tmp_path / "p.jsonl"
+        study = create_study(
+            direction="minimize", sampler=RandomSampler(seed=31), study_name="b",
+            storage=JournalStorage(path),
+        )
+        ParallelStudyRunner(study, SPHERE_SPACE, batch_size=4).optimize(
+            sphere, n_trials=8
+        )
+        assert JournalStorage(path).load_study("b").metadata["batch"] == 4
+
+        resumed = create_study(
+            direction="minimize", sampler=RandomSampler(seed=31), study_name="b",
+            storage=JournalStorage(path), load_if_exists=True,
+        )
+        with pytest.raises(OptimizationError, match="batch"):
+            ParallelStudyRunner(resumed, SPHERE_SPACE, batch_size=3).optimize(
+                sphere, n_trials=12
+            )
