@@ -1,7 +1,7 @@
 # Convenience targets — every command also works standalone with
 # PYTHONPATH=src (no install needed; see README.md "Install").
 
-.PHONY: test tier2 bench
+.PHONY: test tier2 bench ci regression
 
 # Tier-1 gate: what CI runs (pytest.ini deselects tier2/bench markers).
 test:
@@ -12,6 +12,19 @@ tier2:
 	PYTHONPATH=src python -m pytest -m tier2 -q
 
 # Every benchmark, with the perf trajectory recorded in
-# benchmarks/output/BENCH_storage.json (see benchmarks/run_all.py).
+# benchmarks/output/BENCH_*.json (see benchmarks/run_all.py).
 bench:
 	PYTHONPATH=src python benchmarks/run_all.py
+
+# Mirror of the blocking CI job (.github/workflows/ci.yml), verbatim:
+# tier-1 gate + tier-2 and bench collection sanity (imports and markers
+# stay valid without paying their wall-clock).
+ci:
+	PYTHONPATH=src python -m pytest -x -q
+	PYTHONPATH=src python -m pytest -m tier2 --collect-only -q
+	PYTHONPATH=src python -m pytest benchmarks/ --collect-only -q
+
+# Mirror of the non-blocking CI bench job's comparison step: fresh
+# numbers (run `make bench` first) vs the committed baselines.
+regression:
+	PYTHONPATH=src python benchmarks/check_regression.py --baseline-ref HEAD

@@ -1,0 +1,143 @@
+"""Multi-fidelity racing throughput: rungs vs the full ensemble stack.
+
+The perf point of the racing engine (DESIGN.md §8): on a 20-member
+ensemble (five weather years × two workload-growth futures × two
+dunkelflaute severities), racing the paper's full 1 089-candidate space
+through ``rungs=2,8,full`` must
+
+* reproduce the full-ensemble Pareto front **bit-identically** — the
+  engine's elimination proofs guarantee it, this bench *verifies* it;
+* simulate at least 2× fewer (candidate × member) cells than the full
+  evaluation — a deterministic work metric, asserted unconditionally;
+* run at least 2× faster wall-clock — asserted behind the opt-in
+  ``bench`` marker (wall-clock is noisy on loaded single-CPU boxes),
+  and included in every ``make bench`` pass (``run_all.py`` clears the
+  marker deselection).
+
+Machine-readable headlines land in ``benchmarks/output/BENCH_racing.json``
+for ``check_regression.py``; the human-readable report joins the other
+artifacts in ``BENCH_storage.json`` via ``run_all.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core.ensemble import EnsembleSpec, build_ensemble, evaluate_ensemble
+from repro.core.pareto import pareto_front
+from repro.core.parameterspace import PAPER_SPACE
+from repro.core.racing import RungSchedule, race_front
+
+#: 20 members: 5 weather years × 2 growth futures × 2 severities, one
+#: quarter each — big enough that full-fidelity evaluation dominates.
+ENSEMBLE_SPEC = EnsembleSpec.parse(
+    "years=2020-2024,growth=1.0:1.2,severity=1.0:1.5",
+    sites=("houston",),
+    n_hours=24 * 90,
+)
+
+SCHEDULE = RungSchedule.parse("rungs=2,8,full")
+AGGREGATE = "worst"
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    return build_ensemble(ENSEMBLE_SPEC)
+
+
+def _front_key(front):
+    return {(e.composition, e.objectives()) for e in front}
+
+
+def _time_both(ensemble, comps):
+    start = time.perf_counter()
+    full = evaluate_ensemble(ensemble, comps, aggregate=AGGREGATE)
+    t_full = time.perf_counter() - start
+
+    start = time.perf_counter()
+    raced_front, outcome = race_front(
+        ensemble, comps, SCHEDULE, aggregate=AGGREGATE
+    )
+    t_raced = time.perf_counter() - start
+    return full, t_full, raced_front, t_raced, outcome
+
+
+def test_raced_front_bit_identical_with_2x_work_reduction(ensemble, output_dir):
+    comps = PAPER_SPACE.all_compositions()
+    full, t_full, raced_front, t_raced, outcome = _time_both(ensemble, comps)
+
+    assert _front_key(pareto_front(full)) == _front_key(raced_front), (
+        "raced Pareto front differs from the full-ensemble front"
+    )
+
+    stats = outcome.stats
+    assert stats.savings >= 2.0, (
+        f"racing only cut member-evaluations {stats.savings:.2f}x "
+        f"({stats.member_evals} of {stats.full_member_evals})"
+    )
+
+    n_steps = ensemble[0].n_steps
+    speedup = t_full / t_raced if t_raced > 0 else float("inf")
+    full_cells = stats.full_member_evals * n_steps
+    raced_cells = stats.member_evals * n_steps
+    report = (
+        f"racing benchmark ({len(comps)} candidates x {len(ensemble)} members "
+        f"x {n_steps} steps, {SCHEDULE.spec_string()}, aggregate={AGGREGATE}):\n"
+        f"  full ensemble       : {t_full:6.2f} s "
+        f"({full_cells / t_full / 1e6:6.1f} M cell-steps/s)\n"
+        f"  raced               : {t_raced:6.2f} s "
+        f"({raced_cells / t_raced / 1e6:6.1f} M cell-steps/s useful)\n"
+        f"  member-evals        : {stats.member_evals} of {stats.full_member_evals} "
+        f"({stats.savings:.2f}x work reduction)\n"
+        f"  alive per rung      : {stats.alive_per_rung}\n"
+        f"  pruned / promoted   : {stats.pruned} / {stats.promoted_back}\n"
+        f"  wall-clock speedup  : {speedup:5.2f}x\n"
+        f"  front bit-identical : yes ({len(raced_front)} points)\n"
+    )
+    print("\n" + report)
+    (output_dir / "racing_tensor.txt").write_text(report)
+    (output_dir / "BENCH_racing.json").write_text(
+        json.dumps(
+            {
+                "racing": {
+                    "generated_by": "benchmarks/bench_racing.py",
+                    "config": {
+                        "candidates": len(comps),
+                        "members": len(ensemble),
+                        "steps": n_steps,
+                        "schedule": SCHEDULE.spec_string(),
+                        "aggregate": AGGREGATE,
+                    },
+                    "member_evals": stats.member_evals,
+                    "full_member_evals": stats.full_member_evals,
+                    "work_reduction": round(stats.savings, 2),
+                    "pruned": stats.pruned,
+                    "promoted_back": stats.promoted_back,
+                    "full_seconds": round(t_full, 3),
+                    "raced_seconds": round(t_raced, 3),
+                    "full_cells_per_s": round(full_cells / t_full, 1),
+                    "raced_cells_per_s": round(raced_cells / t_raced, 1),
+                    "wallclock_speedup": round(speedup, 2),
+                    "front_size": len(raced_front),
+                    "front_bit_identical": True,
+                }
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+@pytest.mark.bench
+def test_racing_wallclock_speedup(ensemble):
+    comps = PAPER_SPACE.all_compositions()
+    _time_both(ensemble, comps)  # warm caches and the allocator
+    _, t_full, _, t_raced, _ = _time_both(ensemble, comps)
+    speedup = t_full / t_raced if t_raced > 0 else float("inf")
+    assert speedup >= 2.0, (
+        f"racing only {speedup:.2f}x faster wall-clock "
+        f"({t_full:.2f}s full, {t_raced:.2f}s raced)"
+    )

@@ -17,6 +17,12 @@ are included (``-m ""`` clears the default deselection); on loaded or
 single-core machines those benches skip rather than fail, and the skip
 is recorded.  Use ``--only PATTERN`` to run a subset (substring match
 on the file name), e.g. ``--only storage``.
+
+Benches with their own machine-readable headlines write sibling
+``BENCH_*.json`` files (``bench_racing.py`` → ``BENCH_racing.json``);
+``benchmarks/check_regression.py`` compares a fresh pass of every
+tracked headline against the committed copies and fails CI's bench job
+on a >30 % throughput regression.
 """
 
 from __future__ import annotations

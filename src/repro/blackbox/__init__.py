@@ -42,7 +42,7 @@ from .multiobjective import (
     non_dominated_sort,
     pareto_front_indices,
 )
-from .pruners import MedianPruner, NopPruner
+from .pruners import MedianPruner, NopPruner, SuccessiveHalvingPruner
 from .samplers import GridSampler, NSGA2Sampler, RandomSampler, ScalarizationSampler, TPESampler
 from .study import Study, StudyDirection, create_study
 from .trial import FrozenTrial, Trial, TrialState
@@ -79,6 +79,7 @@ __all__ = [
     "hypervolume_2d",
     "MedianPruner",
     "NopPruner",
+    "SuccessiveHalvingPruner",
     "RandomSampler",
     "GridSampler",
     "NSGA2Sampler",

@@ -45,10 +45,13 @@ import pickle
 import traceback
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from ..exceptions import OptimizationError, TrialPruned
 from .distributions import Distribution
+from .multiobjective import pareto_front_indices
 from .study import Study
-from .trial import TrialState
+from .trial import RACING_RUNG_ATTR, TrialState
 
 ParamsObjective = Callable[[dict[str, Any]], "float | Sequence[float]"]
 
@@ -75,27 +78,42 @@ def _evaluate_trial_chunk(
     traceback text.
     """
     objective, params_chunk = job
-    outcomes: list[tuple[str, Any]] = []
-    for params in params_chunk:
+    return [_guarded(objective, params) for params in params_chunk]
+
+
+def _guarded(fn: "Callable[..., Any]", *args: Any) -> tuple[str, Any]:
+    """Run one objective call, returning a transport-safe outcome tag."""
+    try:
+        return ("ok", fn(*args))
+    except TrialPruned:
+        return ("pruned", None)
+    except Exception as exc:  # noqa: BLE001 - transported to the parent
         try:
-            outcomes.append(("ok", objective(params)))
-        except TrialPruned:
-            outcomes.append(("pruned", None))
-        except Exception as exc:  # noqa: BLE001 - transported to the parent
-            try:
-                pickle.loads(pickle.dumps(exc))
-                outcomes.append(("error", exc))
-            except Exception:
-                outcomes.append(
-                    (
-                        "error",
-                        OptimizationError(
-                            f"objective raised unpicklable {type(exc).__name__}: "
-                            f"{exc}\noriginal traceback:\n{traceback.format_exc()}"
-                        ),
-                    )
-                )
-    return outcomes
+            pickle.loads(pickle.dumps(exc))
+            return ("error", exc)
+        except Exception:
+            return (
+                "error",
+                OptimizationError(
+                    f"objective raised unpicklable {type(exc).__name__}: "
+                    f"{exc}\noriginal traceback:\n{traceback.format_exc()}"
+                ),
+            )
+
+
+def _evaluate_members_chunk(
+    job: "tuple[Any, tuple[int, ...], list[dict[str, Any]]]"
+) -> list[tuple[str, Any]]:
+    """Worker-side rung evaluation: the objective's ``member_values``
+    hook over one member subset for a chunk of trials (racing rung
+    dispatch, DESIGN.md §8).  Per-member vectors — not pre-reduced
+    aggregates — ship back so the parent can fill each trial's member
+    matrix incrementally."""
+    objective, member_indices, params_chunk = job
+    return [
+        _guarded(objective.member_values, params, member_indices)
+        for params in params_chunk
+    ]
 
 
 class ParallelStudyRunner:
@@ -190,6 +208,7 @@ class ParallelStudyRunner:
         objective: ParamsObjective,
         n_trials: int,
         catch: tuple[type[Exception], ...] = (),
+        racing=None,
     ) -> Study:
         """Evaluate trials in launcher-sized batches up to ``n_trials`` total.
 
@@ -203,10 +222,56 @@ class ParallelStudyRunner:
         batch of loaded trials (a generation interrupted mid-journal) is
         discarded and re-run under the same trial numbers, so a resumed
         run sees exactly the batch-boundary history an uninterrupted run
-        sees (DESIGN.md §3).
+        sees (DESIGN.md §3).  Pruned trials count toward the target,
+        exactly like the serial drivers.
+
+        **Racing rung dispatch** (DESIGN.md §8): with ``racing`` set to
+        a :class:`~repro.core.racing.RungSchedule` (or spec string), the
+        objective must expose the multi-fidelity hooks ``n_members``,
+        ``aggregate``, and ``member_values(params, member_indices)`` (as
+        :class:`repro.core.study_runner.CompositionObjective` does; the
+        default ``order=hardest`` additionally needs
+        ``member_difficulty``).  Each batch then climbs the rung
+        ladder: every rung fans the members *new* to it across the
+        launcher's workers (subsets nest, so nothing is re-simulated),
+        the parent reduces each trial's accumulated member vectors with
+        the objective's aggregate, and candidates whose partial vector
+        falls off the batch's non-dominated front are told PRUNED
+        (partial values become intermediate reports).  Survivors'
+        final values reduce the full member matrix in canonical member
+        order — bit-identical to the full-fidelity objective.  Unlike
+        the serial racing driver this path carries no exactness proof
+        (no promote-back verification): it is Optuna-style pruning,
+        tuned for throughput.
         """
         if n_trials <= 0:
             raise OptimizationError(f"n_trials must be positive, got {n_trials}")
+        race_subsets = None
+        if racing is not None:
+            if isinstance(racing, str):
+                from ..core.racing import RungSchedule
+
+                racing = RungSchedule.parse(racing)
+            hooks = ["n_members", "aggregate", "member_values"]
+            if racing.order == "hardest":
+                hooks.append("member_difficulty")  # probe-ranked subsets
+            for hook in hooks:
+                if not hasattr(objective, hook):
+                    raise OptimizationError(
+                        "racing needs a multi-fidelity objective exposing "
+                        f"'{hook}' (see CompositionObjective)"
+                    )
+            # The member ranking is deterministic per ensemble — probe
+            # once per optimize() call, not per batch.
+            n_members = int(objective.n_members)
+            if racing.order == "hardest" and n_members > 1:
+                from ..core.racing import difficulty_ranking
+
+                race_subsets = racing.subsets_from_order(
+                    difficulty_ranking(objective.member_difficulty())
+                )
+            else:
+                race_subsets = racing.subsets(n_members)
         sampler = self.study.sampler
         prior_seeding = sampler.per_trial_seeding
         # Worker scheduling must never perturb sampling: pin every trial
@@ -215,18 +280,27 @@ class ParallelStudyRunner:
         sampler.per_trial_seeding = True
         try:
             persisted_batch = self.study.metadata.get("batch")
-            if (
-                self.study.storage is not None
-                and not self.study.trials
-                and persisted_batch is None
-            ):
+            requested_racing = (
+                racing.spec_string() if racing is not None else None
+            )
+            persisted_racing = self.study.metadata.get("racing")
+            if self.study.storage is not None and not self.study.trials:
                 # A fresh study built via create_study(storage=...) was
-                # registered before the runner knew its generation size;
-                # persist it now so a mismatched resume is detectable.
-                self.study.metadata["batch"] = self.batch_size
-                self.study.storage.update_metadata(
-                    self.study.study_name, self.study.metadata
-                )
+                # registered before the runner knew its generation size
+                # or rung schedule; persist them now so a mismatched
+                # resume is detectable.
+                dirty = False
+                if persisted_batch is None:
+                    self.study.metadata["batch"] = self.batch_size
+                    dirty = True
+                if persisted_racing is None and requested_racing is not None:
+                    self.study.metadata["racing"] = requested_racing
+                    persisted_racing = requested_racing
+                    dirty = True
+                if dirty:
+                    self.study.storage.update_metadata(
+                        self.study.study_name, self.study.metadata
+                    )
             if (
                 self.study.trials
                 and persisted_batch is not None
@@ -237,6 +311,16 @@ class ParallelStudyRunner:
                     f"{int(persisted_batch)}, resumed with {self.batch_size}; "
                     "generation boundaries cannot be aligned across batch sizes"
                 )
+            if self.study.storage is not None and persisted_racing != requested_racing:
+                # Same identity rule as the serial driver: the schedule
+                # decides which trials get pruned, so a resume that races
+                # differently (or not at all) silently diverges.
+                raise OptimizationError(
+                    f"study '{self.study.study_name}' was persisted with "
+                    f"racing={persisted_racing or '<none>'}, resumed with "
+                    f"{requested_racing or '<none>'}; resume must race the "
+                    "identical schedule"
+                )
             if len(self.study.trials) < n_trials:
                 self.study.drop_trailing_partial_batch(self.batch_size)
             remaining = max(n_trials - len(self.study.trials), 0)
@@ -246,20 +330,27 @@ class ParallelStudyRunner:
                 for trial in trials:
                     for name, dist in self.space.items():
                         trial._suggest(name, dist)
-                outcomes = self._launch_batch(objective, trials)
-                for trial, (tag, payload) in zip(trials, outcomes):
-                    if tag == "ok":
-                        self.study.tell(trial, payload)
-                    elif tag == "pruned":
-                        self.study.tell(trial, state=TrialState.PRUNED)
-                    else:
-                        self.study.tell(trial, state=TrialState.FAILED)
-                        if not (catch and isinstance(payload, catch)):
-                            raise payload
+                if racing is None:
+                    outcomes = self._launch_batch(objective, trials)
+                    self._tell_outcomes(trials, outcomes, catch)
+                else:
+                    self._race_batch(objective, trials, race_subsets, catch)
                 remaining -= k
         finally:
             sampler.per_trial_seeding = prior_seeding
         return self.study
+
+    def _tell_outcomes(self, trials, outcomes, catch) -> None:
+        """Record one batch's transported outcomes against the study."""
+        for trial, (tag, payload) in zip(trials, outcomes):
+            if tag == "ok":
+                self.study.tell(trial, payload)
+            elif tag == "pruned":
+                self.study.tell(trial, state=TrialState.PRUNED)
+            else:
+                self.study.tell(trial, state=TrialState.FAILED)
+                if not (catch and isinstance(payload, catch)):
+                    raise payload
 
     def _launch_batch(self, objective: ParamsObjective, trials) -> list[tuple[str, Any]]:
         """Fan one batch out in per-worker chunks (order-preserving)."""
@@ -271,3 +362,88 @@ class ParallelStudyRunner:
             _evaluate_trial_chunk, [(objective, chunk) for chunk in chunks]
         )
         return [outcome for chunk in outcomes for outcome in chunk]
+
+    def _race_batch(self, objective, trials, subsets, catch) -> None:
+        """Rung dispatch: climb the racing ladder for one trial batch.
+
+        Each rung fans only its *new* members (subsets nest) across
+        workers via the objective's ``member_values`` hook and
+        accumulates per-trial member matrices in the parent; partial and
+        final vectors reduce those matrices with the objective's
+        aggregate in canonical member order, so a survivor's told values
+        are bit-identical to the full-fidelity objective — and a
+        surviving trial pays exactly ``n_members`` member evaluations in
+        total, never a member twice.  Non-survivors of a rung's
+        non-dominated partial front are told PRUNED with their partial
+        values as intermediate reports.
+        """
+        from ..confsys.launcher import chunk_evenly
+        from ..core.metrics import aggregate_values
+
+        n_members = int(objective.n_members)
+        aggregate = objective.aggregate
+        matrices: "dict[int, dict[int, tuple[float, ...]]]" = {
+            t.number: {} for t in trials
+        }
+
+        def reduced(trial) -> tuple[float, ...]:
+            matrix = matrices[trial.number]
+            vectors = [matrix[m] for m in sorted(matrix)]
+            return tuple(
+                aggregate_values(column, aggregate) for column in zip(*vectors)
+            )
+
+        alive = list(trials)
+        seen: "tuple[int, ...]" = ()
+        for rung_index, subset in enumerate(subsets):
+            if not alive:
+                return
+            new_members = tuple(m for m in subset if m not in seen)
+            seen = subset
+            if new_members:
+                params = [dict(t.params) for t in alive]
+                chunks = chunk_evenly(params, getattr(self.launcher, "n_workers", 1))
+                outcomes = [
+                    outcome
+                    for chunk_result in self.launcher.launch(
+                        _evaluate_members_chunk,
+                        [(objective, new_members, chunk) for chunk in chunks],
+                    )
+                    for outcome in chunk_result
+                ]
+                survivors = []
+                for trial, (tag, payload) in zip(alive, outcomes):
+                    if tag == "ok":
+                        for member, vector in zip(new_members, payload):
+                            matrices[trial.number][member] = (
+                                (vector,) if np.isscalar(vector) else tuple(vector)
+                            )
+                        survivors.append(trial)
+                    elif tag == "pruned":
+                        self.study.tell(trial, state=TrialState.PRUNED)
+                    else:
+                        self.study.tell(trial, state=TrialState.FAILED)
+                        if not (catch and isinstance(payload, catch)):
+                            raise payload
+                alive = survivors
+            if rung_index == len(subsets) - 1:
+                for trial in alive:
+                    trial.set_system_attr(RACING_RUNG_ATTR, n_members)
+                    self.study.tell(trial, reduced(trial))
+                return
+            size = len(subset)
+            vectors = [reduced(trial) for trial in alive]
+            for trial, vector in zip(alive, vectors):
+                trial.report(float(vector[0]), step=size)
+                trial.set_system_attr(RACING_RUNG_ATTR, size)
+            front = set(
+                int(i)
+                for i in pareto_front_indices(self.study.minimized_values(vectors))
+            ) if vectors else set()
+            next_alive = []
+            for i, trial in enumerate(alive):
+                if i in front:
+                    next_alive.append(trial)
+                else:
+                    self.study.tell(trial, state=TrialState.PRUNED)
+            alive = next_alive

@@ -2,13 +2,23 @@
 
 The paper names "dynamic pruning or early stopping for non-promising
 simulation runs" as future work (§4.4); the framework supports it through
-Optuna-style intermediate reports + pruners.  For year-long simulations a
-natural intermediate value is the running operational-emission rate after
-each simulated month.
+Optuna-style intermediate reports + pruners.  Two natural resources feed
+the reports: the running operational-emission rate after each simulated
+month, and — since the racing engine (DESIGN.md §8) — the partial risk
+aggregate after each ensemble rung, reported at ``step = members seen``.
+
+Both pruners are **direction-aware**: "worse" follows the study's first
+objective direction (intermediate reports track objective 0), so a
+maximize-first study prunes *below*-par values — the historical
+docstring claimed minimization was assumed, and nothing pinned the
+maximize behaviour down.  Peer pools include PRUNED trials' reports:
+in a heavily-pruned study (racing prunes most trials at the first rung)
+the completed trials alone would be a biased, survivor-only baseline.
 """
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -27,10 +37,35 @@ class NopPruner:
         return False
 
 
+def _direction_sign(study: "Study") -> float:
+    """+1 when the first objective is minimized, −1 when maximized.
+
+    Multiplying values by the sign maps both cases onto "larger is
+    worse", the single comparison the pruners implement.
+    """
+    return 1.0 if study.directions[0].is_minimize() else -1.0
+
+
+def _peer_values(study: "Study", trial: "FrozenTrial", step: int) -> list[float]:
+    """Other trials' reports at ``step`` (completed *and* pruned peers)."""
+    from .trial import TrialState
+
+    return [
+        t.intermediate[step]
+        for t in study.trials
+        if t is not trial
+        and t.state in (TrialState.COMPLETE, TrialState.PRUNED)
+        and step in t.intermediate
+    ]
+
+
 class MedianPruner:
-    """Prune when the latest intermediate value is worse than the median of
-    completed trials' values at the same step (minimization assumed on the
-    first objective direction).
+    """Prune when the latest intermediate value is worse than the median
+    of finished peers' values at the same step.
+
+    Direction-aware on the study's first objective; never prunes before
+    ``n_warmup_steps`` or while fewer than ``n_startup_trials`` trials
+    have completed.
     """
 
     def __init__(self, n_startup_trials: int = 5, n_warmup_steps: int = 0) -> None:
@@ -49,11 +84,73 @@ class MedianPruner:
             return False
         value = trial.intermediate[step]
 
-        sign = 1.0 if study.directions[0].is_minimize() else -1.0
         completed = [t for t in study.trials if t.state == TrialState.COMPLETE]
         if len(completed) < self.n_startup_trials:
             return False
-        peers = [t.intermediate[step] for t in completed if step in t.intermediate]
+        peers = _peer_values(study, trial, step)
         if not peers:
             return False
+        sign = _direction_sign(study)
         return sign * value > sign * float(np.median(peers))
+
+
+class SuccessiveHalvingPruner:
+    """Keep only the best ``1/reduction_factor`` of reporters per rung.
+
+    The pruner-protocol counterpart of the racing engine's rung ladder
+    (DESIGN.md §8): trials report at shared rung boundaries (steps
+    ``min_resource · reduction_factor^k``), and at each boundary only
+    the best ``ceil(n / reduction_factor)`` of the values reported at
+    that step survive.  Direction-aware on the study's first objective;
+    never prunes before ``n_warmup_steps``, below ``min_resource``, at
+    steps that are not rung boundaries, or with fewer than
+    ``reduction_factor`` reporters (no halving without a cohort).
+
+    Note the multi-objective racing drivers do *not* route through this
+    class — their promotion rule is Pareto-front membership of the
+    partial aggregates plus an exactness proof — but single-objective
+    ``Study.optimize`` loops get the same successive-halving behaviour
+    through the standard ``trial.report`` / ``trial.should_prune``
+    protocol.
+    """
+
+    def __init__(
+        self,
+        min_resource: int = 1,
+        reduction_factor: int = 2,
+        n_warmup_steps: int = 0,
+    ) -> None:
+        if min_resource < 1:
+            raise OptimizationError("min_resource must be >= 1")
+        if reduction_factor < 2:
+            raise OptimizationError("reduction_factor must be >= 2")
+        if n_warmup_steps < 0:
+            raise OptimizationError("pruner thresholds must be non-negative")
+        self.min_resource = min_resource
+        self.reduction_factor = reduction_factor
+        self.n_warmup_steps = n_warmup_steps
+
+    def _is_rung(self, step: int) -> bool:
+        """True when ``step`` is ``min_resource * reduction_factor**k``."""
+        if step < self.min_resource:
+            return False
+        quotient = step / self.min_resource
+        power = round(math.log(quotient, self.reduction_factor))
+        return self.min_resource * self.reduction_factor**power == step
+
+    def should_prune(self, study: "Study", trial: "FrozenTrial") -> bool:
+        if not trial.intermediate:
+            return False
+        step = max(trial.intermediate)
+        if step < self.n_warmup_steps or not self._is_rung(step):
+            return False
+        value = trial.intermediate[step]
+
+        sign = _direction_sign(study)
+        pool = sorted(
+            sign * v for v in [value, *_peer_values(study, trial, step)]
+        )
+        if len(pool) < self.reduction_factor:
+            return False
+        keep = max(math.ceil(len(pool) / self.reduction_factor), 1)
+        return sign * value > pool[keep - 1]

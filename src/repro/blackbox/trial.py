@@ -22,6 +22,10 @@ from .distributions import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .study import Study
 
+#: system-attr key recording how many ensemble members a raced trial saw
+#: (DESIGN.md §8) — shared by every racing driver and the CLI histogram
+RACING_RUNG_ATTR = "racing:rung"
+
 
 class TrialState(enum.Enum):
     """Lifecycle state of a trial."""
@@ -136,6 +140,10 @@ class Trial:
 
     def set_user_attr(self, key: str, value: Any) -> None:
         self._frozen.user_attrs[key] = value
+
+    def set_system_attr(self, key: str, value: Any) -> None:
+        """Framework-internal attribute (e.g. the racing rung reached)."""
+        self._frozen.system_attrs[key] = value
 
     @property
     def user_attrs(self) -> dict[str, Any]:

@@ -44,10 +44,18 @@ into one ensemble, and optimize a risk-aware aggregate (``worst``,
     python -m repro.cli study run --journal ensemble.jsonl \
         --ensemble years=2020-2029,growth=1.0:1.3 --aggregate cvar:0.25
 
+Multi-fidelity racing (DESIGN.md §8) — evaluate each generation on
+progressively larger ensemble subsets, pruning candidates proven off
+the front before they ever pay for the full ensemble::
+
+    python -m repro.cli study run --journal raced.jsonl \
+        --ensemble years=2020-2029,severity=1.0:1.5 \
+        --aggregate worst --racing rungs=2,8,full
+
 ``study run`` journals every trial; kill it at any point and ``study
 resume`` continues to the identical final Pareto front (the scenario,
-ensemble, and search configuration are persisted in the journal's study
-metadata, so ``resume`` needs only the journal path).
+ensemble, racing, and search configuration are persisted in the
+journal's study metadata, so ``resume`` needs only the journal path).
 
 Mirrors the Hydra-style entry point of the paper's implementation:
 every command accepts ``--set key=value`` overrides applied to the
@@ -226,6 +234,17 @@ def _aggregate_arg(value: str) -> str:
     return value
 
 
+def _racing_arg(value: str) -> str:
+    """argparse type: validate --racing and normalize to the round-trip spec."""
+    from .core.racing import RungSchedule
+    from .exceptions import ConfigurationError
+
+    try:
+        return RungSchedule.parse(value).spec_string()
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _study_scenarios(cfg: Config, sites: "list[str]", ensemble: "str | None", launcher):
     """Scenario list for a study: an ensemble spec or plain per-site list.
 
@@ -262,11 +281,19 @@ def _open_storage(args, shards: "int | None" = None):
 
 def _print_search_summary(result, spec: str, name: str) -> None:
     front = result.front()
-    print(
+    line = (
         f"study '{name}': {len(result.study.trials)} trials, "
         f"{result.n_simulations} simulations this run, "
         f"front size {len(front)} (storage: {spec})"
     )
+    if result.racing is not None:
+        st = result.racing
+        line += (
+            f"\n  racing: {result.n_pruned} trials pruned, "
+            f"{st.member_evals}/{st.full_member_evals} member-evals "
+            f"({st.savings:.1f}x work saved), {st.promoted_back} promoted back"
+        )
+    print(line)
 
 
 def _interrupted(spec: str) -> int:
@@ -312,6 +339,8 @@ def cmd_study_run(cfg: Config, args) -> int:
         metadata["shards"] = args.shards
     if ensemble_spec:
         metadata["ensemble"] = ensemble_spec
+    if args.racing:
+        metadata["racing"] = args.racing  # normalized by _racing_arg
     runner = OptimizationRunner(
         scenarios,
         launcher=launcher,
@@ -325,6 +354,7 @@ def cmd_study_run(cfg: Config, args) -> int:
             storage=storage,
             study_name=name,
             metadata=metadata,
+            racing=args.racing,
         )
     except KeyboardInterrupt:
         return _interrupted(spec)
@@ -386,6 +416,19 @@ def cmd_study_resume(cfg: Config, args) -> int:
 
     md = studies[name].metadata
     _require_resume_metadata(md, spec, trials_override=args.trials is not None)
+    # Racing identity: the persisted rung schedule is authoritative — a
+    # resume racing different subsets (or not racing at all) would tell
+    # different trial states than the original run and silently diverge.
+    # --racing on resume is accepted only as an explicit consistency check.
+    persisted_racing = md.get("racing")
+    if args.racing and str(persisted_racing or "") != args.racing:
+        raise SystemExit(
+            f"cannot resume from {spec} with --racing {args.racing}: the "
+            f"study was run with racing="
+            f"{persisted_racing if persisted_racing else '<none>'} and rung "
+            "schedules cannot change mid-study (drop --racing to use the "
+            "persisted schedule)"
+        )
     site_cfg = cfg.updated("scenario.location", md["site"])
     for key in ("year", "n_hours", "mean_power_mw"):
         site_cfg = site_cfg.updated(f"scenario.{key}", md[key])
@@ -409,6 +452,7 @@ def cmd_study_resume(cfg: Config, args) -> int:
             storage=storage,
             study_name=name,
             load_if_exists=True,
+            racing=str(persisted_racing) if persisted_racing else None,
         )
     except KeyboardInterrupt:
         return _interrupted(spec)
@@ -482,7 +526,37 @@ def cmd_study_status(cfg: Config, args) -> int:
 
             n_members = len(EnsembleSpec.parse(str(ensemble)))
             print(f"  ensemble ({n_members} members): {ensemble}")
+        racing = stored.metadata.get("racing")
+        if racing:
+            print(f"  racing: {racing}{_rung_stats(trials)}")
     return 0
+
+
+def _rung_stats(trials) -> str:
+    """Per-rung trial histogram for a raced study's status line.
+
+    Counts trials by the ``racing:rung`` system attr (members seen when
+    the trial finished): pruned trials stop at a partial rung, survivors
+    reach the full ensemble.
+    """
+    from .blackbox.trial import RACING_RUNG_ATTR, TrialState
+
+    by_rung: "dict[int, list]" = {}
+    for t in trials:
+        rung = t.system_attrs.get(RACING_RUNG_ATTR)
+        if rung is not None:
+            by_rung.setdefault(int(rung), []).append(t)
+    if not by_rung:
+        return ""
+    parts = []
+    for rung in sorted(by_rung):
+        cohort = by_rung[rung]
+        pruned = sum(1 for t in cohort if t.state == TrialState.PRUNED)
+        label = f"{len(cohort)} reached {rung}"
+        if pruned:
+            label += f" ({pruned} pruned)"
+        parts.append(label)
+    return " — " + ", ".join(parts)
 
 
 def cmd_study_compact(cfg: Config, args) -> int:
@@ -674,10 +748,27 @@ def build_parser() -> argparse.ArgumentParser:
         "years=2020-2029,growth=1.0:1.3,carbon=baseline:cleaner,"
         "severity=1.0:1.5 (DESIGN.md §6)",
     )
+    p_run.add_argument(
+        "--racing",
+        default=None,
+        type=_racing_arg,
+        metavar="rungs=A,B,full[,order=hardest|seeded][,seed=N]",
+        help="multi-fidelity racing: evaluate each generation on "
+        "progressively larger ensemble subsets, pruning candidates "
+        "proven off the front, e.g. rungs=2,8,full (DESIGN.md §8)",
+    )
     p_res = store_args(ssub.add_parser("resume", help="resume an interrupted persisted study"))
     p_res.add_argument("--name", default=None, help="study name (needed if the store holds several)")
     p_res.add_argument("--trials", type=int, default=None, help="override the persisted trial target")
     p_res.add_argument("--workers", type=int, default=1)
+    p_res.add_argument(
+        "--racing",
+        default=None,
+        type=_racing_arg,
+        metavar="rungs=A,B,full[,...]",
+        help="consistency check only: must match the study's persisted "
+        "rung schedule (resume always races the persisted schedule)",
+    )
     p_stat = store_args(ssub.add_parser("status", help="summarize the studies in a store"))
     store_args(
         ssub.add_parser(

@@ -60,7 +60,14 @@ from .finance import (
     net_present_cost_usd,
 )
 from .multiyear import MultiYearOutcome, evaluate_across_years, robust_ranking
-from .ensemble import EnsembleMember, EnsembleSpec, build_ensemble, evaluate_ensemble
+from .ensemble import (
+    EnsembleMember,
+    EnsembleSpec,
+    build_ensemble,
+    evaluate_ensemble,
+    member_subset,
+)
+from .racing import RacingEvaluator, RacingStats, RungSchedule, race_front
 from .sensitivity import (
     best_under_budget_stability,
     crossover_year_analytic,
@@ -108,6 +115,11 @@ __all__ = [
     "MultiYearOutcome",
     "evaluate_across_years",
     "robust_ranking",
+    "member_subset",
+    "RungSchedule",
+    "RacingEvaluator",
+    "RacingStats",
+    "race_front",
     "tornado",
     "crossover_year_analytic",
     "best_under_budget_stability",

@@ -46,10 +46,13 @@ from dataclasses import dataclass
 from itertools import product
 from typing import Any, Sequence
 
+import numpy as np
+
 from ..data.carbon_intensity import carbon_trajectory_multiplier
 from ..data.locations import get_location
 from ..data.tariffs import TARIFF_VARIANTS
 from ..exceptions import ConfigurationError
+from ..rng import seed_for
 from ..units import PERLMUTTER_MEAN_POWER_W
 from .composition import MicrogridComposition
 from .dispatch import VectorizedPolicy
@@ -69,6 +72,8 @@ __all__ = [
     "EnsembleSpec",
     "build_ensemble",
     "evaluate_ensemble",
+    "member_permutation",
+    "member_subset",
 ]
 
 #: Axis names in canonical order — also the member-name suffix order.
@@ -254,6 +259,37 @@ class EnsembleSpec:
             f"{axis}={':'.join(str(v) for v in getattr(self, axis))}"
             for axis in AXES
         )
+
+
+def member_permutation(n_members: int, seed: int = 0) -> tuple[int, ...]:
+    """Deterministic member ordering for nested racing subsets (DESIGN.md §8).
+
+    The permutation depends only on ``(seed, n_members)`` — never on
+    process state — so every rung subset a :class:`~repro.core.racing.
+    RungSchedule` derives from it is reproducible across processes,
+    resumes, and machines.
+    """
+    if n_members <= 0:
+        raise ConfigurationError(f"n_members must be positive, got {n_members}")
+    rng = np.random.default_rng(seed_for("racing", "members", int(seed), int(n_members)))
+    return tuple(int(i) for i in rng.permutation(n_members))
+
+
+def member_subset(n_members: int, size: int, seed: int = 0) -> tuple[int, ...]:
+    """Sorted ``size``-member subset: a prefix of the seeded permutation.
+
+    Prefixes of one fixed permutation make subsets of increasing size
+    *nest* — every member evaluated at rung *k* is also in rung *k+1* —
+    which is what lets the racing engine evaluate only the members new
+    to each rung.  Sorting keeps the member slice in canonical ensemble
+    order, so partial-stack evaluation visits scenarios in the same
+    order the full stack does.
+    """
+    if not 1 <= size <= n_members:
+        raise ConfigurationError(
+            f"subset size must be in [1, {n_members}], got {size}"
+        )
+    return tuple(sorted(member_permutation(n_members, seed)[:size]))
 
 
 def _unit_profile_key(member: EnsembleMember, spec: EnsembleSpec) -> tuple:

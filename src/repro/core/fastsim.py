@@ -60,6 +60,7 @@ __all__ = [
     "BatchEvaluator",
     "coverage_grid",
     "evaluate_across_scenarios",
+    "evaluate_member_slice",
 ]
 
 
@@ -156,6 +157,48 @@ def evaluate_across_scenarios(
     )
     return _results_from_dispatch(
         stack, compositions, solar_kw, turb_eff, capacity_wh, params, res
+    )
+
+
+def evaluate_member_slice(
+    scenarios: Sequence[Scenario],
+    member_indices: Sequence[int],
+    compositions: Sequence[MicrogridComposition],
+    policy: VectorizedPolicy | None = None,
+    battery_params: CLCParameters | None = None,
+    initial_soc: float = 0.5,
+) -> list[list[EvaluatedComposition]]:
+    """Evaluate a *member slice* of a scenario ensemble (DESIGN.md §8).
+
+    The partial-stack primitive of the racing engine: the same (S, N)
+    tensor loop as :func:`evaluate_across_scenarios`, run over only the
+    ensemble members named by ``member_indices``.  Because every
+    (scenario, candidate) cell of the stacked loop is independent, the
+    results are bit-for-bit the rows of a full-stack evaluation — a rung
+    can therefore be filled incrementally, member subset by member
+    subset, and the finalists' full-ensemble values are identical to a
+    never-raced evaluation.
+
+    Returns one evaluation list per *slice position*:
+    ``result[j][i]`` pairs ``scenarios[member_indices[j]]`` with
+    ``compositions[i]``.
+    """
+    indices = [int(j) for j in member_indices]
+    if not indices:
+        raise ConfigurationError("member slice needs at least one member index")
+    if len(set(indices)) != len(indices):
+        raise ConfigurationError(f"duplicate member indices: {indices}")
+    for j in indices:
+        if not 0 <= j < len(scenarios):
+            raise ConfigurationError(
+                f"member index {j} out of range for {len(scenarios)} scenarios"
+            )
+    return evaluate_across_scenarios(
+        [scenarios[j] for j in indices],
+        compositions,
+        policy=policy,
+        battery_params=battery_params,
+        initial_soc=initial_soc,
     )
 
 

@@ -92,6 +92,22 @@ class ParameterSpace:
             battery_units=batt,
         )
 
+    def distributions(self) -> dict:
+        """Declared search space ``{name: Distribution}``.
+
+        The up-front space :class:`~repro.blackbox.parallel.
+        ParallelStudyRunner` needs (parameters must exist before the
+        objective ships to a worker) — the same domains ``suggest``
+        declares define-by-run.
+        """
+        from ..blackbox.distributions import IntDistribution
+
+        return {
+            "n_turbines": IntDistribution(0, self.max_turbines),
+            "solar_increments": IntDistribution(0, self.max_solar_increments),
+            "battery_units": IntDistribution(0, self.max_battery_units),
+        }
+
     def grid_search_space(self) -> dict[str, list[int]]:
         """Search space for :class:`~repro.blackbox.samplers.grid.GridSampler`."""
         return {

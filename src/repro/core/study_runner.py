@@ -46,10 +46,11 @@ from ..blackbox.samplers.base import Sampler
 from ..blackbox.samplers.nsga2 import NSGA2Sampler
 from ..blackbox.storage import StudyStorage, resolve_storage
 from ..blackbox.study import Study, create_study
+from ..blackbox.trial import RACING_RUNG_ATTR, TrialState
 from ..exceptions import OptimizationError
 from .composition import MicrogridComposition
 from .dispatch import VectorizedPolicy
-from .fastsim import evaluate_across_scenarios
+from .fastsim import evaluate_across_scenarios, evaluate_member_slice
 from .metrics import (
     EvaluatedComposition,
     RobustEvaluatedComposition,
@@ -58,6 +59,7 @@ from .metrics import (
 )
 from .parameterspace import PAPER_SPACE, ParameterSpace
 from .pareto import pareto_front, pareto_points
+from .racing import RacingEvaluator, RacingStats, RungSchedule
 from .scenario import Scenario
 
 #: Either a plain single-scenario evaluation or its multi-scenario wrapper —
@@ -81,6 +83,10 @@ class SearchResult:
     evaluated: "list[AnyEvaluated]"
     study: Study | None = None
     n_simulations: int = 0
+    #: trials pruned by the racing engine (0 without ``racing``)
+    n_pruned: int = 0
+    #: accumulated racing work accounting (None without ``racing``)
+    racing: "RacingStats | None" = None
 
     def front(
         self, objectives: Sequence[str] = ("embodied", "operational")
@@ -97,6 +103,19 @@ def _evaluate_chunk(
     if len(scenarios) == 1:
         return per_scenario[0]
     return robust_evaluations(per_scenario, aggregate)
+
+
+def _evaluate_slice_chunk(
+    job: "tuple[tuple[Scenario, ...], VectorizedPolicy | None, tuple[int, ...], list[MicrogridComposition]]",
+) -> "list[list[EvaluatedComposition]]":
+    """Worker-side rung evaluation: one member slice × one comp chunk.
+
+    The racing engine's rung dispatch (DESIGN.md §8) — per-member,
+    per-candidate cells, *not* aggregated, so the parent can fill its
+    incremental member matrix.
+    """
+    scenarios, policy, member_indices, comps = job
+    return evaluate_member_slice(scenarios, member_indices, comps, policy=policy)
 
 
 @dataclass
@@ -158,6 +177,49 @@ class CompositionObjective:
             evaluated = robust_evaluations(per_scenario, self.aggregate)[0]
         return evaluated.objectives(self.objectives)
 
+    # -- multi-fidelity hooks (racing rung dispatch, DESIGN.md §8) ------------
+
+    @property
+    def n_members(self) -> int:
+        """Ensemble size — the racing engine's full-fidelity resource."""
+        return len(_as_scenarios(self.scenario))
+
+    def member_difficulty(self) -> list[float]:
+        """Per-member first-objective values of the fixed probe build.
+
+        Ranks the ensemble for the ``hardest`` rung order when this
+        objective drives :class:`~repro.blackbox.parallel.
+        ParallelStudyRunner` racing — the same probe
+        :class:`~repro.core.racing.RacingEvaluator` uses, so both
+        drivers race identical subsets for a given ensemble.
+        """
+        from .racing import PROBE_COMPOSITION
+
+        per_member = evaluate_across_scenarios(
+            _as_scenarios(self.scenario), [PROBE_COMPOSITION], policy=self.policy
+        )
+        return [row[0].objectives(self.objectives)[0] for row in per_member]
+
+    def member_values(
+        self, params: dict[str, Any], member_indices: Sequence[int]
+    ) -> tuple[tuple[float, ...], ...]:
+        """Per-member objective vectors on a member slice (fast path).
+
+        The rung evaluation :class:`~repro.blackbox.parallel.
+        ParallelStudyRunner` fans across workers: one vector per named
+        member, in slice order.  Returning *per-member* values (rather
+        than a pre-reduced aggregate) is what lets the parent fill each
+        trial's member matrix incrementally — a rung only ever pays for
+        its new members — and reduce in canonical member order, so a
+        finalist's parent-side aggregate is bit-identical to
+        ``__call__``'s.
+        """
+        comp = self.space.from_params(params)
+        per_scenario = evaluate_member_slice(
+            _as_scenarios(self.scenario), member_indices, [comp], policy=self.policy
+        )
+        return tuple(row[0].objectives(self.objectives) for row in per_scenario)
+
 
 @dataclass
 class OptimizationRunner:
@@ -216,6 +278,34 @@ class OptimizationRunner:
         results = self.launcher.launch(_evaluate_chunk, jobs)
         return [res for chunk_result in results for res in chunk_result]
 
+    def _evaluate_slice(
+        self, member_indices: Sequence[int], comps: "list[MicrogridComposition]"
+    ) -> "list[list[EvaluatedComposition]]":
+        """Rung dispatch: evaluate one member slice, fanned over workers.
+
+        The racing engine's :data:`~repro.core.racing.SliceEvaluator`
+        bound to this runner's scenarios/policy/launcher — candidate
+        chunks go to worker processes (order-preserving, numerically
+        identical to serial, exactly like :meth:`_evaluate_missing`).
+        """
+        indices = tuple(int(j) for j in member_indices)
+        n_workers = getattr(self.launcher, "n_workers", 1)
+        if self.launcher is None or n_workers <= 1 or len(comps) < 2 * n_workers:
+            return _evaluate_slice_chunk((self.scenarios, self.policy, indices, comps))
+        from ..confsys.launcher import chunk_evenly
+
+        jobs = [
+            (self.scenarios, self.policy, indices, chunk)
+            for chunk in chunk_evenly(comps, n_workers)
+        ]
+        results = self.launcher.launch(_evaluate_slice_chunk, jobs)
+        # Each worker returns [member][candidate-chunk]; re-join the
+        # candidate axis in chunk order.
+        return [
+            [cell for chunk_result in results for cell in chunk_result[j]]
+            for j in range(len(indices))
+        ]
+
     @property
     def n_simulations(self) -> int:
         """Distinct compositions actually simulated so far."""
@@ -239,6 +329,7 @@ class OptimizationRunner:
         study_name: str | None = None,
         load_if_exists: bool = False,
         metadata: dict[str, Any] | None = None,
+        racing: "RungSchedule | str | None" = None,
     ) -> SearchResult:
         """Multi-objective black-box search (§4.4: NSGA-II, pop. 50).
 
@@ -262,9 +353,23 @@ class OptimizationRunner:
         this call (a resumed call re-simulates the reloaded compositions
         once — cheap, vectorized, and hitting the runner's memo cache
         thereafter).
+
+        **Racing** (DESIGN.md §8): with ``racing`` set to a
+        :class:`~repro.core.racing.RungSchedule` (or its spec string,
+        e.g. ``"rungs=2,8,full"``) each generation races through
+        progressively larger ensemble-member subsets; candidates proven
+        off the generation's front are told PRUNED (their per-rung
+        partial aggregates become intermediate reports), survivors are
+        evaluated at full fidelity — their told values are bit-identical
+        to a non-raced evaluation.  The schedule is persisted in the
+        study metadata, so a resumed raced study replays the identical
+        rung subsets and reaches the identical front an uninterrupted
+        raced run reaches.
         """
         if n_trials <= 0:
             raise OptimizationError("n_trials must be positive")
+        if racing is not None:
+            racing = RungSchedule.parse(racing)
         sampler = sampler or NSGA2Sampler(population_size=50, seed=seed)
         batch = batch_size or getattr(sampler, "population_size", 25)
         storage = resolve_storage(storage)  # spec strings → backend (§7)
@@ -282,13 +387,18 @@ class OptimizationRunner:
             population = getattr(sampler, "population_size", None)
             if population is not None:
                 metadata.setdefault("population", population)
+            if racing is not None:
+                # Resume must race the identical rung subsets; the spec
+                # string round-trips through RungSchedule.parse (§8).
+                metadata.setdefault("racing", racing.spec_string())
             # Resume must replay the exact RNG draws of the original run.
             # Restored afterwards so a caller-supplied sampler keeps its
             # documented single-stream behaviour outside this run.
             sampler.per_trial_seeding = True
         try:
             return self._run_blackbox_study(
-                n_trials, sampler, batch, storage, study_name, load_if_exists, metadata
+                n_trials, sampler, batch, storage, study_name, load_if_exists,
+                metadata, racing,
             )
         finally:
             sampler.per_trial_seeding = prior_seeding
@@ -305,6 +415,7 @@ class OptimizationRunner:
         study_name: str | None,
         load_if_exists: bool,
         metadata: dict[str, Any] | None,
+        racing: "RungSchedule | None" = None,
     ) -> SearchResult:
         study = create_study(
             directions=["minimize"] * len(self.objectives),
@@ -314,6 +425,36 @@ class OptimizationRunner:
             load_if_exists=load_if_exists,
             metadata=metadata,
         )
+        if storage is not None:
+            # Racing identity mirrors the batch-size check below: the
+            # schedule decides which trials get pruned, so resuming a
+            # raced study without it (or vice versa) silently breeds a
+            # different population than the original run while the
+            # metadata still claims the persisted schedule.  A fresh
+            # study always matches (run_blackbox just persisted it).
+            persisted_racing = study.metadata.get("racing")
+            requested_racing = racing.spec_string() if racing is not None else None
+            if persisted_racing != requested_racing:
+                raise OptimizationError(
+                    f"study '{study.study_name}' was persisted with racing="
+                    f"{persisted_racing or '<none>'}, resumed with "
+                    f"{requested_racing or '<none>'}; the rung schedule decides "
+                    "which trials are pruned, so resume must race the "
+                    "identical schedule"
+                )
+        racer: "RacingEvaluator | None" = None
+        racing_stats: "RacingStats | None" = None
+        n_pruned = 0
+        if racing is not None:
+            racer = RacingEvaluator(
+                self.scenarios,
+                schedule=racing,
+                aggregate=self.aggregate,
+                objectives=self.objectives,
+                policy=self.policy,
+                evaluate_slice=self._evaluate_slice,
+            )
+            racing_stats = RacingStats()
         seen: "list[AnyEvaluated]" = []
         before = self.n_simulations
 
@@ -339,7 +480,16 @@ class OptimizationRunner:
                 )
             if len(study.trials) < n_trials:
                 study.drop_trailing_partial_batch(batch)
-            comps = [self.space.from_params(t.params) for t in study.trials]
+            # Rebuild the evaluation record for COMPLETE trials only: a
+            # racing study's PRUNED trials were never fully evaluated,
+            # and exactly re-evaluating them here would hand the final
+            # front candidates the original run never scored (the same
+            # accounting keeps FAILED trials out of non-raced resumes).
+            comps = [
+                self.space.from_params(t.params)
+                for t in study.trials
+                if t.state == TrialState.COMPLETE
+            ]
             seen.extend(self.evaluate(comps))
 
         remaining = max(n_trials - len(study.trials), 0)
@@ -347,18 +497,71 @@ class OptimizationRunner:
             k = min(batch, remaining)
             trials = [study.ask() for _ in range(k)]
             comps = [self.space.suggest(t) for t in trials]
-            evaluated = self.evaluate(comps)
-            for trial, result in zip(trials, evaluated):
-                trial.set_user_attr("composition", result.composition)
-                study.tell(trial, result.objectives(self.objectives))
-                seen.append(result)
+            if racer is None:
+                evaluated = self.evaluate(comps)
+                for trial, result in zip(trials, evaluated):
+                    trial.set_user_attr("composition", result.composition)
+                    study.tell(trial, result.objectives(self.objectives))
+                    seen.append(result)
+            else:
+                n_pruned += self._race_generation(
+                    study, racer, racing_stats, trials, comps, seen
+                )
             remaining -= k
 
         # Deduplicate evaluations (GA revisits elite genomes).
         unique = list({e.composition: e for e in seen}.values())
         return SearchResult(
-            evaluated=unique, study=study, n_simulations=self.n_simulations - before
+            evaluated=unique,
+            study=study,
+            n_simulations=self.n_simulations - before,
+            n_pruned=n_pruned,
+            racing=racing_stats,
         )
+
+    def _race_generation(
+        self,
+        study: Study,
+        racer: RacingEvaluator,
+        racing_stats: RacingStats,
+        trials: "list[Any]",
+        comps: "list[MicrogridComposition]",
+        seen: "list[AnyEvaluated]",
+    ) -> int:
+        """Race one generation's candidates through the rung ladder.
+
+        Survivors (exactly evaluated — bit-identical values to a
+        non-raced evaluation) are told COMPLETE; candidates proven
+        dominated are told PRUNED, with each rung's partial aggregate
+        reported at ``step = members seen`` and the rung reached
+        recorded in :data:`RACING_RUNG_ATTR`.  Returns the number of
+        pruned trials.
+        """
+        unique = list(dict.fromkeys(comps))
+        known = {c: self._cache[c] for c in unique if c in self._cache}
+        outcome = racer.race(unique, known=known)
+        racing_stats.merge(outcome.stats)
+        for comp, evaluated in outcome.evaluated.items():
+            # Survivors join the memo cache: revisited elite genomes pay
+            # nothing in later generations (and sharpen their proofs).
+            self._cache.setdefault(comp, evaluated)
+
+        n_pruned = 0
+        for trial, comp in zip(trials, comps):
+            if comp in outcome.evaluated:
+                evaluated = outcome.evaluated[comp]
+                trial.set_user_attr("composition", evaluated.composition)
+                trial.set_system_attr(RACING_RUNG_ATTR, len(self.scenarios))
+                study.tell(trial, evaluated.objectives(self.objectives))
+                seen.append(evaluated)
+            else:
+                pruned = outcome.pruned[comp]
+                for rung_size, partial in pruned.partials:
+                    trial.report(partial[0], step=rung_size)
+                trial.set_system_attr(RACING_RUNG_ATTR, pruned.rung_size)
+                study.tell(trial, state=TrialState.PRUNED)
+                n_pruned += 1
+        return n_pruned
 
     # -- search-quality analysis (§4.4) -----------------------------------------
 
@@ -401,6 +604,7 @@ def run_blackbox_search(
     metadata: dict[str, Any] | None = None,
     policy: VectorizedPolicy | None = None,
     aggregate: str = "worst",
+    racing: "RungSchedule | str | None" = None,
 ) -> SearchResult:
     """Convenience: the paper's NSGA-II configuration.
 
@@ -408,8 +612,10 @@ def run_blackbox_search(
     give journaled, resumable studies (DESIGN.md §3); ``launcher`` fans
     batch evaluation across processes (DESIGN.md §4).  A scenario
     sequence plus ``aggregate`` gives robust multi-site search, and
-    ``policy`` swaps the dispatch strategy (DESIGN.md §5).  The CLI's
-    ``repro study run / resume`` verbs call straight through here.
+    ``policy`` swaps the dispatch strategy (DESIGN.md §5).  ``racing``
+    races each generation over ensemble-member subsets (DESIGN.md §8).
+    The CLI's ``repro study run / resume`` verbs call straight through
+    here.
     """
     runner = OptimizationRunner(
         scenario,
@@ -425,4 +631,5 @@ def run_blackbox_search(
         study_name=study_name,
         load_if_exists=load_if_exists,
         metadata=metadata,
+        racing=racing,
     )

@@ -76,3 +76,38 @@ def test_readme_mentions_every_top_level_module():
     )
     for module in modules:
         assert f"repro.{module}" in text, f"README module map is missing repro.{module}"
+
+
+class TestCIConsistency:
+    """The CI workflow, `make ci`, and the docs must agree (DESIGN.md §8)."""
+
+    def test_workflow_exists_and_runs_the_tier1_gate(self):
+        workflow = (REPO / ".github" / "workflows" / "ci.yml").read_text(encoding="utf-8")
+        assert "make test" in workflow
+        assert "make bench" in workflow
+        assert "continue-on-error: true" in workflow  # bench job never gates
+        assert "benchmarks/check_regression.py" in workflow
+        assert "benchmarks/output/*.json" in workflow  # artifact upload
+        for python in ('"3.10"', '"3.12"'):
+            assert python in workflow, f"CI matrix is missing {python}"
+        assert "cache: pip" in workflow
+
+    def test_make_ci_mirrors_the_workflow(self):
+        """Every command `make ci` runs must appear verbatim as a
+        workflow step, so contributors reproduce CI locally."""
+        makefile = (REPO / "Makefile").read_text(encoding="utf-8")
+        workflow = (REPO / ".github" / "workflows" / "ci.yml").read_text(encoding="utf-8")
+        recipe = re.search(r"^ci:\n((?:\t.+\n)+)", makefile, re.MULTILINE)
+        assert recipe, "Makefile has no `ci` target"
+        commands = [line.strip() for line in recipe.group(1).splitlines()]
+        assert commands, "`make ci` runs nothing"
+        # `make test` is the first command's alias in the workflow; the
+        # rest must appear verbatim.
+        assert commands[0] == "PYTHONPATH=src python -m pytest -x -q"
+        for command in commands[1:]:
+            assert command in workflow, f"`make ci` step not in workflow: {command}"
+
+    def test_readme_documents_make_ci_and_the_workflow(self):
+        text = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "make ci" in text
+        assert ".github/workflows/ci.yml" in text
