@@ -50,6 +50,15 @@ HEADLINE_METRICS: "dict[str, list[tuple[str, ...]]]" = {
         ("racing", "raced_cells_per_s"),
         ("racing", "work_reduction"),
     ],
+    # njit cells-per-second is deliberately untracked: the metric only
+    # exists on numba-equipped hosts and would read as a bogus
+    # regression wherever the baseline and the fresh run disagree on
+    # numba availability.
+    "BENCH_dispatch.json": [
+        ("dispatch", "cells_per_s", "loop"),
+        ("dispatch", "cells_per_s", "segments"),
+        ("dispatch", "speedup_vs_loop", "segments"),
+    ],
 }
 
 

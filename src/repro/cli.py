@@ -341,11 +341,16 @@ def cmd_study_run(cfg: Config, args) -> int:
         metadata["ensemble"] = ensemble_spec
     if args.racing:
         metadata["racing"] = args.racing  # normalized by _racing_arg
+    if args.engine != "auto":
+        # Informational only: every engine is bit-for-bit identical, so
+        # resume is free to pick a different one (unlike racing/batch).
+        metadata["engine"] = args.engine
     runner = OptimizationRunner(
         scenarios,
         launcher=launcher,
         policy=make_policy(args.policy, scenarios),
         aggregate=args.aggregate,
+        engine=args.engine,
     )
     try:
         result = runner.run_blackbox(
@@ -442,6 +447,7 @@ def cmd_study_resume(cfg: Config, args) -> int:
         launcher=launcher,
         policy=make_policy(str(md["policy"]), scenarios),
         aggregate=str(md["aggregate"]),
+        engine=args.engine or str(md.get("engine") or "auto"),
     )
     try:
         result = runner.run_blackbox(
@@ -757,10 +763,26 @@ def build_parser() -> argparse.ArgumentParser:
         "progressively larger ensemble subsets, pruning candidates "
         "proven off the front, e.g. rungs=2,8,full (DESIGN.md §8)",
     )
+    p_run.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", "loop", "segments", "njit"],
+        help="dispatch execution engine (DESIGN.md §9): all engines are "
+        "bit-for-bit identical, so this changes throughput only "
+        "(auto = fastest available for the chosen policy)",
+    )
     p_res = store_args(ssub.add_parser("resume", help="resume an interrupted persisted study"))
     p_res.add_argument("--name", default=None, help="study name (needed if the store holds several)")
     p_res.add_argument("--trials", type=int, default=None, help="override the persisted trial target")
     p_res.add_argument("--workers", type=int, default=1)
+    p_res.add_argument(
+        "--engine",
+        default=None,
+        choices=["auto", "loop", "segments", "njit"],
+        help="dispatch engine override for this resume; engines are "
+        "bit-for-bit identical, so any choice reproduces the original "
+        "front (default: the study's persisted engine, else auto)",
+    )
     p_res.add_argument(
         "--racing",
         default=None,

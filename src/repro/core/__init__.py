@@ -44,6 +44,7 @@ from .dispatch import (
     make_policy,
 )
 from .fastsim import BatchEvaluator, evaluate_across_scenarios
+from .kernel import ENGINES, HAS_NUMBA, resolve_engine
 from .pareto import pareto_front, pareto_points
 from .candidates import (
     greedy_diversity_candidates,
@@ -89,6 +90,9 @@ __all__ = [
     "CompositionEvaluator",
     "BatchEvaluator",
     "evaluate_across_scenarios",
+    "ENGINES",
+    "HAS_NUMBA",
+    "resolve_engine",
     "VectorizedPolicy",
     "DefaultDispatch",
     "IslandedDispatch",

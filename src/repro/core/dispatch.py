@@ -397,6 +397,7 @@ def run_dispatch(
     policy: VectorizedPolicy | None = None,
     trace_soc: bool = False,
     trace_flows: bool = False,
+    engine: str = "auto",
 ) -> DispatchResult:
     """Advance all S × N (scenario, candidate) cells through one time loop.
 
@@ -407,12 +408,36 @@ def run_dispatch(
     loop only over the one axis with sequential state — time, because the
     battery couples consecutive steps.
 
+    ``engine`` selects the execution strategy (DESIGN.md §9): the
+    per-step reference ``"loop"`` below, the always-available
+    ``"segments"`` engine, the compiled ``"njit"`` engine, or ``"auto"``
+    (the default) which picks the fastest engine that is bit-for-bit
+    equal to the loop for this call and falls back to the loop whenever
+    one is not (trace mode, policies outside the standard five).
+    Explicit compiled engines refuse instead of falling back — see
+    :func:`repro.core.kernel.resolve_engine`.
+
     Trace mode (``trace_soc`` / ``trace_flows``) additionally records the
     per-step SoC and power flows — the seam behind
     :meth:`~repro.core.fastsim.BatchEvaluator.soc_history` and the
     conservation property tests.  Traces cost O(S·N·T) memory, so leave
     them off for large sweeps.
     """
+    if engine != "loop":
+        from . import kernel  # deferred: kernel imports this module
+
+        resolved = kernel.resolve_engine(engine, policy, trace_soc or trace_flows)
+        if resolved != "loop":
+            return kernel.run_compiled(
+                stack,
+                solar_kw,
+                turbine_factor,
+                capacity_wh,
+                params,
+                initial_soc=initial_soc,
+                policy=policy,
+                engine=resolved,
+            )
     n = int(solar_kw.size)
     s = stack.n_scenarios
     t_steps = stack.n_steps
@@ -445,18 +470,27 @@ def run_dispatch(
 
     eps_wh = ISLANDED_EPS_W * dt_h  # islanding guard in the energy domain
 
+    # Hoist the per-step profile slicing: time-major contiguous copies let
+    # each iteration index one cached row instead of re-slicing a strided
+    # (S, T) column five times per step (same values, so bit-identical).
+    solar_t = np.ascontiguousarray(stack.solar_per_kw_w.T)
+    wind_t = np.ascontiguousarray(stack.wind_per_turbine_w.T)
+    load_t = np.ascontiguousarray(stack.load_w.T)
+    prices_t = np.ascontiguousarray(stack.prices_usd_kwh.T)
+    ci_t = np.ascontiguousarray(stack.ci_g_per_kwh.T)
+
     for t in range(t_steps):
         gen_t = (
-            stack.solar_per_kw_w[:, t][:, None] * solar_kw
-            + stack.wind_per_turbine_w[:, t][:, None] * turbine_factor
+            solar_t[t][:, None] * solar_kw
+            + wind_t[t][:, None] * turbine_factor
         )
-        net_t = gen_t - stack.load_w[:, t][:, None]  # + = surplus
+        net_t = gen_t - load_t[t][:, None]  # + = surplus
 
         request = policy.dispatch_arrays(
             net_t,
             energy_wh / safe_cap,
-            stack.prices_usd_kwh[:, t][:, None],
-            stack.ci_g_per_kwh[:, t][:, None],
+            prices_t[t][:, None],
+            ci_t[t][:, None],
             t * dt_s,
             dt_s,
         )
@@ -489,9 +523,9 @@ def run_dispatch(
         unserved_wh += uns_t
         charge_wh += np.maximum(accepted, 0.0) * dt_h
         discharge_wh += np.maximum(-accepted, 0.0) * dt_h
-        emissions_kg += imp_t / WH_PER_KWH * stack.ci_g_per_kwh[:, t][:, None] / 1_000.0
+        emissions_kg += imp_t / WH_PER_KWH * ci_t[t][:, None] / 1_000.0
         cost_usd += (
-            imp_t / WH_PER_KWH * stack.prices_usd_kwh[:, t][:, None]
+            imp_t / WH_PER_KWH * prices_t[t][:, None]
             - exp_t / WH_PER_KWH * stack.export_credit_usd_kwh
         )
         islanded_steps += (imp_t <= eps_wh) & (uns_t <= eps_wh)

@@ -131,6 +131,7 @@ def evaluate_across_scenarios(
     policy: VectorizedPolicy | None = None,
     battery_params: CLCParameters | None = None,
     initial_soc: float = 0.5,
+    engine: str = "auto",
 ) -> list[list[EvaluatedComposition]]:
     """Evaluate the full N-candidates × S-scenarios tensor in one time loop.
 
@@ -139,7 +140,9 @@ def evaluate_across_scenarios(
     identical to running :class:`BatchEvaluator` per scenario — every
     (scenario, candidate) cell is an independent column of the stacked
     loop — while amortizing the Python-level time loop across all
-    scenarios (DESIGN.md §5).
+    scenarios (DESIGN.md §5).  ``engine`` selects the dispatch execution
+    strategy (DESIGN.md §9); every engine is bit-for-bit equal to the
+    reference loop, so this changes throughput only.
     """
     if not compositions:
         return [[] for _ in scenarios]
@@ -154,6 +157,7 @@ def evaluate_across_scenarios(
         params,
         initial_soc=initial_soc,
         policy=policy,
+        engine=engine,
     )
     return _results_from_dispatch(
         stack, compositions, solar_kw, turb_eff, capacity_wh, params, res
@@ -167,6 +171,7 @@ def evaluate_member_slice(
     policy: VectorizedPolicy | None = None,
     battery_params: CLCParameters | None = None,
     initial_soc: float = 0.5,
+    engine: str = "auto",
 ) -> list[list[EvaluatedComposition]]:
     """Evaluate a *member slice* of a scenario ensemble (DESIGN.md §8).
 
@@ -199,6 +204,7 @@ def evaluate_member_slice(
         policy=policy,
         battery_params=battery_params,
         initial_soc=initial_soc,
+        engine=engine,
     )
 
 
@@ -217,6 +223,8 @@ class BatchEvaluator:
     )
     initial_soc: float = 0.5
     policy: VectorizedPolicy | None = None
+    #: dispatch execution strategy (DESIGN.md §9); bit-for-bit across engines
+    engine: str = "auto"
 
     def evaluate(
         self, compositions: Sequence[MicrogridComposition]
@@ -230,6 +238,7 @@ class BatchEvaluator:
             policy=self.policy,
             battery_params=self.battery_params,
             initial_soc=self.initial_soc,
+            engine=self.engine,
         )[0]
 
     def evaluate_one(self, composition: MicrogridComposition) -> EvaluatedComposition:

@@ -415,6 +415,7 @@ class RacingEvaluator:
         objectives: Sequence[str] = ("operational", "embodied"),
         policy: VectorizedPolicy | None = None,
         evaluate_slice: "SliceEvaluator | None" = None,
+        engine: str = "auto",
     ) -> None:
         self.scenarios = list(scenarios)
         if not self.scenarios:
@@ -424,6 +425,9 @@ class RacingEvaluator:
         self.aggregate = aggregate
         self.objectives = tuple(objectives)
         self.policy = policy
+        #: dispatch engine for the default in-process slice evaluator
+        #: (DESIGN.md §9; launcher-backed evaluators carry their own)
+        self.engine = engine
         self._evaluate_slice = evaluate_slice or self._default_slice
         self.sizes = self.schedule.resolve(len(self.scenarios))
         self._subsets: "list[tuple[int, ...]] | None" = None
@@ -435,7 +439,7 @@ class RacingEvaluator:
         self, member_indices: Sequence[int], comps: "list[MicrogridComposition]"
     ) -> "list[list[EvaluatedComposition]]":
         return evaluate_member_slice(
-            self.scenarios, member_indices, comps, policy=self.policy
+            self.scenarios, member_indices, comps, policy=self.policy, engine=self.engine
         )
 
     @property
@@ -681,6 +685,7 @@ def race_front(
     objectives: Sequence[str] = ("operational", "embodied"),
     policy: VectorizedPolicy | None = None,
     evaluate_slice: "SliceEvaluator | None" = None,
+    engine: str = "auto",
 ) -> "tuple[list[RobustEvaluatedComposition], RaceOutcome]":
     """Exact Pareto front of a candidate set via successive halving.
 
@@ -696,6 +701,7 @@ def race_front(
         objectives=objectives,
         policy=policy,
         evaluate_slice=evaluate_slice,
+        engine=engine,
     )
     outcome = evaluator.race(compositions)
     front = pareto_front(list(outcome.evaluated.values()), objectives)

@@ -95,18 +95,18 @@ class SearchResult:
 
 
 def _evaluate_chunk(
-    job: "tuple[tuple[Scenario, ...], VectorizedPolicy | None, str, list[MicrogridComposition]]",
+    job: "tuple[tuple[Scenario, ...], VectorizedPolicy | None, str, str, list[MicrogridComposition]]",
 ) -> "list[AnyEvaluated]":
     """Worker-side batch evaluation of one composition chunk (picklable)."""
-    scenarios, policy, aggregate, comps = job
-    per_scenario = evaluate_across_scenarios(scenarios, comps, policy=policy)
+    scenarios, policy, aggregate, engine, comps = job
+    per_scenario = evaluate_across_scenarios(scenarios, comps, policy=policy, engine=engine)
     if len(scenarios) == 1:
         return per_scenario[0]
     return robust_evaluations(per_scenario, aggregate)
 
 
 def _evaluate_slice_chunk(
-    job: "tuple[tuple[Scenario, ...], VectorizedPolicy | None, tuple[int, ...], list[MicrogridComposition]]",
+    job: "tuple[tuple[Scenario, ...], VectorizedPolicy | None, str, tuple[int, ...], list[MicrogridComposition]]",
 ) -> "list[list[EvaluatedComposition]]":
     """Worker-side rung evaluation: one member slice × one comp chunk.
 
@@ -114,8 +114,10 @@ def _evaluate_slice_chunk(
     per-candidate cells, *not* aggregated, so the parent can fill its
     incremental member matrix.
     """
-    scenarios, policy, member_indices, comps = job
-    return evaluate_member_slice(scenarios, member_indices, comps, policy=policy)
+    scenarios, policy, engine, member_indices, comps = job
+    return evaluate_member_slice(
+        scenarios, member_indices, comps, policy=policy, engine=engine
+    )
 
 
 @dataclass
@@ -147,6 +149,8 @@ class CompositionObjective:
     cosim: bool = False
     policy: VectorizedPolicy | None = None
     aggregate: str = "worst"
+    #: dispatch engine for the fast path (DESIGN.md §9); bit-for-bit across engines
+    engine: str = "auto"
 
     def __call__(self, params: dict[str, Any]) -> tuple[float, ...]:
         comp = self.space.from_params(params)
@@ -169,7 +173,7 @@ class CompositionObjective:
             ]
         else:
             per_scenario = evaluate_across_scenarios(
-                scenarios, [comp], policy=self.policy
+                scenarios, [comp], policy=self.policy, engine=self.engine
             )
         if len(scenarios) == 1:
             evaluated: "AnyEvaluated" = per_scenario[0][0]
@@ -196,7 +200,10 @@ class CompositionObjective:
         from .racing import PROBE_COMPOSITION
 
         per_member = evaluate_across_scenarios(
-            _as_scenarios(self.scenario), [PROBE_COMPOSITION], policy=self.policy
+            _as_scenarios(self.scenario),
+            [PROBE_COMPOSITION],
+            policy=self.policy,
+            engine=self.engine,
         )
         return [row[0].objectives(self.objectives)[0] for row in per_member]
 
@@ -216,7 +223,11 @@ class CompositionObjective:
         """
         comp = self.space.from_params(params)
         per_scenario = evaluate_member_slice(
-            _as_scenarios(self.scenario), member_indices, [comp], policy=self.policy
+            _as_scenarios(self.scenario),
+            member_indices,
+            [comp],
+            policy=self.policy,
+            engine=self.engine,
         )
         return tuple(row[0].objectives(self.objectives) for row in per_scenario)
 
@@ -245,9 +256,14 @@ class OptimizationRunner:
     launcher: Any | None = None
     policy: VectorizedPolicy | None = None
     aggregate: str = "worst"
+    #: dispatch engine for every batch/rung evaluation (DESIGN.md §9)
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         parse_aggregate(self.aggregate)  # fail fast, before any evaluation
+        from .kernel import resolve_engine
+
+        resolve_engine(self.engine, self.policy)  # fail fast on bad engine/policy
         self.scenarios: tuple[Scenario, ...] = _as_scenarios(self.scenario)
         self._cache: "dict[MicrogridComposition, AnyEvaluated]" = {}
 
@@ -268,11 +284,13 @@ class OptimizationRunner:
     ) -> "list[AnyEvaluated]":
         n_workers = getattr(self.launcher, "n_workers", 1)
         if self.launcher is None or n_workers <= 1 or len(missing) < 2 * n_workers:
-            return _evaluate_chunk((self.scenarios, self.policy, self.aggregate, missing))
+            return _evaluate_chunk(
+                (self.scenarios, self.policy, self.aggregate, self.engine, missing)
+            )
         from ..confsys.launcher import chunk_evenly
 
         jobs = [
-            (self.scenarios, self.policy, self.aggregate, chunk)
+            (self.scenarios, self.policy, self.aggregate, self.engine, chunk)
             for chunk in chunk_evenly(missing, n_workers)
         ]
         results = self.launcher.launch(_evaluate_chunk, jobs)
@@ -291,11 +309,13 @@ class OptimizationRunner:
         indices = tuple(int(j) for j in member_indices)
         n_workers = getattr(self.launcher, "n_workers", 1)
         if self.launcher is None or n_workers <= 1 or len(comps) < 2 * n_workers:
-            return _evaluate_slice_chunk((self.scenarios, self.policy, indices, comps))
+            return _evaluate_slice_chunk(
+                (self.scenarios, self.policy, self.engine, indices, comps)
+            )
         from ..confsys.launcher import chunk_evenly
 
         jobs = [
-            (self.scenarios, self.policy, indices, chunk)
+            (self.scenarios, self.policy, self.engine, indices, chunk)
             for chunk in chunk_evenly(comps, n_workers)
         ]
         results = self.launcher.launch(_evaluate_slice_chunk, jobs)
@@ -605,6 +625,7 @@ def run_blackbox_search(
     policy: VectorizedPolicy | None = None,
     aggregate: str = "worst",
     racing: "RungSchedule | str | None" = None,
+    engine: str = "auto",
 ) -> SearchResult:
     """Convenience: the paper's NSGA-II configuration.
 
@@ -623,6 +644,7 @@ def run_blackbox_search(
         launcher=launcher,
         policy=policy,
         aggregate=aggregate,
+        engine=engine,
     )
     return runner.run_blackbox(
         n_trials=n_trials,

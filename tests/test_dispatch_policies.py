@@ -16,6 +16,7 @@ import pytest
 
 from repro.core.composition import MicrogridComposition
 from repro.core.dispatch import (
+    ISLANDED_EPS_W,
     POLICY_NAMES,
     CarbonAwareDispatch,
     DefaultDispatch,
@@ -26,6 +27,7 @@ from repro.core.dispatch import (
     run_dispatch,
     stack_scenarios,
 )
+from repro.core.kernel import HAS_NUMBA
 from repro.core.fastsim import BatchEvaluator, coverage_grid, evaluate_across_scenarios
 from repro.core.metrics import (
     COMPARABLE_METRIC_FIELDS as METRIC_FIELDS,
@@ -97,6 +99,152 @@ def _row_policy(policy, s):
             float(np.asarray(policy.discharge_price_usd_kwh).reshape(-1)[s]),
         )
     return policy
+
+
+ENGINE_MATRIX = [
+    "loop",
+    "segments",
+    pytest.param(
+        "njit",
+        marks=pytest.mark.skipif(
+            not HAS_NUMBA,
+            reason="numba not installed — the njit engine leg runs on the CI numba job",
+        ),
+    ),
+]
+
+RESULT_FIELDS = (
+    "import_wh",
+    "export_wh",
+    "charge_wh",
+    "discharge_wh",
+    "unserved_wh",
+    "emissions_kg",
+    "cost_usd",
+    "islanded_steps",
+)
+
+
+class TestEngineMatrix:
+    """Every engine must be a pure throughput knob (DESIGN.md §9)."""
+
+    @pytest.mark.parametrize("engine", ENGINE_MATRIX)
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    def test_engines_bitwise_equal_per_policy(
+        self, engine, policy_name, houston_month, berkeley_month
+    ):
+        scenarios = [houston_month, berkeley_month]
+        policy = make_policy(policy_name, scenarios)
+        ref = evaluate_across_scenarios(scenarios, COMPS, policy=policy, engine="loop")
+        got = evaluate_across_scenarios(scenarios, COMPS, policy=policy, engine=engine)
+        for row_ref, row_got in zip(ref, got):
+            for e_ref, e_got in zip(row_ref, row_got):
+                for name in METRIC_FIELDS:
+                    assert getattr(e_got.metrics, name) == getattr(
+                        e_ref.metrics, name
+                    ), (engine, policy_name, e_ref.composition, name)
+
+    def test_auto_engine_never_silently_changes_results(self, houston_month):
+        """Tier-1 guard: the default ``engine="auto"`` is bit-for-bit the
+        reference loop through the public evaluation API."""
+        auto = evaluate_across_scenarios([houston_month], COMPS)
+        loop = evaluate_across_scenarios([houston_month], COMPS, engine="loop")
+        for e_auto, e_loop in zip(auto[0], loop[0]):
+            for name in METRIC_FIELDS:
+                assert getattr(e_auto.metrics, name) == getattr(e_loop.metrics, name)
+
+
+def _legacy_run_dispatch(stack, solar_kw, turbine_factor, capacity_wh, params, policy):
+    """The reference loop as written before the profile-slice hoist.
+
+    Re-slices the strided (S, T) profile columns every step — the exact
+    code shape ``run_dispatch`` used before hoisting time-major copies
+    out of the loop.  Pins that the hoist changed no bits.
+    """
+    from repro.sam.batterymodels.clc import clc_step_arrays
+    from repro.units import SECONDS_PER_HOUR, WH_PER_KWH
+
+    n = int(solar_kw.size)
+    s, t_steps = stack.n_scenarios, stack.n_steps
+    dt_s = stack.step_s
+    dt_h = dt_s / SECONDS_PER_HOUR
+    cap = np.asarray(capacity_wh, dtype=np.float64)
+    safe_cap = np.maximum(cap, 1e-12)
+    soc0 = float(np.clip(0.5, params.soc_min, params.soc_max))
+    energy_wh = np.broadcast_to(cap * soc0, (s, n)).copy()
+    totals = {name: np.zeros((s, n)) for name in RESULT_FIELDS}
+    zeros_sn = np.zeros((s, n))
+    eps_wh = ISLANDED_EPS_W * dt_h
+    for t in range(t_steps):
+        gen_t = (
+            stack.solar_per_kw_w[:, t][:, None] * solar_kw
+            + stack.wind_per_turbine_w[:, t][:, None] * turbine_factor
+        )
+        net_t = gen_t - stack.load_w[:, t][:, None]
+        request = policy.dispatch_arrays(
+            net_t,
+            energy_wh / safe_cap,
+            stack.prices_usd_kwh[:, t][:, None],
+            stack.ci_g_per_kwh[:, t][:, None],
+            t * dt_s,
+            dt_s,
+        )
+        accepted, energy_wh = clc_step_arrays(
+            cap,
+            energy_wh,
+            request,
+            dt_s,
+            eta_charge=params.eta_charge,
+            eta_discharge=params.eta_discharge,
+            max_charge_c_rate=params.max_charge_c_rate,
+            max_discharge_c_rate=params.max_discharge_c_rate,
+            taper_soc_threshold=params.taper_soc_threshold,
+            soc_min=params.soc_min,
+            soc_max=params.soc_max,
+            self_discharge_per_hour=params.self_discharge_per_hour,
+        )
+        residual = net_t - accepted
+        if policy.islanded:
+            imp_t = zeros_sn
+            uns_t = np.maximum(-residual, 0.0) * dt_h
+        else:
+            imp_t = np.maximum(-residual, 0.0) * dt_h
+            uns_t = zeros_sn
+        exp_t = np.maximum(residual, 0.0) * dt_h
+        totals["import_wh"] += imp_t
+        totals["export_wh"] += exp_t
+        totals["unserved_wh"] += uns_t
+        totals["charge_wh"] += np.maximum(accepted, 0.0) * dt_h
+        totals["discharge_wh"] += np.maximum(-accepted, 0.0) * dt_h
+        totals["emissions_kg"] += imp_t / WH_PER_KWH * stack.ci_g_per_kwh[:, t][:, None] / 1_000.0
+        totals["cost_usd"] += (
+            imp_t / WH_PER_KWH * stack.prices_usd_kwh[:, t][:, None]
+            - exp_t / WH_PER_KWH * stack.export_credit_usd_kwh
+        )
+        totals["islanded_steps"] += (imp_t <= eps_wh) & (uns_t <= eps_wh)
+    return totals
+
+
+class TestProfileSliceHoist:
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    def test_hoisted_loop_bitwise_equals_prehoist_slicing(
+        self, policy_name, houston_month, berkeley_month
+    ):
+        scenarios = [houston_month, berkeley_month]
+        stack = stack_scenarios(scenarios)
+        policy = make_policy(policy_name, scenarios)
+        solar_kw = np.array([c.solar_kw for c in COMPS])
+        turb = np.array([float(c.n_turbines) for c in COMPS])
+        cap = np.array([c.battery_wh for c in COMPS])
+        params = CLCParameters(capacity_wh=1.0)
+        res = run_dispatch(
+            stack, solar_kw, turb, cap, params, policy=policy, engine="loop"
+        )
+        legacy = _legacy_run_dispatch(stack, solar_kw, turb, cap, params, policy)
+        for name in RESULT_FIELDS:
+            np.testing.assert_array_equal(
+                getattr(res, name), legacy[name], err_msg=(policy_name, name)
+            )
 
 
 class TestConservation:

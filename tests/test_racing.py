@@ -23,11 +23,13 @@ import sys
 import textwrap
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.blackbox import NSGA2Sampler, create_study
 from repro.blackbox.parallel import ParallelStudyRunner
 from repro.blackbox.trial import TrialState
+from repro.core.kernel import HAS_NUMBA
 from repro.core.ensemble import (
     EnsembleSpec,
     build_ensemble,
@@ -221,6 +223,113 @@ class TestRacedFrontExactness:
         assert again.stats.member_evals == 0 or set(again.pruned) == set(first.pruned)
         # candidates already exact pay zero member evaluations
         assert again.stats.member_evals < first.stats.member_evals
+
+
+class TestEngineMatrix:
+    """The dispatch engine knob (DESIGN.md §9) must not change racing."""
+
+    ENGINES = [
+        "segments",
+        pytest.param(
+            "njit",
+            marks=pytest.mark.skipif(
+                not HAS_NUMBA,
+                reason="numba not installed — the njit engine leg runs on the CI numba job",
+            ),
+        ),
+    ]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_raced_front_bit_identical_across_engines(self, engine, houston_ensemble):
+        comps = SMALL_SPACE.all_compositions()
+        schedule = RungSchedule.parse("rungs=2,full")
+        ref_front, ref_outcome = race_front(
+            houston_ensemble, comps, schedule, engine="loop"
+        )
+        front, outcome = race_front(houston_ensemble, comps, schedule, engine=engine)
+        assert _front_key(front) == _front_key(ref_front)
+        # not just the front: every full-fidelity evaluation and every
+        # elimination decision must be bit-identical
+        assert set(outcome.pruned) == set(ref_outcome.pruned)
+        assert set(outcome.evaluated) == set(ref_outcome.evaluated)
+        for comp, e in outcome.evaluated.items():
+            assert e.objectives() == ref_outcome.evaluated[comp].objectives(), comp
+
+
+class TestFloat32Rungs:
+    """The float32 segments variant in the lower rungs (DESIGN.md §9):
+    partial aggregates carry a ~1e-5 relative error, yet eliminations
+    stay sound and the front is bit-identical once survivors are
+    promoted to full-fidelity float64 evaluations."""
+
+    @staticmethod
+    def _float32_lower_rung_slice(ensemble):
+        """Slice evaluator: float32 segments for partial rungs, the
+        float64 reference path for the full rung."""
+        from repro.core import kernel
+        from repro.core.dispatch import stack_scenarios
+        from repro.core.fastsim import (
+            _candidate_vectors,
+            _results_from_dispatch,
+            evaluate_member_slice,
+        )
+        from repro.sam.batterymodels.clc import CLCParameters
+
+        def slice_fn(member_indices, comps):
+            if len(member_indices) == len(ensemble):
+                return evaluate_member_slice(ensemble, member_indices, comps)
+            stack = stack_scenarios([ensemble[j] for j in member_indices])
+            solar_kw, turb_eff, cap = _candidate_vectors(comps)
+            params = CLCParameters(capacity_wh=1.0)
+            res = kernel.run_dispatch_segments(
+                stack, solar_kw, turb_eff, cap, params, dtype=np.float32
+            )
+            return _results_from_dispatch(
+                stack, comps, solar_kw, turb_eff, cap, params, res
+            )
+
+        return slice_fn
+
+    @pytest.mark.parametrize("site", ["houston", "berkeley"])
+    def test_eliminations_sound_front_exact_after_f64_promotion(
+        self, site, houston_ensemble, berkeley_ensemble
+    ):
+        ensemble = houston_ensemble if site == "houston" else berkeley_ensemble
+        comps = SMALL_SPACE.all_compositions()
+        _, outcome = race_front(
+            ensemble,
+            comps,
+            RungSchedule.parse("rungs=2,full"),
+            evaluate_slice=self._float32_lower_rung_slice(ensemble),
+        )
+        # promote every survivor to a pure-float64 full evaluation; the
+        # front over them must equal the never-raced float64 front of
+        # the whole candidate set bit-for-bit — i.e. no candidate that
+        # belongs on the true front was eliminated by a float32 rung
+        survivors = list(outcome.evaluated)
+        promoted = pareto_front(evaluate_ensemble(ensemble, survivors))
+        full = pareto_front(evaluate_ensemble(ensemble, comps))
+        assert _front_key(promoted) == _front_key(full)
+        assert outcome.stats.pruned > 0, "racing never pruned — vacuous test"
+
+    def test_float32_partial_aggregates_within_documented_epsilon(
+        self, houston_ensemble, berkeley_ensemble
+    ):
+        """The rung-bound epsilon: float32 partial aggregates on both
+        paper sites sit within 1e-4 of the float64 values (DESIGN.md §9
+        documents the float32 path as non-bitwise but bound-accurate)."""
+        from repro.core.fastsim import evaluate_member_slice
+
+        comps = SMALL_SPACE.all_compositions()[:8]
+        for ensemble in (houston_ensemble, berkeley_ensemble):
+            f32_slice = self._float32_lower_rung_slice(ensemble)
+            members = [0, 1]  # a partial rung
+            f32 = f32_slice(members, comps)
+            f64 = evaluate_member_slice(ensemble, members, comps)
+            for row32, row64 in zip(f32, f64):
+                for e32, e64 in zip(row32, row64):
+                    for got, want in zip(e32.objectives(), e64.objectives()):
+                        assert got == pytest.approx(want, rel=1e-4, abs=1e-9)
 
 
 class TestStudyRacing:
