@@ -59,6 +59,10 @@ HEADLINE_METRICS: "dict[str, list[tuple[str, ...]]]" = {
         ("dispatch", "cells_per_s", "segments"),
         ("dispatch", "speedup_vs_loop", "segments"),
     ],
+    "BENCH_pipeline.json": [
+        ("pipeline", "wall_clock_speedup"),
+        ("pipeline", "idle_reduction"),
+    ],
 }
 
 

@@ -54,6 +54,7 @@ from .core import (
     project_emissions,
     run_blackbox_search,
     run_exhaustive_search,
+    run_pipelined_search,
     threshold_candidates,
 )
 from .exceptions import ReproError
@@ -82,6 +83,7 @@ __all__ = [
     "OptimizationRunner",
     "run_exhaustive_search",
     "run_blackbox_search",
+    "run_pipelined_search",
     "pareto_front",
     "paper_candidates",
     "threshold_candidates",

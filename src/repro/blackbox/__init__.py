@@ -21,7 +21,12 @@ reimplements the subset of Optuna's API the paper exercises:
   multi-worker runs,
 * **parallel trial execution** (:mod:`repro.blackbox.parallel`,
   DESIGN.md §4) — :class:`ParallelStudyRunner` fans independent trials
-  out across processes with deterministic per-trial RNG seeding.
+  out across processes with deterministic per-trial RNG seeding,
+* **pipelined, generation-free dispatch** (DESIGN.md §10) —
+  :class:`PipelinedDispatcher` streams candidates to worker slots as
+  they free, optionally breeding the next generation's first candidates
+  speculatively; with speculation off it is bit-identical to the
+  generation-batched runner.
 
 Storage-aware APIs: ``create_study`` / ``Study.ask`` / ``Study.tell``
 (record through a backend), ``ParallelStudyRunner`` (journals batches as
@@ -56,7 +61,7 @@ from .storage import (
     merge_stores,
     storage_from_url,
 )
-from .parallel import ParallelStudyRunner
+from .parallel import ParallelStudyRunner, PipelinedDispatcher
 
 __all__ = [
     "StudyStorage",
@@ -68,6 +73,7 @@ __all__ = [
     "merge_stores",
     "storage_from_url",
     "ParallelStudyRunner",
+    "PipelinedDispatcher",
     "Distribution",
     "FloatDistribution",
     "IntDistribution",

@@ -37,12 +37,34 @@ The objective must be picklable (a module-level function, or an
 instance of a module-level class such as
 :class:`repro.core.study_runner.CompositionObjective`) and maps a params
 dict to a float or a sequence of floats.
+
+Two drivers share that contract (DESIGN.md §4, §10):
+
+* :class:`ParallelStudyRunner` — the generation-batched path: one batch
+  is one NSGA-II generation, evaluated as a barrier (every worker waits
+  for the batch's slowest trial).
+* :class:`PipelinedDispatcher` — the ask/tell streaming path: a
+  coordinator keeps every worker slot full by dispatching candidates
+  individually as slots free, optionally *speculating* into the next
+  generation by breeding provisional candidates from the completed
+  prefix (each tagged with its parent epoch so resume and audit stay
+  deterministic).  With speculation off it is bit-identical to the
+  generation-batched runner.
 """
 
 from __future__ import annotations
 
 import pickle
+import time
 import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -51,7 +73,7 @@ from ..exceptions import OptimizationError, TrialPruned
 from .distributions import Distribution
 from .multiobjective import pareto_front_indices
 from .study import Study
-from .trial import RACING_RUNG_ATTR, TrialState
+from .trial import PARENT_EPOCH_ATTR, PIPELINE_ASK_ATTR, RACING_RUNG_ATTR, TrialState
 
 ParamsObjective = Callable[[dict[str, Any]], "float | Sequence[float]"]
 
@@ -81,24 +103,56 @@ def _evaluate_trial_chunk(
     return [_guarded(objective, params) for params in params_chunk]
 
 
-def _guarded(fn: "Callable[..., Any]", *args: Any) -> tuple[str, Any]:
-    """Run one objective call, returning a transport-safe outcome tag."""
+def _guarded(fn: "Callable[..., Any]", *args: Any) -> tuple[str, Any, float]:
+    """Run one objective call, returning a transport-safe outcome.
+
+    ``(tag, payload, seconds)`` — the duration is measured worker-side,
+    so the parent can account busy time per trial (the worker-starvation
+    metrics both drivers surface) without trusting wall clocks across
+    processes.
+    """
+    start = time.perf_counter()
     try:
-        return ("ok", fn(*args))
+        result = fn(*args)
     except TrialPruned:
-        return ("pruned", None)
+        return ("pruned", None, time.perf_counter() - start)
     except Exception as exc:  # noqa: BLE001 - transported to the parent
         try:
             pickle.loads(pickle.dumps(exc))
-            return ("error", exc)
+            payload: Any = exc
         except Exception:
-            return (
-                "error",
-                OptimizationError(
-                    f"objective raised unpicklable {type(exc).__name__}: "
-                    f"{exc}\noriginal traceback:\n{traceback.format_exc()}"
-                ),
+            payload = OptimizationError(
+                f"objective raised unpicklable {type(exc).__name__}: "
+                f"{exc}\noriginal traceback:\n{traceback.format_exc()}"
             )
+        return ("error", payload, time.perf_counter() - start)
+    return ("ok", result, time.perf_counter() - start)
+
+
+def materialize_params(
+    trial: Any, params: dict[str, Any], space: dict[str, Distribution]
+) -> None:
+    """Write a sampler-planned candidate into a live trial.
+
+    The ask/tell counterpart of the define-by-run ``Trial._suggest``
+    loop: validates every declared parameter is present and in-domain,
+    then records params and distributions on the frozen trial so the
+    history the sampler later observes is indistinguishable from a
+    define-by-run trial.
+    """
+    frozen = trial._frozen
+    for name, dist in space.items():
+        if name not in params:
+            raise OptimizationError(
+                f"sampler planned no value for declared parameter '{name}'"
+            )
+        value = params[name]
+        if not dist.contains(value):
+            raise OptimizationError(
+                f"sampler produced out-of-domain value {value!r} for '{name}'"
+            )
+        frozen.params[name] = value
+        frozen.distributions[name] = dist
 
 
 def _evaluate_members_chunk(
@@ -248,30 +302,12 @@ class ParallelStudyRunner:
             raise OptimizationError(f"n_trials must be positive, got {n_trials}")
         race_subsets = None
         if racing is not None:
-            if isinstance(racing, str):
-                from ..core.racing import RungSchedule
+            from ..core.racing import RungSchedule, resolve_rung_subsets
 
-                racing = RungSchedule.parse(racing)
-            hooks = ["n_members", "aggregate", "member_values"]
-            if racing.order == "hardest":
-                hooks.append("member_difficulty")  # probe-ranked subsets
-            for hook in hooks:
-                if not hasattr(objective, hook):
-                    raise OptimizationError(
-                        "racing needs a multi-fidelity objective exposing "
-                        f"'{hook}' (see CompositionObjective)"
-                    )
+            racing = RungSchedule.parse(racing)
             # The member ranking is deterministic per ensemble — probe
             # once per optimize() call, not per batch.
-            n_members = int(objective.n_members)
-            if racing.order == "hardest" and n_members > 1:
-                from ..core.racing import difficulty_ranking
-
-                race_subsets = racing.subsets_from_order(
-                    difficulty_ranking(objective.member_difficulty())
-                )
-            else:
-                race_subsets = racing.subsets(n_members)
+            race_subsets = resolve_rung_subsets(objective, racing)
         sampler = self.study.sampler
         prior_seeding = sampler.per_trial_seeding
         # Worker scheduling must never perturb sampling: pin every trial
@@ -328,21 +364,61 @@ class ParallelStudyRunner:
                 k = min(self.batch_size, remaining)
                 trials = [self.study.ask() for _ in range(k)]
                 for trial in trials:
-                    for name, dist in self.space.items():
-                        trial._suggest(name, dist)
+                    # Ask/tell protocol (DESIGN.md §10): the sampler
+                    # plans each candidate jointly against the declared
+                    # space — same RNG draws as the define-by-run loop.
+                    params = sampler.ask(self.study, trial.number, self.space)
+                    materialize_params(trial, params, self.space)
+                batch_start = time.perf_counter()
                 if racing is None:
                     outcomes = self._launch_batch(objective, trials)
+                    busy = sum(seconds for _, _, seconds in outcomes)
+                    slowest = max(
+                        (seconds for _, _, seconds in outcomes), default=0.0
+                    )
+                    self._record_batch_timing(
+                        time.perf_counter() - batch_start, slowest, busy
+                    )
                     self._tell_outcomes(trials, outcomes, catch)
                 else:
-                    self._race_batch(objective, trials, race_subsets, catch)
+                    busy, slowest = self._race_batch(
+                        objective, trials, race_subsets, catch
+                    )
+                    self._record_batch_timing(
+                        time.perf_counter() - batch_start, slowest, busy
+                    )
                 remaining -= k
         finally:
             sampler.per_trial_seeding = prior_seeding
         return self.study
 
+    def _record_batch_timing(self, wall: float, slowest: float, busy: float) -> None:
+        """Worker-starvation accounting: per-batch (dispatch, slowest, idle).
+
+        ``idle`` is the fraction of worker-seconds the barrier wasted —
+        ``1 - busy / (workers × dispatch wall)`` — the quantity the
+        pipelined dispatcher exists to reclaim.  Appended to the study
+        metadata (persisted when storage-backed) so ``repro study
+        status`` can show starvation on real studies, not just benches.
+        """
+        workers = getattr(self.launcher, "n_workers", 1)
+        idle = max(0.0, 1.0 - busy / (wall * workers)) if wall > 0 else 0.0
+        timings = self.study.metadata.setdefault("batch_timings", [])
+        timings.append(
+            {
+                "dispatch": round(wall, 6),
+                "slowest": round(slowest, 6),
+                "idle": round(idle, 4),
+            }
+        )
+        if self.study.storage is not None:
+            self.study.storage.update_metadata(
+                self.study.study_name, self.study.metadata
+            )
+
     def _tell_outcomes(self, trials, outcomes, catch) -> None:
         """Record one batch's transported outcomes against the study."""
-        for trial, (tag, payload) in zip(trials, outcomes):
+        for trial, (tag, payload, _seconds) in zip(trials, outcomes):
             if tag == "ok":
                 self.study.tell(trial, payload)
             elif tag == "pruned":
@@ -363,7 +439,7 @@ class ParallelStudyRunner:
         )
         return [outcome for chunk in outcomes for outcome in chunk]
 
-    def _race_batch(self, objective, trials, subsets, catch) -> None:
+    def _race_batch(self, objective, trials, subsets, catch) -> tuple[float, float]:
         """Rung dispatch: climb the racing ladder for one trial batch.
 
         Each rung fans only its *new* members (subsets nest) across
@@ -376,6 +452,9 @@ class ParallelStudyRunner:
         total, never a member twice.  Non-survivors of a rung's
         non-dominated partial front are told PRUNED with their partial
         values as intermediate reports.
+
+        Returns ``(busy, slowest)`` worker-seconds for the batch's
+        starvation accounting.
         """
         from ..confsys.launcher import chunk_evenly
         from ..core.metrics import aggregate_values
@@ -385,6 +464,8 @@ class ParallelStudyRunner:
         matrices: "dict[int, dict[int, tuple[float, ...]]]" = {
             t.number: {} for t in trials
         }
+        busy = 0.0
+        slowest = 0.0
 
         def reduced(trial) -> tuple[float, ...]:
             matrix = matrices[trial.number]
@@ -397,7 +478,7 @@ class ParallelStudyRunner:
         seen: "tuple[int, ...]" = ()
         for rung_index, subset in enumerate(subsets):
             if not alive:
-                return
+                return busy, slowest
             new_members = tuple(m for m in subset if m not in seen)
             seen = subset
             if new_members:
@@ -411,8 +492,13 @@ class ParallelStudyRunner:
                     )
                     for outcome in chunk_result
                 ]
+                busy += sum(seconds for _, _, seconds in outcomes)
+                slowest = max(
+                    slowest,
+                    max((seconds for _, _, seconds in outcomes), default=0.0),
+                )
                 survivors = []
-                for trial, (tag, payload) in zip(alive, outcomes):
+                for trial, (tag, payload, _seconds) in zip(alive, outcomes):
                     if tag == "ok":
                         for member, vector in zip(new_members, payload):
                             matrices[trial.number][member] = (
@@ -430,7 +516,7 @@ class ParallelStudyRunner:
                 for trial in alive:
                     trial.set_system_attr(RACING_RUNG_ATTR, n_members)
                     self.study.tell(trial, reduced(trial))
-                return
+                return busy, slowest
             size = len(subset)
             vectors = [reduced(trial) for trial in alive]
             for trial, vector in zip(alive, vectors):
@@ -447,3 +533,593 @@ class ParallelStudyRunner:
                 else:
                     self.study.tell(trial, state=TrialState.PRUNED)
             alive = next_alive
+        return busy, slowest
+
+
+# -- pipelined dispatch (DESIGN.md §10) ---------------------------------------
+
+
+def pipeline_spec_string(speculate: int) -> str:
+    """Round-trippable pipeline spec persisted in study metadata."""
+    return f"speculate={int(speculate)}"
+
+
+def parse_pipeline_spec(spec: str) -> int:
+    """Speculation depth from a persisted pipeline spec string."""
+    text = str(spec).strip()
+    prefix = "speculate="
+    if not text.startswith(prefix):
+        raise OptimizationError(f"malformed pipeline spec {spec!r} (want 'speculate=N')")
+    try:
+        value = int(text[len(prefix):])
+    except ValueError:
+        raise OptimizationError(
+            f"malformed pipeline spec {spec!r} (want 'speculate=N')"
+        ) from None
+    if value < 0:
+        raise OptimizationError("speculation depth must be >= 0")
+    return value
+
+
+#: per-process objective installed by the process-pool initializer, so
+#: each work item ships only a params dict — not the (possibly
+#: scenario-embedding) objective — across the pipe
+_PIPELINE_OBJECTIVE: Any = None
+
+
+def _pipeline_worker_init(payload: bytes) -> None:  # pragma: no cover - subprocess
+    global _PIPELINE_OBJECTIVE
+    _PIPELINE_OBJECTIVE = pickle.loads(payload)
+
+
+def _pipeline_eval(params: dict[str, Any]) -> tuple[str, Any, float]:  # pragma: no cover - subprocess
+    return _guarded(_PIPELINE_OBJECTIVE, params)
+
+
+def _pipeline_eval_members(
+    params: dict[str, Any], member_indices: tuple[int, ...]
+) -> tuple[str, Any, float]:  # pragma: no cover - subprocess
+    return _guarded(_PIPELINE_OBJECTIVE.member_values, params, member_indices)
+
+
+class _HistoryPrefix:
+    """Read-only study view truncated to its first ``epoch`` trials.
+
+    In pipelined mode, trials *later* than a candidate's parent epoch
+    may already be COMPLETE at ask time (workers race ahead of the
+    sampler).  Breeding must not see them — the epoch is the whole
+    determinism contract — so the sampler is handed this view instead of
+    the live study.  Everything except ``trials`` delegates.
+    """
+
+    def __init__(self, study: Study, epoch: int) -> None:
+        self.trials = study.trials[:epoch]
+        self._study = study
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._study, name)
+
+
+class _InlineExecutor:
+    """Degenerate executor: runs each submission synchronously.
+
+    The ``workers=1`` fast path — same control flow as the pools, no
+    thread hops, and trivially deterministic completion order.
+    """
+
+    def submit(self, fn: "Callable[..., Any]", *args: Any) -> "Future[Any]":
+        future: "Future[Any]" = Future()
+        future.set_result(fn(*args))
+        return future
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        return None
+
+
+@dataclass
+class PipelineStats:
+    """Utilization accounting for one pipelined ``optimize`` call."""
+
+    wall: float = 0.0
+    busy: float = 0.0
+    workers: int = 1
+    n_trials: int = 0
+    #: trials bred speculatively (parent epoch one generation behind)
+    n_speculative: int = 0
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of worker-seconds spent waiting, 0 when perfectly full."""
+        capacity = self.wall * max(self.workers, 1)
+        if capacity <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.busy / capacity)
+
+    def as_metadata(self) -> dict[str, Any]:
+        return {
+            "wall": round(self.wall, 6),
+            "busy": round(self.busy, 6),
+            "workers": self.workers,
+            "n_trials": self.n_trials,
+            "n_speculative": self.n_speculative,
+            "idle": round(self.idle_fraction, 4),
+        }
+
+
+@dataclass
+class _Cohort:
+    """Racing bookkeeping for one generation's rung climb."""
+
+    generation: int
+    expected: int
+    trials: list = field(default_factory=list)
+    #: trials still climbing; ``None`` until the cohort is fully asked
+    alive: "list | None" = None
+    rung: int = 0
+    new_members: tuple[int, ...] = ()
+    seen: tuple[int, ...] = ()
+    results: dict = field(default_factory=dict)
+    matrices: dict = field(default_factory=dict)
+
+    def climbing(self) -> "list":
+        return self.alive if self.alive is not None else self.trials
+
+    def ready_to_decide(self) -> bool:
+        if self.alive is None and len(self.trials) < self.expected:
+            return False
+        return all(t.number in self.results for t in self.climbing())
+
+
+@dataclass
+class _Item:
+    """One in-flight work item: a whole trial, or one rung slice of it."""
+
+    kind: str  # "trial" | "rung"
+    trial: Any
+    cohort: "_Cohort | None" = None
+
+
+class PipelinedDispatcher:
+    """Generation-free parallel search: stream candidates through ask/tell.
+
+    Where :class:`ParallelStudyRunner` evaluates whole generations behind
+    a barrier, this coordinator keeps every worker slot full
+    (DESIGN.md §10):
+
+    * candidates are dispatched *individually* the moment a slot frees;
+    * with ``speculate=D > 0``, the first ``D`` candidates of each
+      generation are bred early — from the previous generation's
+      completed prefix — so workers never drain while a generation's
+      slowest trial finishes.
+
+    Determinism contract: trial *n* of generation ``g = n // batch`` is
+    bred from the history prefix of length ``E(n)`` — ``(g-1)·batch`` for
+    the ``D`` speculative offsets, ``g·batch`` otherwise.  ``E(n)`` is a
+    pure function of the trial number, so together with per-trial RNG
+    streams the planned params depend only on ``(seed, n, prefix)`` —
+    never on worker count or scheduling.  Every trial records its epoch
+    (``nsga2:parent_epoch``) and ask order (``pipeline:ask_number``) as
+    system attrs; resume validates both against the recomputed schedule,
+    exactly like the racing rung schedule, and re-runs anything that
+    fails the audit.  With ``speculate=0`` the dispatched params — and
+    hence the final front — are bit-identical to the generation-batched
+    runner.
+
+    **Racing integration**: rung climbs become just more work items in
+    the same queue.  Decisions stay at generation-cohort × rung
+    granularity (identical prune decisions to the batched runner's
+    Optuna-style path), but each (trial, rung-slice) evaluation is its
+    own queue item — so a rung-2 evaluation of one trial overlaps the
+    full-fidelity climb of another, and with speculation the next
+    generation's rung-0 items backfill slots during the climb.
+
+    Parameters mirror :class:`ParallelStudyRunner` where shared;
+    ``workers``/``executor`` replace the launcher (``"thread"``,
+    ``"process"``, or ``"serial"``) since slot-level streaming needs
+    future-granular completion, not a map.
+    """
+
+    def __init__(
+        self,
+        study: Study,
+        space: dict[str, Distribution],
+        workers: int = 1,
+        executor: str = "thread",
+        speculate: int = 0,
+        batch_size: int | None = None,
+        storage=None,
+        shards: int | None = None,
+    ) -> None:
+        if not space:
+            raise OptimizationError("parallel execution needs a declared search space")
+        if workers < 1:
+            raise OptimizationError("workers must be >= 1")
+        if executor not in ("thread", "process", "serial"):
+            raise OptimizationError(
+                f"unknown executor '{executor}' (use thread | process | serial)"
+            )
+        if batch_size is not None and batch_size < 1:
+            raise OptimizationError("batch_size must be >= 1")
+        self.study = study
+        self.space = dict(space)
+        self.workers = int(workers)
+        self.executor = executor
+        self.batch_size = (
+            batch_size
+            or getattr(study.sampler, "population_size", None)
+            or self.workers
+        )
+        if not 0 <= int(speculate) <= self.batch_size:
+            raise OptimizationError(
+                f"speculation depth must be in [0, batch_size={self.batch_size}]"
+            )
+        self.speculate = int(speculate)
+        #: utilization accounting of the most recent ``optimize`` call
+        self.stats = PipelineStats(workers=self.workers)
+        if storage is not None:
+            self._attach_storage(storage, shards)
+
+    # -- setup / resume validation -------------------------------------------
+
+    def _attach_storage(self, storage, shards: int | None) -> None:
+        from .storage import resolve_storage
+
+        if self.study.storage is not None:
+            raise OptimizationError(
+                "study already has a storage backend; build it with "
+                "create_study(storage=..., load_if_exists=True) to resume"
+            )
+        backend = resolve_storage(storage, shards=shards)
+        if backend.load_study(self.study.study_name) is not None:
+            raise OptimizationError(
+                f"study '{self.study.study_name}' already exists in that "
+                "storage; resume it via create_study(load_if_exists=True)"
+            )
+        self.study.metadata.setdefault("batch", self.batch_size)
+        self.study.metadata.setdefault(
+            "pipeline", pipeline_spec_string(self.speculate)
+        )
+        backend.create_study(
+            self.study.study_name,
+            [d.value for d in self.study.directions],
+            self.study.metadata,
+        )
+        self.study.storage = backend
+
+    def _epoch(self, number: int) -> int:
+        """Completed-history prefix length trial ``number`` breeds from."""
+        generation, offset = divmod(int(number), self.batch_size)
+        if generation >= 1 and offset < self.speculate:
+            return (generation - 1) * self.batch_size
+        return generation * self.batch_size
+
+    def _validate_metadata(self, racing) -> None:
+        """Pipeline/batch/racing identity checks, mirroring the batched
+        runner: each persisted spec decides which history a resume may
+        breed from, so a mismatch is a hard error, never a silent
+        divergence."""
+        md = self.study.metadata
+        requested_pipeline = pipeline_spec_string(self.speculate)
+        requested_racing = racing.spec_string() if racing is not None else None
+        if self.study.storage is not None and not self.study.trials:
+            dirty = False
+            for key, value in (
+                ("batch", self.batch_size),
+                ("pipeline", requested_pipeline),
+                ("racing", requested_racing),
+            ):
+                if md.get(key) is None and value is not None:
+                    md[key] = value
+                    dirty = True
+            if dirty:
+                self.study.storage.update_metadata(self.study.study_name, md)
+        if self.study.trials:
+            persisted_batch = md.get("batch")
+            if persisted_batch is not None and int(persisted_batch) != self.batch_size:
+                raise OptimizationError(
+                    f"study '{self.study.study_name}' was run with batch "
+                    f"{int(persisted_batch)}, resumed with {self.batch_size}; "
+                    "generation boundaries cannot be aligned across batch sizes"
+                )
+        if self.study.storage is not None:
+            persisted_pipeline = self.study.metadata.get("pipeline")
+            if persisted_pipeline != requested_pipeline:
+                raise OptimizationError(
+                    f"study '{self.study.study_name}' was persisted with "
+                    f"pipeline={persisted_pipeline or '<none>'}, resumed with "
+                    f"{requested_pipeline}; the speculation depth decides every "
+                    "trial's parent epoch, so resume must pipeline identically"
+                )
+            persisted_racing = self.study.metadata.get("racing")
+            if persisted_racing != requested_racing:
+                raise OptimizationError(
+                    f"study '{self.study.study_name}' was persisted with "
+                    f"racing={persisted_racing or '<none>'}, resumed with "
+                    f"{requested_racing or '<none>'}; resume must race the "
+                    "identical schedule"
+                )
+
+    def _validate_resume_prefix(self, racing) -> None:
+        """Audit reloaded trials against the recomputed epoch schedule.
+
+        Keeps the longest prefix whose persisted tags are exactly what
+        this dispatcher would have written — ask order equal to the
+        trial number (a compacting resume renumbers past gaps, which
+        shifts trials onto the wrong per-trial RNG streams; the stale
+        ask-number exposes it) and parent epoch equal to ``E(number)``.
+        Everything after the first violation is dropped and re-asked;
+        the kept prefix is, by construction, a prefix an uninterrupted
+        run produced, so the resumed front is identical.  Under racing
+        the cut additionally aligns to a generation boundary, because
+        prune decisions are cohort-wide.
+        """
+        keep = 0
+        for trial in self.study.trials:
+            attrs = trial.system_attrs
+            if attrs.get(PIPELINE_ASK_ATTR) != trial.number:
+                break
+            if attrs.get(PARENT_EPOCH_ATTR) != self._epoch(trial.number):
+                break
+            keep += 1
+        if racing is not None:
+            keep = (keep // self.batch_size) * self.batch_size
+        del self.study.trials[keep:]
+
+    # -- the dispatch loop ----------------------------------------------------
+
+    def optimize(
+        self,
+        objective: ParamsObjective,
+        n_trials: int,
+        catch: tuple[type[Exception], ...] = (),
+        racing=None,
+    ) -> Study:
+        """Stream trials through worker slots up to ``n_trials`` total.
+
+        Same outcome semantics as :meth:`ParallelStudyRunner.optimize`
+        (``TrialPruned`` → PRUNED, caught exceptions → FAILED, anything
+        else FAILED + re-raised) and the same total-target resume
+        behaviour, but resume alignment is per-trial (epoch tags), not
+        per-generation — only trials whose persisted tags fail the
+        epoch audit are re-run.
+        """
+        if n_trials <= 0:
+            raise OptimizationError(f"n_trials must be positive, got {n_trials}")
+        subsets = None
+        if racing is not None:
+            from ..core.racing import RungSchedule, resolve_rung_subsets
+
+            racing = RungSchedule.parse(racing)
+            subsets = resolve_rung_subsets(objective, racing)
+        sampler = self.study.sampler
+        prior_seeding = sampler.per_trial_seeding
+        sampler.per_trial_seeding = True
+        try:
+            self._validate_metadata(racing)
+            if len(self.study.trials) < n_trials:
+                self._validate_resume_prefix(racing)
+            pool = self._make_pool(objective)
+            try:
+                self._run(pool, objective, n_trials, catch, subsets)
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+        finally:
+            sampler.per_trial_seeding = prior_seeding
+        return self.study
+
+    def _make_pool(self, objective: ParamsObjective):
+        if self.executor == "serial" or self.workers == 1 and self.executor == "thread":
+            return _InlineExecutor()
+        if self.executor == "thread":
+            return ThreadPoolExecutor(max_workers=self.workers)
+        import multiprocessing as mp
+
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=mp.get_context("spawn"),
+            initializer=_pipeline_worker_init,
+            initargs=(pickle.dumps(objective),),
+        )
+
+    def _run(self, pool, objective, n_trials, catch, subsets) -> None:
+        study = self.study
+        self._objective = objective
+        in_process = not isinstance(pool, ProcessPoolExecutor)
+
+        def submit_trial(params):
+            if in_process:
+                return pool.submit(_guarded, objective, params)
+            return pool.submit(_pipeline_eval, params)
+
+        def submit_rung(params, members):
+            if in_process:
+                return pool.submit(_guarded, objective.member_values, params, members)
+            return pool.submit(_pipeline_eval_members, params, members)
+
+        pending: "dict[Future, _Item]" = {}
+        cohorts: "dict[int, _Cohort]" = {}
+        self.stats = stats = PipelineStats(workers=self.workers)
+        wall_start = time.perf_counter()
+        # Reloaded trials are all finished (RUNNING ones were discarded
+        # on load), so the contiguous finished prefix starts here.
+        self._finished = len(study.trials)
+        next_ask = len(study.trials)
+
+        while next_ask < n_trials or pending:
+            while (
+                next_ask < n_trials
+                and len(pending) < self.workers
+                and self._finished >= self._epoch(next_ask)
+            ):
+                trial = self._ask_trial(next_ask, stats)
+                if subsets is None:
+                    pending[submit_trial(dict(trial.params))] = _Item("trial", trial)
+                else:
+                    cohort = self._enroll(cohorts, trial, n_trials, subsets)
+                    pending[submit_rung(dict(trial.params), cohort.new_members)] = (
+                        _Item("rung", trial, cohort)
+                    )
+                next_ask += 1
+            if not pending:
+                if next_ask >= n_trials:
+                    break
+                raise OptimizationError(
+                    "pipeline stalled: no work in flight and trial "
+                    f"{next_ask} cannot be bred yet (finished prefix "
+                    f"{self._finished} < epoch {self._epoch(next_ask)})"
+                )
+            done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+            for future in done:
+                item = pending.pop(future)
+                tag, payload, seconds = future.result()
+                stats.busy += seconds
+                if item.kind == "trial":
+                    self._tell_plain(item.trial, tag, payload, catch)
+                else:
+                    item.cohort.results[item.trial.number] = (tag, payload)
+                    if item.cohort.ready_to_decide():
+                        self._decide(
+                            item.cohort, pending, submit_rung, subsets, catch
+                        )
+        stats.wall = time.perf_counter() - wall_start
+        stats.n_trials = len(study.trials)
+        if study.storage is not None:
+            study.metadata["pipeline_stats"] = stats.as_metadata()
+            study.storage.update_metadata(study.study_name, study.metadata)
+
+    def _ask_trial(self, number: int, stats: PipelineStats):
+        epoch = self._epoch(number)
+        trial = self.study.ask()
+        if trial.number != number:
+            raise OptimizationError(
+                f"pipeline ask misaligned: expected trial {number}, "
+                f"study created {trial.number}"
+            )
+        view = _HistoryPrefix(self.study, epoch)
+        params = self.study.sampler.ask(view, number, self.space)
+        materialize_params(trial, params, self.space)
+        trial.set_system_attr(PIPELINE_ASK_ATTR, number)
+        trial.set_system_attr(PARENT_EPOCH_ATTR, epoch)
+        if epoch < (number // self.batch_size) * self.batch_size:
+            stats.n_speculative += 1
+        return trial
+
+    def _advance_finished(self) -> None:
+        trials = self.study.trials
+        i = self._finished
+        while i < len(trials) and trials[i].state.is_finished():
+            i += 1
+        self._finished = i
+
+    def _tell_plain(self, trial, tag, payload, catch) -> None:
+        if tag == "ok":
+            self.study.tell(trial, payload)
+        elif tag == "pruned":
+            self.study.tell(trial, state=TrialState.PRUNED)
+        else:
+            self.study.tell(trial, state=TrialState.FAILED)
+            if not (catch and isinstance(payload, catch)):
+                raise payload
+        self._advance_finished()
+
+    # -- racing cohorts --------------------------------------------------------
+
+    def _enroll(self, cohorts, trial, n_trials, subsets) -> _Cohort:
+        generation = trial.number // self.batch_size
+        cohort = cohorts.get(generation)
+        if cohort is None:
+            first = generation * self.batch_size
+            cohort = _Cohort(
+                generation=generation,
+                expected=min(self.batch_size, n_trials - first),
+                new_members=subsets[0],
+                seen=subsets[0],
+            )
+            cohorts[generation] = cohort
+        cohort.trials.append(trial)
+        cohort.matrices[trial.number] = {}
+        return cohort
+
+    def _reduced(self, objective, cohort, trial) -> tuple[float, ...]:
+        from ..core.metrics import aggregate_values
+
+        matrix = cohort.matrices[trial.number]
+        vectors = [matrix[m] for m in sorted(matrix)]
+        return tuple(
+            aggregate_values(column, objective.aggregate) for column in zip(*vectors)
+        )
+
+    def _decide(self, cohort, pending, submit_rung, subsets, catch) -> None:
+        """Apply one rung's outcome to a fully-arrived cohort.
+
+        Bit-identical decision rule to the batched runner's
+        ``_race_batch`` — same member matrices, same partial reports,
+        same non-dominated-front promotion — just triggered by arrival
+        instead of a barrier.  Survivors' next-rung slices are submitted
+        as fresh queue items; the study is told about prunes/failures
+        immediately, which also advances the finished prefix that gates
+        speculative asks.
+        """
+        if cohort.alive is None:
+            cohort.alive = list(cohort.trials)
+        objective = self._objective
+        survivors = []
+        for trial in cohort.alive:
+            tag, payload = cohort.results.get(trial.number, ("ok", ()))
+            if tag == "ok":
+                for member, vector in zip(cohort.new_members, payload):
+                    cohort.matrices[trial.number][member] = (
+                        (vector,) if np.isscalar(vector) else tuple(vector)
+                    )
+                survivors.append(trial)
+            elif tag == "pruned":
+                self.study.tell(trial, state=TrialState.PRUNED)
+            else:
+                self.study.tell(trial, state=TrialState.FAILED)
+                if not (catch and isinstance(payload, catch)):
+                    self._advance_finished()
+                    raise payload
+        if cohort.rung == len(subsets) - 1:
+            n_members = int(objective.n_members)
+            for trial in survivors:
+                trial.set_system_attr(RACING_RUNG_ATTR, n_members)
+                self.study.tell(trial, self._reduced(objective, cohort, trial))
+            self._advance_finished()
+            return
+        size = len(cohort.seen)
+        vectors = [self._reduced(objective, cohort, trial) for trial in survivors]
+        for trial, vector in zip(survivors, vectors):
+            trial.report(float(vector[0]), step=size)
+            trial.set_system_attr(RACING_RUNG_ATTR, size)
+        front = (
+            set(
+                int(i)
+                for i in pareto_front_indices(self.study.minimized_values(vectors))
+            )
+            if vectors
+            else set()
+        )
+        next_alive = []
+        for i, trial in enumerate(survivors):
+            if i in front:
+                next_alive.append(trial)
+            else:
+                self.study.tell(trial, state=TrialState.PRUNED)
+        self._advance_finished()
+        cohort.alive = next_alive
+        cohort.rung += 1
+        cohort.results = {}
+        if not next_alive:
+            return
+        subset = subsets[cohort.rung]
+        cohort.new_members = tuple(m for m in subset if m not in cohort.seen)
+        cohort.seen = subset
+        if not cohort.new_members:
+            # Nothing new to evaluate at this rung: decide immediately
+            # (the batched runner's `if new_members:` skip).
+            self._decide(cohort, pending, submit_rung, subsets, catch)
+            return
+        for trial in next_alive:
+            pending[submit_rung(dict(trial.params), cohort.new_members)] = _Item(
+                "rung", trial, cohort
+            )

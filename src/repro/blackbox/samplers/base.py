@@ -1,14 +1,23 @@
 """Sampler interface.
 
-A sampler is asked for one parameter at a time (define-by-run), but may
-plan a whole candidate jointly: implementations can stash a genome in the
-trial's ``system_attrs`` on the first suggestion and serve subsequent
-parameters from it (how :class:`~repro.blackbox.samplers.nsga2.NSGA2Sampler`
-does crossover over the full search space).
+Samplers speak two protocols over the same drawing logic:
+
+* **define-by-run** (``sample``): asked for one parameter at a time as
+  the objective suggests them; implementations can stash a genome in the
+  trial's ``system_attrs`` on the first suggestion and serve subsequent
+  parameters from it (how :class:`~repro.blackbox.samplers.nsga2.NSGA2Sampler`
+  does crossover over the full search space).
+* **ask/tell** (``ask``/``tell``): given a declared search space, plan a
+  complete candidate up front and observe finished trials explicitly —
+  the protocol the parallel drivers (and any future remote workers)
+  stream candidates through (DESIGN.md §10).  Both protocols consume the
+  sampler's RNG identically, so for a fixed history ``ask`` returns
+  exactly the params the define-by-run loop would have suggested.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Any
 
@@ -66,6 +75,54 @@ class Sampler(ABC):
         distribution: Distribution,
     ) -> Any:
         """Value for parameter ``name`` of ``trial``."""
+
+    def ask(
+        self,
+        study: "Study",
+        trial_number: int,
+        space: dict[str, Distribution],
+    ) -> dict[str, Any]:
+        """Plan a complete candidate for trial ``trial_number``.
+
+        Returns a value for every parameter in ``space`` (in declaration
+        order), drawing from this sampler's RNG exactly like the
+        define-by-run path does, so the two protocols are bit-identical
+        for a fixed (seed, trial number, completed history).
+
+        This base implementation is the backward-compat shim for
+        ``sample()``-era subclasses: it replays the historical
+        one-parameter-at-a-time loop against a throwaway frozen trial.
+        In-tree samplers all override it natively (asserted by the docs
+        consistency suite); external subclasses should too — the shim
+        warns because a sampler that stashes per-trial state in
+        ``trial.system_attrs`` loses it here (the throwaway trial is
+        discarded, only the params survive).
+        """
+        from ..trial import FrozenTrial
+
+        warnings.warn(
+            f"{type(self).__name__} implements only the legacy "
+            "Sampler.sample() interface; the ask/tell drivers emulate it "
+            "one parameter at a time. Override ask() natively "
+            "(DESIGN.md §10).",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        proxy = FrozenTrial(number=int(trial_number))
+        self.begin_trial(proxy.number)
+        for name, dist in space.items():
+            value = self.sample(study, proxy, name, dist)
+            proxy.params[name] = value
+            proxy.distributions[name] = dist
+        return dict(proxy.params)
+
+    def tell(self, study: "Study", trial: "FrozenTrial") -> None:
+        """Observe a finished trial (ask/tell protocol).
+
+        Default delegates to the historical ``on_trial_complete`` hook,
+        so subclasses may override either.
+        """
+        self.on_trial_complete(study, trial)
 
     def on_trial_complete(self, study: "Study", trial: "FrozenTrial") -> None:
         """Hook invoked after a trial reaches a terminal state."""

@@ -48,6 +48,26 @@ class GridSampler(Sampler):
             point[name] = self.search_space[name][offset]
         return point
 
+    def ask(
+        self,
+        study: "Study",
+        trial_number: int,
+        space: dict[str, Distribution],
+    ) -> dict[str, Any]:
+        self.begin_trial(int(trial_number))
+        point = self.point(int(trial_number))
+        params: dict[str, Any] = {}
+        for name, dist in space.items():
+            if name not in self.search_space:
+                raise OptimizationError(f"parameter '{name}' not in the grid search space")
+            value = point[name]
+            if not dist.contains(value):
+                raise OptimizationError(
+                    f"grid value {value!r} for '{name}' is outside the suggested domain"
+                )
+            params[name] = value
+        return params
+
     def sample(
         self,
         study: "Study",

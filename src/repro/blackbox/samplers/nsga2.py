@@ -136,6 +136,28 @@ class NSGA2Sampler(Sampler):
 
     # -- Sampler interface -----------------------------------------------------
 
+    def ask(
+        self,
+        study: "Study",
+        trial_number: int,
+        space: dict[str, Distribution],
+    ) -> dict[str, Any]:
+        """Breed one full candidate (ask/tell protocol, DESIGN.md §10).
+
+        Same RNG consumption as the define-by-run path: one genome is
+        bred jointly from the completed history, then each declared
+        parameter takes its genome value or a fresh random draw.
+        """
+        self.begin_trial(int(trial_number))
+        genome = self._make_genome(study)
+        params: dict[str, Any] = {}
+        for name, dist in space.items():
+            value = genome.get(name)
+            if value is None or not dist.contains(value):
+                value = dist.sample(self.rng)
+            params[name] = value
+        return params
+
     def sample(
         self,
         study: "Study",

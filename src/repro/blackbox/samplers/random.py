@@ -15,6 +15,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class RandomSampler(Sampler):
     """Samples every parameter independently and uniformly."""
 
+    def ask(
+        self,
+        study: "Study",
+        trial_number: int,
+        space: dict[str, Distribution],
+    ) -> Any:
+        self.begin_trial(int(trial_number))
+        return {name: dist.sample(self.rng) for name, dist in space.items()}
+
     def sample(
         self,
         study: "Study",

@@ -79,6 +79,24 @@ class ScalarizationSampler(Sampler):
             genome[name] = value
         return genome
 
+    def ask(
+        self,
+        study: "Study",
+        trial_number: int,
+        space: dict[str, Distribution],
+    ) -> dict[str, Any]:
+        """Hill-climb one full candidate (ask/tell, DESIGN.md §10) —
+        same RNG consumption as the define-by-run path."""
+        self.begin_trial(int(trial_number))
+        genome = self._make_genome(study)
+        params: dict[str, Any] = {}
+        for name, dist in space.items():
+            value = genome.get(name)
+            if value is None or not dist.contains(value):
+                value = dist.sample(self.rng)
+            params[name] = value
+        return params
+
     def sample(
         self,
         study: "Study",

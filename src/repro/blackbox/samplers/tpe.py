@@ -134,13 +134,24 @@ class TPESampler(Sampler):
         probs = np.asarray(weights) / np.sum(weights)
         return dist.choices[int(self.rng.choice(len(dist.choices), p=probs))]
 
-    def sample(
+    def ask(
         self,
         study: "Study",
-        trial: "FrozenTrial",
-        name: str,
-        distribution: Distribution,
-    ) -> Any:
+        trial_number: int,
+        space: dict[str, Distribution],
+    ) -> dict[str, Any]:
+        """Per-parameter TPE draws in declaration order (ask/tell).
+
+        TPE has no joint genome — each parameter's KDE model is
+        marginal — so ask is exactly the define-by-run loop applied to
+        the declared space.
+        """
+        self.begin_trial(int(trial_number))
+        return {
+            name: self._sample_one(study, name, dist) for name, dist in space.items()
+        }
+
+    def _sample_one(self, study: "Study", name: str, distribution: Distribution) -> Any:
         from ..trial import TrialState
 
         n_complete = sum(1 for t in study.trials if t.state == TrialState.COMPLETE)
@@ -154,3 +165,12 @@ class TPESampler(Sampler):
         if isinstance(distribution, (FloatDistribution, IntDistribution)):
             return self._sample_numeric(distribution, good, bad)
         return distribution.sample(self.rng)  # pragma: no cover - future dists
+
+    def sample(
+        self,
+        study: "Study",
+        trial: "FrozenTrial",
+        name: str,
+        distribution: Distribution,
+    ) -> Any:
+        return self._sample_one(study, name, distribution)

@@ -137,7 +137,7 @@ class Study:
         frozen.state = state
         if self.storage is not None:
             self.storage.record_trial_finish(self.study_name, frozen)
-        self.sampler.on_trial_complete(self, frozen)
+        self.sampler.tell(self, frozen)
         return frozen
 
     def drop_trailing_partial_batch(self, batch_size: int) -> int:

@@ -26,6 +26,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: (DESIGN.md §8) — shared by every racing driver and the CLI histogram
 RACING_RUNG_ATTR = "racing:rung"
 
+#: system-attr key recording the completed-history prefix length a
+#: pipelined trial was bred from (its speculation *epoch*, DESIGN.md §10);
+#: persisted through every storage backend and validated on resume
+PARENT_EPOCH_ATTR = "nsga2:parent_epoch"
+
+#: system-attr key recording the ask order of a pipelined trial — equal
+#: to the trial number when written; a resume whose loaded numbering has
+#: shifted (compaction renumbers past gaps) is detected by the mismatch
+PIPELINE_ASK_ATTR = "pipeline:ask_number"
+
 
 class TrialState(enum.Enum):
     """Lifecycle state of a trial."""

@@ -345,6 +345,14 @@ def cmd_study_run(cfg: Config, args) -> int:
         # Informational only: every engine is bit-for-bit identical, so
         # resume is free to pick a different one (unlike racing/batch).
         metadata["engine"] = args.engine
+    pipelined = args.pipeline or args.speculate is not None
+    if pipelined:
+        from .blackbox.parallel import pipeline_spec_string
+
+        speculate = args.speculate or 0
+        # Identity key, like batch/racing: the speculation depth decides
+        # every trial's parent epoch, so resume must pipeline identically.
+        metadata["pipeline"] = pipeline_spec_string(speculate)
     runner = OptimizationRunner(
         scenarios,
         launcher=launcher,
@@ -353,14 +361,29 @@ def cmd_study_run(cfg: Config, args) -> int:
         engine=args.engine,
     )
     try:
-        result = runner.run_blackbox(
-            n_trials=args.trials,
-            sampler=NSGA2Sampler(population_size=args.population, seed=args.seed),
-            storage=storage,
-            study_name=name,
-            metadata=metadata,
-            racing=args.racing,
-        )
+        if pipelined:
+            result = runner.run_pipelined(
+                n_trials=args.trials,
+                sampler=NSGA2Sampler(
+                    population_size=args.population, seed=args.seed
+                ),
+                storage=storage,
+                study_name=name,
+                metadata=metadata,
+                racing=args.racing,
+                workers=args.workers,
+                executor="process" if args.workers > 1 else "thread",
+                speculate=speculate,
+            )
+        else:
+            result = runner.run_blackbox(
+                n_trials=args.trials,
+                sampler=NSGA2Sampler(population_size=args.population, seed=args.seed),
+                storage=storage,
+                study_name=name,
+                metadata=metadata,
+                racing=args.racing,
+            )
     except KeyboardInterrupt:
         return _interrupted(spec)
     _print_search_summary(result, spec, name)
@@ -449,17 +472,39 @@ def cmd_study_resume(cfg: Config, args) -> int:
         aggregate=str(md["aggregate"]),
         engine=args.engine or str(md.get("engine") or "auto"),
     )
+    persisted_pipeline = md.get("pipeline")
     try:
-        result = runner.run_blackbox(
-            n_trials=args.trials or int(md["n_trials"]),
-            sampler=NSGA2Sampler(
-                population_size=int(md["population"]), seed=int(md["seed"])
-            ),
-            storage=storage,
-            study_name=name,
-            load_if_exists=True,
-            racing=str(persisted_racing) if persisted_racing else None,
-        )
+        if persisted_pipeline is not None:
+            # Pipelined studies resume through the pipelined dispatcher
+            # with the persisted speculation depth — the depth decides
+            # every trial's parent epoch, so it is authoritative, exactly
+            # like the racing schedule.
+            from .blackbox.parallel import parse_pipeline_spec
+
+            result = runner.run_pipelined(
+                n_trials=args.trials or int(md["n_trials"]),
+                sampler=NSGA2Sampler(
+                    population_size=int(md["population"]), seed=int(md["seed"])
+                ),
+                storage=storage,
+                study_name=name,
+                load_if_exists=True,
+                racing=str(persisted_racing) if persisted_racing else None,
+                workers=args.workers,
+                executor="process" if args.workers > 1 else "thread",
+                speculate=parse_pipeline_spec(str(persisted_pipeline)),
+            )
+        else:
+            result = runner.run_blackbox(
+                n_trials=args.trials or int(md["n_trials"]),
+                sampler=NSGA2Sampler(
+                    population_size=int(md["population"]), seed=int(md["seed"])
+                ),
+                storage=storage,
+                study_name=name,
+                load_if_exists=True,
+                racing=str(persisted_racing) if persisted_racing else None,
+            )
     except KeyboardInterrupt:
         return _interrupted(spec)
     _print_search_summary(result, spec, name)
@@ -535,7 +580,38 @@ def cmd_study_status(cfg: Config, args) -> int:
         racing = stored.metadata.get("racing")
         if racing:
             print(f"  racing: {racing}{_rung_stats(trials)}")
+        pipeline = stored.metadata.get("pipeline")
+        if pipeline:
+            line = f"  pipeline: {pipeline}"
+            stats = stored.metadata.get("pipeline_stats")
+            if stats:
+                line += (
+                    f" — {stats.get('workers')} workers, "
+                    f"idle {100 * float(stats.get('idle', 0.0)):.0f}%, "
+                    f"{stats.get('n_speculative', 0)} speculative trials"
+                )
+            print(line)
+        timings = stored.metadata.get("batch_timings")
+        if timings:
+            print(f"  batches: {_starvation_stats(timings)}")
     return 0
+
+
+def _starvation_stats(timings: "list[dict]") -> str:
+    """Worker-starvation summary of a study's per-batch timing records.
+
+    Each record carries ``(dispatch, slowest, idle)`` — the batch's wall
+    clock, its slowest trial, and the fraction of worker-seconds the
+    generation barrier wasted waiting on that straggler.
+    """
+    n = len(timings)
+    dispatch = sum(float(t.get("dispatch", 0.0)) for t in timings)
+    idles = [float(t.get("idle", 0.0)) for t in timings]
+    mean_idle = sum(idles) / n if n else 0.0
+    return (
+        f"{n} dispatched in {dispatch:.1f}s, "
+        f"mean idle {100 * mean_idle:.0f}%, worst {100 * max(idles, default=0.0):.0f}%"
+    )
 
 
 def _rung_stats(trials) -> str:
@@ -770,6 +846,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="dispatch execution engine (DESIGN.md §9): all engines are "
         "bit-for-bit identical, so this changes throughput only "
         "(auto = fastest available for the chosen policy)",
+    )
+    p_run.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="stream trials through worker slots with no generation "
+        "barrier (DESIGN.md §10); without --speculate the front is "
+        "bit-identical to the generation-batched driver",
+    )
+    p_run.add_argument(
+        "--speculate",
+        type=int,
+        default=None,
+        metavar="D",
+        help="pipelined speculation depth: breed the first D candidates "
+        "of each generation from the previous generation's front "
+        "(implies --pipeline; deterministic per seed, independent of "
+        "--workers)",
     )
     p_res = store_args(ssub.add_parser("resume", help="resume an interrupted persisted study"))
     p_res.add_argument("--name", default=None, help="study name (needed if the store holds several)")

@@ -68,3 +68,29 @@ class MultiprocessingLauncher:
         ctx = mp.get_context("spawn")
         with ctx.Pool(processes=min(self.n_workers, len(jobs))) as pool:
             return pool.map(_invoke, [(fn, job) for job in jobs], chunksize=self.chunksize)
+
+
+class ThreadLauncher:
+    """Fans jobs out to a thread pool (order-preserving results).
+
+    For objectives that release the GIL — or deliberately GIL-free
+    workloads like the sleep-cost dispatch benches — threads give
+    process-pool concurrency without pickling or spawn cost.  Same
+    contract as the other launchers: results in job order, exceptions
+    propagate to the caller.
+    """
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1")
+        self.n_workers = n_workers or max(os.cpu_count() or 1, 1)
+
+    def launch(self, fn: JobFn, jobs: Sequence[Any]) -> list[Any]:
+        if not jobs:
+            return []
+        if self.n_workers == 1 or len(jobs) == 1:
+            return SerialLauncher().launch(fn, jobs)
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=min(self.n_workers, len(jobs))) as pool:
+            return list(pool.map(fn, jobs))

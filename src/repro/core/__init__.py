@@ -53,7 +53,12 @@ from .candidates import (
     threshold_candidates,
 )
 from .projection import CumulativeProjection, project_emissions
-from .study_runner import OptimizationRunner, run_blackbox_search, run_exhaustive_search
+from .study_runner import (
+    OptimizationRunner,
+    run_blackbox_search,
+    run_exhaustive_search,
+    run_pipelined_search,
+)
 from .finance import (
     CostParameters,
     capex_usd,
@@ -112,6 +117,7 @@ __all__ = [
     "OptimizationRunner",
     "run_exhaustive_search",
     "run_blackbox_search",
+    "run_pipelined_search",
     "CostParameters",
     "capex_usd",
     "net_present_cost_usd",

@@ -279,6 +279,37 @@ def difficulty_ranking(difficulty: Sequence[float]) -> list[int]:
     return [int(i) for i in np.argsort(-np.asarray(difficulty), kind="stable")]
 
 
+def resolve_rung_subsets(objective, schedule: "RungSchedule") -> list[tuple[int, ...]]:
+    """Validate a multi-fidelity objective and resolve its rung subsets.
+
+    The driver-side half of Optuna-style rung dispatch (DESIGN.md §8),
+    shared by :class:`~repro.blackbox.parallel.ParallelStudyRunner` and
+    :class:`~repro.blackbox.parallel.PipelinedDispatcher` so both race
+    identical subsets for a given ensemble: checks the objective exposes
+    the ``n_members`` / ``aggregate`` / ``member_values`` hooks (plus
+    ``member_difficulty`` for the probe-ranked ``hardest`` order, which
+    is evaluated once per call — the ranking is deterministic per
+    ensemble) and returns the nested member subsets, one per rung.
+    """
+    from ..exceptions import OptimizationError
+
+    hooks = ["n_members", "aggregate", "member_values"]
+    if schedule.order == "hardest":
+        hooks.append("member_difficulty")  # probe-ranked subsets
+    for hook in hooks:
+        if not hasattr(objective, hook):
+            raise OptimizationError(
+                "racing needs a multi-fidelity objective exposing "
+                f"'{hook}' (see CompositionObjective)"
+            )
+    n_members = int(objective.n_members)
+    if schedule.order == "hardest" and n_members > 1:
+        return schedule.subsets_from_order(
+            difficulty_ranking(objective.member_difficulty())
+        )
+    return schedule.subsets(n_members)
+
+
 def partial_lower_bound(
     seen_values: Sequence[float],
     n_members: int,

@@ -583,6 +583,102 @@ class OptimizationRunner:
                 n_pruned += 1
         return n_pruned
 
+    def run_pipelined(
+        self,
+        n_trials: int = 350,
+        sampler: Sampler | None = None,
+        seed: int | None = None,
+        batch_size: int | None = None,
+        storage: "StudyStorage | str | None" = None,
+        study_name: str | None = None,
+        load_if_exists: bool = False,
+        metadata: dict[str, Any] | None = None,
+        racing: "RungSchedule | str | None" = None,
+        workers: int = 1,
+        executor: str = "thread",
+        speculate: int = 0,
+    ) -> SearchResult:
+        """Generation-free search through the pipelined dispatcher.
+
+        Same study semantics as :meth:`run_blackbox` — NSGA-II over the
+        composition space, persisted/resumable, optionally raced — but
+        candidates stream through worker slots individually instead of
+        in barrier-synchronized generations (DESIGN.md §10).  With
+        ``speculate=0`` the final front is bit-identical to
+        :meth:`run_blackbox` under the same seed; with ``speculate=D``
+        the first ``D`` candidates of each generation are bred one
+        generation early (deterministic for a fixed seed, independent of
+        ``workers``).
+
+        ``workers``/``executor`` pick the slot pool (``thread`` |
+        ``process`` | ``serial``) — per-slot futures, not the runner's
+        chunked launcher, since streaming needs slot-level completion.
+        """
+        from ..blackbox.parallel import PipelinedDispatcher, pipeline_spec_string
+
+        if n_trials <= 0:
+            raise OptimizationError("n_trials must be positive")
+        if racing is not None:
+            racing = RungSchedule.parse(racing)
+        sampler = sampler or NSGA2Sampler(population_size=50, seed=seed)
+        batch = batch_size or getattr(sampler, "population_size", 25)
+        storage = resolve_storage(storage)
+        if storage is not None:
+            metadata = dict(metadata or {})
+            metadata.setdefault("n_trials", n_trials)
+            metadata.setdefault("seed", sampler.seed)
+            metadata.setdefault("batch", batch)
+            metadata.setdefault("pipeline", pipeline_spec_string(speculate))
+            population = getattr(sampler, "population_size", None)
+            if population is not None:
+                metadata.setdefault("population", population)
+            if racing is not None:
+                metadata.setdefault("racing", racing.spec_string())
+        study = create_study(
+            directions=["minimize"] * len(self.objectives),
+            sampler=sampler,
+            study_name=study_name or self._default_study_name(),
+            storage=storage,
+            load_if_exists=load_if_exists,
+            metadata=metadata,
+        )
+        objective = CompositionObjective(
+            self.scenario,
+            space=self.space,
+            objectives=self.objectives,
+            policy=self.policy,
+            aggregate=self.aggregate,
+            engine=self.engine,
+        )
+        dispatcher = PipelinedDispatcher(
+            study,
+            self.space.distributions(),
+            workers=workers,
+            executor=executor,
+            speculate=speculate,
+            batch_size=batch,
+        )
+        before = self.n_simulations
+        dispatcher.optimize(objective, n_trials, racing=racing)
+        # Rebuild the evaluation record through the vectorized batch
+        # evaluator (memoized) — COMPLETE trials only, exactly like a
+        # resumed run_blackbox; a raced study's PRUNED trials were never
+        # fully evaluated.
+        comps = [
+            self.space.from_params(t.params)
+            for t in study.trials
+            if t.state == TrialState.COMPLETE
+        ]
+        evaluated = self.evaluate(comps)
+        unique = list({e.composition: e for e in evaluated}.values())
+        n_pruned = sum(1 for t in study.trials if t.state == TrialState.PRUNED)
+        return SearchResult(
+            evaluated=unique,
+            study=study,
+            n_simulations=self.n_simulations - before,
+            n_pruned=n_pruned,
+        )
+
     # -- search-quality analysis (§4.4) -----------------------------------------
 
     def recovery_rate(
@@ -654,4 +750,53 @@ def run_blackbox_search(
         load_if_exists=load_if_exists,
         metadata=metadata,
         racing=racing,
+    )
+
+
+def run_pipelined_search(
+    scenario: "Scenario | Sequence[Scenario]",
+    n_trials: int = 350,
+    population_size: int = 50,
+    seed: int | None = None,
+    space: ParameterSpace | None = None,
+    storage: "StudyStorage | str | None" = None,
+    study_name: str | None = None,
+    load_if_exists: bool = False,
+    workers: int = 1,
+    executor: str = "thread",
+    speculate: int = 0,
+    metadata: dict[str, Any] | None = None,
+    policy: VectorizedPolicy | None = None,
+    aggregate: str = "worst",
+    racing: "RungSchedule | str | None" = None,
+    engine: str = "auto",
+) -> SearchResult:
+    """Convenience: the paper's NSGA-II search, pipelined (DESIGN.md §10).
+
+    Identical search semantics to :func:`run_blackbox_search` — same
+    sampler, storage/resume contract, and racing integration — but trials
+    stream through ``workers`` slots with no generation barrier, and
+    ``speculate=D`` breeds the first ``D`` candidates of each generation
+    one generation early to keep slots full.  ``speculate=0`` reproduces
+    the generation-batched front bit-for-bit.  The CLI's
+    ``repro study run --pipeline`` calls straight through here.
+    """
+    runner = OptimizationRunner(
+        scenario,
+        space=space or PAPER_SPACE,
+        policy=policy,
+        aggregate=aggregate,
+        engine=engine,
+    )
+    return runner.run_pipelined(
+        n_trials=n_trials,
+        sampler=NSGA2Sampler(population_size=population_size, seed=seed),
+        storage=storage,
+        study_name=study_name,
+        load_if_exists=load_if_exists,
+        metadata=metadata,
+        racing=racing,
+        workers=workers,
+        executor=executor,
+        speculate=speculate,
     )

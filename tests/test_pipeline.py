@@ -1,0 +1,375 @@
+"""Pipelined generation-free dispatch (DESIGN.md §10).
+
+The contract :class:`PipelinedDispatcher` must keep:
+
+* with speculation off, the streamed run is **bit-identical** to
+  :class:`ParallelStudyRunner`'s generation-batched run — params,
+  values, states, intermediate reports, and rung attrs, racing
+  included;
+* with speculation on, the trial sequence is a pure function of
+  ``(seed, speculation depth)`` — never of worker count or scheduling;
+* every trial persists its ask order and parent epoch as system attrs,
+  a genuine ``kill -9`` mid-pipeline resumes to the identical front on
+  journal *and* SQLite backends, and resuming with a different
+  speculation depth / batch size is a hard error;
+* the batched runner's per-batch starvation accounting lands in study
+  metadata for ``repro study status``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.blackbox import NSGA2Sampler, create_study
+from repro.blackbox.distributions import FloatDistribution, IntDistribution
+from repro.blackbox.parallel import (
+    ParallelStudyRunner,
+    PipelinedDispatcher,
+    parse_pipeline_spec,
+    pipeline_spec_string,
+)
+from repro.blackbox.study import Study
+from repro.blackbox.trial import (
+    PARENT_EPOCH_ATTR,
+    PIPELINE_ASK_ATTR,
+    RACING_RUNG_ATTR,
+    TrialState,
+)
+from repro.confsys.launcher import ThreadLauncher
+from repro.core.metrics import aggregate_values
+from repro.exceptions import OptimizationError
+
+SPACE = {"x": FloatDistribution(-2.0, 2.0), "k": IntDistribution(0, 5)}
+
+BATCH = 8
+N_TRIALS = 24
+
+
+def sphere(params: dict) -> tuple[float, float]:
+    return (params["x"] ** 2 + params["k"], (params["x"] - 1.0) ** 2)
+
+
+class RacedSphere:
+    """Synthetic multi-fidelity objective: five 'scenario members' whose
+    per-member vectors differ by a deterministic bump, reduced with the
+    sound-bound ``worst`` aggregate (picklable for spawn workers)."""
+
+    n_members = 5
+    aggregate = "worst"
+
+    def member_values(self, params, member_indices):
+        return [self._member(params, m) for m in member_indices]
+
+    def _member(self, params, m):
+        bump = 0.07 * m * (1.0 + params["x"])
+        return (params["x"] ** 2 + params["k"] + bump, (params["x"] - 1.0) ** 2 + bump)
+
+    def member_difficulty(self):
+        """Higher bump → harder member (for the ``hardest`` rung order)."""
+        return [float(m) for m in range(self.n_members)]
+
+    def __call__(self, params):
+        vectors = self.member_values(params, range(self.n_members))
+        return tuple(
+            aggregate_values(column, self.aggregate) for column in zip(*vectors)
+        )
+
+
+def _study(seed: int = 7) -> Study:
+    return Study(
+        directions=["minimize", "minimize"],
+        sampler=NSGA2Sampler(population_size=BATCH, seed=seed),
+    )
+
+
+def _snapshot(study: Study) -> list:
+    return [
+        (
+            t.number,
+            dict(t.params),
+            t.values,
+            t.state,
+            dict(t.intermediate),
+            t.system_attrs.get(RACING_RUNG_ATTR),
+        )
+        for t in study.trials
+    ]
+
+
+def _run_generational(objective, racing=None) -> Study:
+    study = _study()
+    runner = ParallelStudyRunner(
+        study, SPACE, launcher=ThreadLauncher(4), batch_size=BATCH
+    )
+    runner.optimize(objective, n_trials=N_TRIALS, racing=racing)
+    return study
+
+
+def _run_pipelined(
+    objective, speculate: int = 0, workers: int = 4, racing=None
+) -> "tuple[Study, PipelinedDispatcher]":
+    study = _study()
+    dispatcher = PipelinedDispatcher(
+        study,
+        SPACE,
+        workers=workers,
+        executor="thread",
+        speculate=speculate,
+        batch_size=BATCH,
+    )
+    dispatcher.optimize(objective, n_trials=N_TRIALS, racing=racing)
+    return study, dispatcher
+
+
+class TestSpecZeroBitIdentity:
+    """speculate=0 → the exact generation-batched run, worker-count free."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_plain_matches_batched_runner(self, workers):
+        reference = _snapshot(_run_generational(sphere))
+        piped, _ = _run_pipelined(sphere, speculate=0, workers=workers)
+        assert _snapshot(piped) == reference
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_racing_matches_batched_runner(self, workers):
+        """Rung climbs as queue items: same prune decisions, same partial
+        reports, same rung attrs, same surviving values."""
+        reference = _run_generational(RacedSphere(), racing="rungs=2,full")
+        piped, _ = _run_pipelined(
+            RacedSphere(), speculate=0, workers=workers, racing="rungs=2,full"
+        )
+        assert _snapshot(piped) == _snapshot(reference)
+        pruned = [t for t in piped.trials if t.state == TrialState.PRUNED]
+        assert pruned, "racing never pruned — vacuous equivalence"
+        objective = RacedSphere()
+        for trial in piped.trials:
+            if trial.state == TrialState.COMPLETE:
+                assert tuple(objective(dict(trial.params))) == trial.values
+
+
+class TestSpeculativeDeterminism:
+    def test_identical_across_worker_counts(self):
+        """The epoch schedule is a pure function of the trial number, so
+        1, 2, and 4 workers must breed the identical sequence."""
+        runs = {
+            w: _run_pipelined(sphere, speculate=4, workers=w)
+            for w in (1, 2, 4)
+        }
+        snapshots = {w: _snapshot(study) for w, (study, _) in runs.items()}
+        assert snapshots[1] == snapshots[2] == snapshots[4]
+        assert runs[4][1].stats.n_speculative > 0, (
+            "no trial was bred speculatively — the determinism claim is vacuous"
+        )
+
+    def test_speculative_trials_breed_from_the_previous_generation(self):
+        study, dispatcher = _run_pipelined(sphere, speculate=4, workers=4)
+        for trial in study.trials:
+            attrs = trial.system_attrs
+            assert attrs[PIPELINE_ASK_ATTR] == trial.number
+            assert attrs[PARENT_EPOCH_ATTR] == dispatcher._epoch(trial.number)
+            generation, offset = divmod(trial.number, BATCH)
+            if generation >= 1 and offset < 4:
+                assert attrs[PARENT_EPOCH_ATTR] == (generation - 1) * BATCH
+            else:
+                assert attrs[PARENT_EPOCH_ATTR] == generation * BATCH
+
+
+class TestPipelineSpec:
+    def test_round_trip(self):
+        assert parse_pipeline_spec(pipeline_spec_string(3)) == 3
+        assert parse_pipeline_spec("speculate=0") == 0
+
+    @pytest.mark.parametrize("bad", ["", "speculate=", "speculate=x", "deep=3"])
+    def test_malformed_specs_are_errors(self, bad):
+        with pytest.raises(OptimizationError):
+            parse_pipeline_spec(bad)
+
+
+def _storage_url(kind: str, tmp_path: Path) -> str:
+    if kind == "journal":
+        return str(tmp_path / "pipe.jsonl")
+    return f"sqlite:///{tmp_path / 'pipe.db'}"
+
+
+def _pipelined_on_storage(url: str, n_trials: int, load: bool = False) -> Study:
+    study = create_study(
+        directions=["minimize", "minimize"],
+        sampler=NSGA2Sampler(population_size=BATCH, seed=7),
+        storage=url,
+        study_name="pipe",
+        load_if_exists=load,
+    )
+    PipelinedDispatcher(
+        study, SPACE, workers=2, executor="thread", speculate=4, batch_size=BATCH
+    ).optimize(sphere, n_trials=n_trials)
+    return study
+
+
+class TestTagPersistence:
+    @pytest.mark.parametrize("kind", ["journal", "sqlite"])
+    def test_epoch_tags_survive_reload(self, kind, tmp_path):
+        url = _storage_url(kind, tmp_path)
+        _pipelined_on_storage(url, N_TRIALS)
+        reloaded = create_study(
+            directions=["minimize", "minimize"],
+            sampler=NSGA2Sampler(population_size=BATCH, seed=7),
+            storage=url,
+            study_name="pipe",
+            load_if_exists=True,
+        )
+        assert len(reloaded.trials) == N_TRIALS
+        assert reloaded.metadata["pipeline"] == "speculate=4"
+        assert reloaded.metadata["batch"] == BATCH
+        for trial in reloaded.trials:
+            generation, offset = divmod(trial.number, BATCH)
+            expected = (
+                (generation - 1) * BATCH
+                if generation >= 1 and offset < 4
+                else generation * BATCH
+            )
+            assert trial.system_attrs[PIPELINE_ASK_ATTR] == trial.number
+            assert trial.system_attrs[PARENT_EPOCH_ATTR] == expected
+
+    def test_pipeline_stats_land_in_metadata(self, tmp_path):
+        study = _pipelined_on_storage(_storage_url("journal", tmp_path), N_TRIALS)
+        stats = study.metadata["pipeline_stats"]
+        assert stats["workers"] == 2
+        assert stats["n_trials"] == N_TRIALS
+        assert 0.0 <= stats["idle"] <= 1.0
+
+
+class TestResumeValidation:
+    def test_different_speculation_depth_is_a_hard_error(self, tmp_path):
+        url = _storage_url("journal", tmp_path)
+        _pipelined_on_storage(url, N_TRIALS)
+        study = create_study(
+            directions=["minimize", "minimize"],
+            sampler=NSGA2Sampler(population_size=BATCH, seed=7),
+            storage=url,
+            study_name="pipe",
+            load_if_exists=True,
+        )
+        dispatcher = PipelinedDispatcher(
+            study, SPACE, workers=2, executor="thread", speculate=2, batch_size=BATCH
+        )
+        with pytest.raises(OptimizationError, match="speculation depth"):
+            dispatcher.optimize(sphere, n_trials=N_TRIALS + BATCH)
+
+    def test_different_batch_size_is_a_hard_error(self, tmp_path):
+        url = _storage_url("journal", tmp_path)
+        _pipelined_on_storage(url, N_TRIALS)
+        study = create_study(
+            directions=["minimize", "minimize"],
+            sampler=NSGA2Sampler(population_size=BATCH, seed=7),
+            storage=url,
+            study_name="pipe",
+            load_if_exists=True,
+        )
+        dispatcher = PipelinedDispatcher(
+            study, SPACE, workers=2, executor="thread", speculate=4, batch_size=4
+        )
+        with pytest.raises(OptimizationError, match="batch"):
+            dispatcher.optimize(sphere, n_trials=N_TRIALS + BATCH)
+
+
+KILL_CHILD = textwrap.dedent(
+    """
+    import os
+    import signal
+    import sys
+
+    from repro.blackbox import NSGA2Sampler, create_study
+    from repro.blackbox.distributions import FloatDistribution, IntDistribution
+    from repro.blackbox.parallel import PipelinedDispatcher
+    from repro.blackbox.storage import JournalStorage, SQLiteStorage
+
+    kind, path, kill_after = sys.argv[1], sys.argv[2], int(sys.argv[3])
+    base = JournalStorage if kind == "journal" else SQLiteStorage
+
+    class KillingStorage(base):
+        finishes = 0
+
+        def record_trial_finish(self, study_name, trial):
+            super().record_trial_finish(study_name, trial)
+            KillingStorage.finishes += 1
+            if KillingStorage.finishes >= kill_after:
+                os.kill(os.getpid(), signal.SIGKILL)  # the real thing
+
+    SPACE = {"x": FloatDistribution(-2.0, 2.0), "k": IntDistribution(0, 5)}
+
+    def sphere(params):
+        return (params["x"] ** 2 + params["k"], (params["x"] - 1.0) ** 2)
+
+    study = create_study(
+        directions=["minimize", "minimize"],
+        sampler=NSGA2Sampler(population_size=8, seed=7),
+        storage=KillingStorage(path),
+        study_name="pipe",
+    )
+    PipelinedDispatcher(
+        study, SPACE, workers=2, executor="thread", speculate=4, batch_size=8
+    ).optimize(sphere, n_trials=24)
+    """
+)
+
+
+class TestKillDashNineMidPipeline:
+    """A genuine ``kill -9`` while speculative trials are in flight: the
+    store holds a partial generation plus early next-generation trials
+    whose tags must pass the resume audit — on both durable backends."""
+
+    @pytest.mark.parametrize("kind", ["journal", "sqlite"])
+    def test_sigkill_then_resume_identical_trials(self, kind, tmp_path):
+        path = tmp_path / ("pipe.jsonl" if kind == "journal" else "pipe.db")
+        script = tmp_path / "child.py"
+        script.write_text(KILL_CHILD)
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, str(script), kind, str(path), "13"],
+            env=env,
+            capture_output=True,
+            timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+
+        url = str(path) if kind == "journal" else f"sqlite:///{path}"
+        resumed = _pipelined_on_storage(url, N_TRIALS, load=True)
+        reference = _pipelined_on_storage(
+            _storage_url(kind, tmp_path / "ref"), N_TRIALS
+        )
+        assert _snapshot(resumed) == _snapshot(reference)
+
+
+class TestStarvationAccounting:
+    def test_batched_runner_records_per_batch_timings(self):
+        study = _run_generational(sphere)
+        timings = study.metadata["batch_timings"]
+        assert len(timings) == N_TRIALS // BATCH
+        for entry in timings:
+            assert set(entry) == {"dispatch", "slowest", "idle"}
+            assert entry["dispatch"] >= 0.0
+            assert entry["slowest"] <= entry["dispatch"] + 1e-9
+            assert 0.0 <= entry["idle"] <= 1.0
+
+    def test_status_helper_summarizes_starvation(self):
+        from repro.cli import _starvation_stats
+
+        line = _starvation_stats(
+            [
+                {"dispatch": 2.0, "slowest": 1.9, "idle": 0.25},
+                {"dispatch": 1.0, "slowest": 0.8, "idle": 0.75},
+            ]
+        )
+        assert "2 dispatched" in line
+        assert "3.0" in line  # total dispatch seconds
+        assert "50" in line  # mean idle %
+        assert "75" in line  # worst idle %
