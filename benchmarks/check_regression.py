@@ -50,6 +50,12 @@ HEADLINE_METRICS: "dict[str, list[tuple[str, ...]]]" = {
         ("racing", "raced_cells_per_s"),
         ("racing", "work_reduction"),
     ],
+    # wall-clock is deliberately untracked for the fidelity ladder: the
+    # in-process dispatch kernel costs the same at every level, so the
+    # headline is the deterministic full-physics-evals-saved factor.
+    "BENCH_fidelity.json": [
+        ("fidelity", "full_evals_saved_factor"),
+    ],
     # njit cells-per-second is deliberately untracked: the metric only
     # exists on numba-equipped hosts and would read as a bogus
     # regression wherever the baseline and the fresh run disagree on

@@ -263,6 +263,7 @@ class ParallelStudyRunner:
         n_trials: int,
         catch: tuple[type[Exception], ...] = (),
         racing=None,
+        fidelity=None,
     ) -> Study:
         """Evaluate trials in launcher-sized batches up to ``n_trials`` total.
 
@@ -297,6 +298,13 @@ class ParallelStudyRunner:
         the serial racing driver this path carries no exactness proof
         (no promote-back verification): it is Optuna-style pruning,
         tuned for throughput.
+
+        ``fidelity`` (a :class:`~repro.core.fidelity.FidelityLadder` or
+        spec string) is persisted and checked as resume identity,
+        exactly like ``racing`` — the objective is expected to already
+        evaluate the ladder-top physics (as
+        :class:`~repro.core.study_runner.OptimizationRunner` arranges);
+        this driver never screens on cheap levels (DESIGN.md §11).
         """
         if n_trials <= 0:
             raise OptimizationError(f"n_trials must be positive, got {n_trials}")
@@ -308,6 +316,10 @@ class ParallelStudyRunner:
             # The member ranking is deterministic per ensemble — probe
             # once per optimize() call, not per batch.
             race_subsets = resolve_rung_subsets(objective, racing)
+        if fidelity is not None:
+            from ..core.fidelity import FidelityLadder
+
+            fidelity = FidelityLadder.parse(fidelity)
         sampler = self.study.sampler
         prior_seeding = sampler.per_trial_seeding
         # Worker scheduling must never perturb sampling: pin every trial
@@ -319,12 +331,16 @@ class ParallelStudyRunner:
             requested_racing = (
                 racing.spec_string() if racing is not None else None
             )
+            requested_fidelity = (
+                fidelity.spec_string() if fidelity is not None else None
+            )
             persisted_racing = self.study.metadata.get("racing")
+            persisted_fidelity = self.study.metadata.get("fidelity")
             if self.study.storage is not None and not self.study.trials:
                 # A fresh study built via create_study(storage=...) was
-                # registered before the runner knew its generation size
-                # or rung schedule; persist them now so a mismatched
-                # resume is detectable.
+                # registered before the runner knew its generation size,
+                # rung schedule, or fidelity ladder; persist them now so
+                # a mismatched resume is detectable.
                 dirty = False
                 if persisted_batch is None:
                     self.study.metadata["batch"] = self.batch_size
@@ -332,6 +348,10 @@ class ParallelStudyRunner:
                 if persisted_racing is None and requested_racing is not None:
                     self.study.metadata["racing"] = requested_racing
                     persisted_racing = requested_racing
+                    dirty = True
+                if persisted_fidelity is None and requested_fidelity is not None:
+                    self.study.metadata["fidelity"] = requested_fidelity
+                    persisted_fidelity = requested_fidelity
                     dirty = True
                 if dirty:
                     self.study.storage.update_metadata(
@@ -356,6 +376,19 @@ class ParallelStudyRunner:
                     f"racing={persisted_racing or '<none>'}, resumed with "
                     f"{requested_racing or '<none>'}; resume must race the "
                     "identical schedule"
+                )
+            if (
+                self.study.storage is not None
+                and persisted_fidelity != requested_fidelity
+            ):
+                # The ladder decides which physics scored every persisted
+                # trial value (DESIGN.md §11) — mixing ladders in one
+                # study would compare incomparable objective values.
+                raise OptimizationError(
+                    f"study '{self.study.study_name}' was persisted with "
+                    f"fidelity={persisted_fidelity or '<none>'}, resumed with "
+                    f"{requested_fidelity or '<none>'}; resume must use the "
+                    "identical fidelity ladder"
                 )
             if len(self.study.trials) < n_trials:
                 self.study.drop_trailing_partial_batch(self.batch_size)
@@ -793,20 +826,24 @@ class PipelinedDispatcher:
             return (generation - 1) * self.batch_size
         return generation * self.batch_size
 
-    def _validate_metadata(self, racing) -> None:
-        """Pipeline/batch/racing identity checks, mirroring the batched
-        runner: each persisted spec decides which history a resume may
-        breed from, so a mismatch is a hard error, never a silent
-        divergence."""
+    def _validate_metadata(self, racing, fidelity=None) -> None:
+        """Pipeline/batch/racing/fidelity identity checks, mirroring the
+        batched runner: each persisted spec decides which history a
+        resume may breed from (and which physics scored it), so a
+        mismatch is a hard error, never a silent divergence."""
         md = self.study.metadata
         requested_pipeline = pipeline_spec_string(self.speculate)
         requested_racing = racing.spec_string() if racing is not None else None
+        requested_fidelity = (
+            fidelity.spec_string() if fidelity is not None else None
+        )
         if self.study.storage is not None and not self.study.trials:
             dirty = False
             for key, value in (
                 ("batch", self.batch_size),
                 ("pipeline", requested_pipeline),
                 ("racing", requested_racing),
+                ("fidelity", requested_fidelity),
             ):
                 if md.get(key) is None and value is not None:
                     md[key] = value
@@ -837,6 +874,14 @@ class PipelinedDispatcher:
                     f"racing={persisted_racing or '<none>'}, resumed with "
                     f"{requested_racing or '<none>'}; resume must race the "
                     "identical schedule"
+                )
+            persisted_fidelity = self.study.metadata.get("fidelity")
+            if persisted_fidelity != requested_fidelity:
+                raise OptimizationError(
+                    f"study '{self.study.study_name}' was persisted with "
+                    f"fidelity={persisted_fidelity or '<none>'}, resumed with "
+                    f"{requested_fidelity or '<none>'}; resume must use the "
+                    "identical fidelity ladder"
                 )
 
     def _validate_resume_prefix(self, racing) -> None:
@@ -873,6 +918,7 @@ class PipelinedDispatcher:
         n_trials: int,
         catch: tuple[type[Exception], ...] = (),
         racing=None,
+        fidelity=None,
     ) -> Study:
         """Stream trials through worker slots up to ``n_trials`` total.
 
@@ -881,7 +927,9 @@ class PipelinedDispatcher:
         else FAILED + re-raised) and the same total-target resume
         behaviour, but resume alignment is per-trial (epoch tags), not
         per-generation — only trials whose persisted tags fail the
-        epoch audit are re-run.
+        epoch audit are re-run.  ``fidelity`` persists/validates the
+        model-fidelity ladder as resume identity (the objective already
+        evaluates the ladder-top physics; DESIGN.md §11).
         """
         if n_trials <= 0:
             raise OptimizationError(f"n_trials must be positive, got {n_trials}")
@@ -891,11 +939,15 @@ class PipelinedDispatcher:
 
             racing = RungSchedule.parse(racing)
             subsets = resolve_rung_subsets(objective, racing)
+        if fidelity is not None:
+            from ..core.fidelity import FidelityLadder
+
+            fidelity = FidelityLadder.parse(fidelity)
         sampler = self.study.sampler
         prior_seeding = sampler.per_trial_seeding
         sampler.per_trial_seeding = True
         try:
-            self._validate_metadata(racing)
+            self._validate_metadata(racing, fidelity)
             if len(self.study.trials) < n_trials:
                 self._validate_resume_prefix(racing)
             pool = self._make_pool(objective)

@@ -245,6 +245,17 @@ def _racing_arg(value: str) -> str:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _fidelity_arg(value: str) -> str:
+    """argparse type: validate --fidelity and normalize to the round-trip spec."""
+    from .core.fidelity import FidelityLadder
+    from .exceptions import ConfigurationError
+
+    try:
+        return FidelityLadder.parse(value).spec_string()
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _study_scenarios(cfg: Config, sites: "list[str]", ensemble: "str | None", launcher):
     """Scenario list for a study: an ensemble spec or plain per-site list.
 
@@ -293,6 +304,11 @@ def _print_search_summary(result, spec: str, name: str) -> None:
             f"{st.member_evals}/{st.full_member_evals} member-evals "
             f"({st.savings:.1f}x work saved), {st.promoted_back} promoted back"
         )
+        if st.low_fidelity_evals:
+            line += (
+                f"\n  fidelity: {st.screened} candidates screened at cheap "
+                f"physics ({st.low_fidelity_evals} low-fidelity member-evals)"
+            )
     print(line)
 
 
@@ -341,6 +357,8 @@ def cmd_study_run(cfg: Config, args) -> int:
         metadata["ensemble"] = ensemble_spec
     if args.racing:
         metadata["racing"] = args.racing  # normalized by _racing_arg
+    if args.fidelity:
+        metadata["fidelity"] = args.fidelity  # normalized by _fidelity_arg
     if args.engine != "auto":
         # Informational only: every engine is bit-for-bit identical, so
         # resume is free to pick a different one (unlike racing/batch).
@@ -359,6 +377,7 @@ def cmd_study_run(cfg: Config, args) -> int:
         policy=make_policy(args.policy, scenarios),
         aggregate=args.aggregate,
         engine=args.engine,
+        fidelity=args.fidelity or None,
     )
     try:
         if pipelined:
@@ -457,6 +476,17 @@ def cmd_study_resume(cfg: Config, args) -> int:
             "schedules cannot change mid-study (drop --racing to use the "
             "persisted schedule)"
         )
+    # Fidelity identity mirrors racing: the persisted ladder is
+    # authoritative — it decided which physics scored every trial value.
+    persisted_fidelity = md.get("fidelity")
+    if args.fidelity and str(persisted_fidelity or "") != args.fidelity:
+        raise SystemExit(
+            f"cannot resume from {spec} with --fidelity {args.fidelity}: the "
+            f"study was run with fidelity="
+            f"{persisted_fidelity if persisted_fidelity else '<none>'} and "
+            "fidelity ladders cannot change mid-study (drop --fidelity to "
+            "use the persisted ladder)"
+        )
     site_cfg = cfg.updated("scenario.location", md["site"])
     for key in ("year", "n_hours", "mean_power_mw"):
         site_cfg = site_cfg.updated(f"scenario.{key}", md[key])
@@ -471,6 +501,7 @@ def cmd_study_resume(cfg: Config, args) -> int:
         policy=make_policy(str(md["policy"]), scenarios),
         aggregate=str(md["aggregate"]),
         engine=args.engine or str(md.get("engine") or "auto"),
+        fidelity=str(persisted_fidelity) if persisted_fidelity else None,
     )
     persisted_pipeline = md.get("pipeline")
     try:
@@ -580,6 +611,9 @@ def cmd_study_status(cfg: Config, args) -> int:
         racing = stored.metadata.get("racing")
         if racing:
             print(f"  racing: {racing}{_rung_stats(trials)}")
+        fidelity = stored.metadata.get("fidelity")
+        if fidelity:
+            print(f"  fidelity: {fidelity}")
         pipeline = stored.metadata.get("pipeline")
         if pipeline:
             line = f"  pipeline: {pipeline}"
@@ -840,6 +874,16 @@ def build_parser() -> argparse.ArgumentParser:
         "proven off the front, e.g. rungs=2,8,full (DESIGN.md §8)",
     )
     p_run.add_argument(
+        "--fidelity",
+        default=None,
+        type=_fidelity_arg,
+        metavar="fidelity=lo,mid,full[,margin=M]",
+        help="model-fidelity ladder (DESIGN.md §11): score trials at the "
+        "ladder-top physics (perez/sapm/rainflow) and, with --racing, "
+        "screen candidates on cheap physics siblings first — the front "
+        "is provably unchanged, e.g. fidelity=lo,mid,full",
+    )
+    p_run.add_argument(
         "--engine",
         default="auto",
         choices=["auto", "loop", "segments", "njit"],
@@ -883,6 +927,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="rungs=A,B,full[,...]",
         help="consistency check only: must match the study's persisted "
         "rung schedule (resume always races the persisted schedule)",
+    )
+    p_res.add_argument(
+        "--fidelity",
+        default=None,
+        type=_fidelity_arg,
+        metavar="fidelity=lo,mid,full[,...]",
+        help="consistency check only: must match the study's persisted "
+        "fidelity ladder (resume always uses the persisted ladder)",
     )
     p_stat = store_args(ssub.add_parser("status", help="summarize the studies in a store"))
     store_args(

@@ -73,6 +73,16 @@ from .ensemble import (
     evaluate_ensemble,
     member_subset,
 )
+from .fidelity import (
+    FidelityEnvelope,
+    FidelityLadder,
+    FidelityLevel,
+    FidelityRacingEvaluator,
+    calibrate_envelope,
+    fidelity_race_front,
+    sibling_scenario,
+    sibling_stack,
+)
 from .racing import RacingEvaluator, RacingStats, RungSchedule, race_front
 from .sensitivity import (
     best_under_budget_stability,
@@ -130,6 +140,14 @@ __all__ = [
     "RacingEvaluator",
     "RacingStats",
     "race_front",
+    "FidelityEnvelope",
+    "FidelityLadder",
+    "FidelityLevel",
+    "FidelityRacingEvaluator",
+    "calibrate_envelope",
+    "fidelity_race_front",
+    "sibling_scenario",
+    "sibling_stack",
     "tornado",
     "crossover_year_analytic",
     "best_under_budget_stability",

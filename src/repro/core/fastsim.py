@@ -40,8 +40,9 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..sam.batterymodels.clc import CLCParameters
+from ..sam.batterymodels.degradation import DegradationModel
 from ..sam.wind.wake import jensen_array_efficiency
-from ..units import SECONDS_PER_HOUR
+from ..units import DAYS_PER_YEAR, SECONDS_PER_HOUR
 from .composition import MicrogridComposition
 from .dispatch import (
     ISLANDED_EPS_W,
@@ -96,12 +97,34 @@ def _results_from_dispatch(
     )  # (S, N)
     usable_wh = capacity_wh * (params.soc_max - params.soc_min)
     embodied = [embodied_carbon_kg(c) for c in compositions]
+    deg_model = DegradationModel()
 
     out: list[list[EvaluatedComposition]] = []
     for s, scenario in enumerate(stack.scenarios):
         horizon_days = scenario.horizon_days
+        degradation = scenario.battery_degradation
+        years = horizon_days / DAYS_PER_YEAR
+        if degradation == "rainflow" and res.soc is None:
+            raise ConfigurationError(
+                "rainflow degradation needs a SoC trace; run the dispatch "
+                "with trace_soc=True (evaluate_across_scenarios does this "
+                "automatically)"
+            )
         row: list[EvaluatedComposition] = []
         for i, comp in enumerate(compositions):
+            fade = 0.0
+            if degradation is not None and usable_wh[i] > 0.0:
+                if degradation == "linear":
+                    # Closed form, no trace needed: √t calendar fade plus
+                    # equivalent-full-cycle damage at 100 % DoD cost.
+                    efc = float(res.discharge_wh[s, i]) / float(usable_wh[i])
+                    p = deg_model.params
+                    fade = (
+                        deg_model.calendar_fade(years)
+                        + efc * p.eol_fade / p.cycles_to_failure_full_dod
+                    )
+                else:  # rainflow
+                    fade = deg_model.total_fade(res.soc[s, i], years)
             metrics = SimulationMetrics(
                 horizon_days=horizon_days,
                 demand_energy_wh=float(demand_wh[s]),
@@ -115,6 +138,7 @@ def _results_from_dispatch(
                 unserved_energy_wh=float(res.unserved_wh[s, i]),
                 electricity_cost_usd=float(res.cost_usd[s, i]),
                 islanded_fraction=float(res.islanded_steps[s, i]) / t_steps,
+                battery_fade=fade,
             )
             row.append(
                 EvaluatedComposition(
@@ -149,6 +173,11 @@ def evaluate_across_scenarios(
     stack = stack_scenarios(scenarios)
     solar_kw, turb_eff, capacity_wh = _candidate_vectors(compositions)
     params = battery_params or CLCParameters(capacity_wh=1.0)
+    # Rainflow degradation (DESIGN.md §11) counts cycles off the SoC
+    # trace, so those scenarios force trace mode (the auto engine falls
+    # back to the reference loop under tracing — engines are bit-equal,
+    # so only throughput changes).
+    needs_trace = any(s.battery_degradation == "rainflow" for s in scenarios)
     res = run_dispatch(
         stack,
         solar_kw,
@@ -157,6 +186,7 @@ def evaluate_across_scenarios(
         params,
         initial_soc=initial_soc,
         policy=policy,
+        trace_soc=needs_trace,
         engine=engine,
     )
     return _results_from_dispatch(

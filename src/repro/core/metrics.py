@@ -128,7 +128,9 @@ class EvaluatedComposition:
         Supported names: ``operational`` (tCO2/day), ``embodied`` (tCO2),
         ``cost`` ($), ``cycles`` (battery EFC), ``curtailment`` (MWh),
         ``grid_dependence`` (1 − coverage), ``unreliability``
-        (1 − islanded fraction).
+        (1 − islanded fraction), ``fade`` (battery capacity fade — only
+        non-zero when the scenario carries a degradation model,
+        DESIGN.md §11).
         """
         out: list[float] = []
         for name in names:
@@ -147,6 +149,8 @@ class EvaluatedComposition:
                 out.append(1.0 - self.metrics.coverage)
             elif name == "unreliability":
                 out.append(1.0 - self.metrics.islanded_fraction)
+            elif name == "fade":
+                out.append(self.metrics.battery_fade)
             else:
                 raise ConfigurationError(f"unknown objective '{name}'")
         return tuple(out)

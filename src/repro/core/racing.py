@@ -97,7 +97,7 @@ ORDERS = ("hardest", "seeded")
 #: negative, which would turn the padding into an over-estimate.
 NONNEGATIVE_OBJECTIVES = frozenset(
     {"operational", "embodied", "cycles", "curtailment", "grid_dependence",
-     "unreliability"}
+     "unreliability", "fade"}
 )
 
 #: fixed reference build whose per-member first-objective values define
@@ -354,10 +354,16 @@ class RacingStats:
     pruned: int = 0
     #: eliminated candidates rescued by the exactness check
     promoted_back: int = 0
-    #: (candidate, member) cells actually simulated
+    #: (candidate, member) cells actually simulated at *full physics*
     member_evals: int = 0
     #: candidates × S — what a non-raced evaluation would have simulated
     full_member_evals: int = 0
+    #: (candidate, member) cells simulated on cheap fidelity siblings
+    #: (screening + calibration; zero for a plain member-rung race)
+    low_fidelity_evals: int = 0
+    #: eliminated candidates proven dominated with *zero* full-physics
+    #: member evaluations (fidelity-envelope proofs; DESIGN.md §11)
+    screened: int = 0
     #: candidates entering each rung, keyed by rung size
     alive_per_rung: dict[int, int] = field(default_factory=dict)
 
@@ -377,6 +383,8 @@ class RacingStats:
         self.promoted_back += other.promoted_back
         self.member_evals += other.member_evals
         self.full_member_evals += other.full_member_evals
+        self.low_fidelity_evals += other.low_fidelity_evals
+        self.screened += other.screened
         for size, count in other.alive_per_rung.items():
             self.alive_per_rung[size] = self.alive_per_rung.get(size, 0) + count
 
@@ -447,6 +455,7 @@ class RacingEvaluator:
         policy: VectorizedPolicy | None = None,
         evaluate_slice: "SliceEvaluator | None" = None,
         engine: str = "auto",
+        member_order: "Sequence[int] | None" = None,
     ) -> None:
         self.scenarios = list(scenarios)
         if not self.scenarios:
@@ -461,6 +470,10 @@ class RacingEvaluator:
         self.engine = engine
         self._evaluate_slice = evaluate_slice or self._default_slice
         self.sizes = self.schedule.resolve(len(self.scenarios))
+        #: explicit member ranking (hardest-first) replacing the probe —
+        #: the fidelity ladder ranks members once at its cheapest level
+        #: and shares the order so every level races identical subsets
+        self._member_order = list(member_order) if member_order is not None else None
         self._subsets: "list[tuple[int, ...]] | None" = None
         #: member evals spent probing the 'hardest' order, charged to the
         #: first race's stats
@@ -478,7 +491,9 @@ class RacingEvaluator:
         """Nested member subsets, one per rung (computed on first use)."""
         if self._subsets is None:
             n = len(self.scenarios)
-            if self.schedule.order == "hardest" and n > 1:
+            if self._member_order is not None:
+                self._subsets = self.schedule.subsets_from_order(self._member_order)
+            elif self.schedule.order == "hardest" and n > 1:
                 self._subsets = self.schedule.subsets_from_order(
                     self._difficulty_order()
                 )
@@ -717,6 +732,7 @@ def race_front(
     policy: VectorizedPolicy | None = None,
     evaluate_slice: "SliceEvaluator | None" = None,
     engine: str = "auto",
+    fidelity: "Any | None" = None,
 ) -> "tuple[list[RobustEvaluatedComposition], RaceOutcome]":
     """Exact Pareto front of a candidate set via successive halving.
 
@@ -724,7 +740,28 @@ def race_front(
     ``pareto_front(evaluate_ensemble(scenarios, compositions, ...))``
     (the elimination proofs of :class:`RacingEvaluator` guarantee it)
     while ``outcome.stats`` records the member-evaluation savings.
+
+    ``fidelity`` (a spec string or
+    :class:`~repro.core.fidelity.FidelityLadder`) adds the model-fidelity
+    axis orthogonal to the member rungs (DESIGN.md §11): candidates are
+    screened on cheap physics siblings and only climb to full physics
+    when their envelope-widened bounds cannot prove them off the front.
+    The returned front is then over the ladder-top (``full``) physics and
+    still bit-identical to a full evaluation of every candidate on it.
     """
+    if fidelity is not None:
+        from .fidelity import fidelity_race_front
+
+        return fidelity_race_front(
+            scenarios,
+            compositions,
+            ladder=fidelity,
+            schedule=schedule,
+            aggregate=aggregate,
+            objectives=objectives,
+            policy=policy,
+            engine=engine,
+        )
     evaluator = RacingEvaluator(
         scenarios,
         schedule=schedule,

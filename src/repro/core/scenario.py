@@ -58,6 +58,11 @@ class Scenario:
     #: hourly AC output of a single wake-free turbine (W)
     wind_per_turbine_w: np.ndarray
     step_s: float = SECONDS_PER_HOUR
+    #: battery degradation model evaluated after dispatch (DESIGN.md §11):
+    #: ``None`` (fade stays 0, the historical behaviour), ``"linear"``
+    #: (closed-form calendar + equivalent-full-cycle fade), or
+    #: ``"rainflow"`` (SoC-trace rainflow counting + Wöhler law)
+    battery_degradation: "str | None" = None
 
     def __post_init__(self) -> None:
         n = self.n_steps
@@ -66,6 +71,11 @@ class Scenario:
                 raise ConfigurationError(f"{arr_name} misaligned with workload")
         if self.carbon.intensity_g_per_kwh.shape != (n,):
             raise ConfigurationError("carbon profile misaligned with workload")
+        if self.battery_degradation not in (None, "linear", "rainflow"):
+            raise ConfigurationError(
+                f"unknown battery degradation model '{self.battery_degradation}' "
+                "(known: linear, rainflow)"
+            )
 
     @property
     def n_steps(self) -> int:

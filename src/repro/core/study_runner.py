@@ -57,6 +57,7 @@ from .metrics import (
     parse_aggregate,
     robust_evaluations,
 )
+from .fidelity import FidelityLadder, FidelityRacingEvaluator, sibling_stack
 from .parameterspace import PAPER_SPACE, ParameterSpace
 from .pareto import pareto_front, pareto_points
 from .racing import RacingEvaluator, RacingStats, RungSchedule
@@ -258,6 +259,12 @@ class OptimizationRunner:
     aggregate: str = "worst"
     #: dispatch engine for every batch/rung evaluation (DESIGN.md §9)
     engine: str = "auto"
+    #: model-fidelity ladder (DESIGN.md §11): when set, the runner's
+    #: scenario stack is lifted to the ladder-top (``full``) physics
+    #: siblings for every evaluation path, and raced generations screen
+    #: candidates on the cheap levels first (front unchanged — the
+    #: envelope proofs guarantee it)
+    fidelity: "FidelityLadder | str | None" = None
 
     def __post_init__(self) -> None:
         parse_aggregate(self.aggregate)  # fail fast, before any evaluation
@@ -265,6 +272,14 @@ class OptimizationRunner:
 
         resolve_engine(self.engine, self.policy)  # fail fast on bad engine/policy
         self.scenarios: tuple[Scenario, ...] = _as_scenarios(self.scenario)
+        self._base_scenarios: tuple[Scenario, ...] = self.scenarios
+        self._fidelity: "FidelityLadder | None" = None
+        if self.fidelity is not None:
+            self._fidelity = FidelityLadder.parse(self.fidelity)
+            # Every evaluation path — batch, rung slice, pipelined
+            # objective — runs the ladder-top physics, so raced and
+            # non-raced fronts agree and resume identity is physical.
+            self.scenarios = tuple(sibling_stack(list(self.scenarios), "full"))
         self._cache: "dict[MicrogridComposition, AnyEvaluated]" = {}
 
     # -- evaluation with memoization ------------------------------------------
@@ -306,16 +321,24 @@ class OptimizationRunner:
         chunks go to worker processes (order-preserving, numerically
         identical to serial, exactly like :meth:`_evaluate_missing`).
         """
+        return self._slice_eval(self.scenarios, member_indices, comps)
+
+    def _slice_eval(
+        self,
+        scenarios: "tuple[Scenario, ...]",
+        member_indices: Sequence[int],
+        comps: "list[MicrogridComposition]",
+    ) -> "list[list[EvaluatedComposition]]":
         indices = tuple(int(j) for j in member_indices)
         n_workers = getattr(self.launcher, "n_workers", 1)
         if self.launcher is None or n_workers <= 1 or len(comps) < 2 * n_workers:
             return _evaluate_slice_chunk(
-                (self.scenarios, self.policy, self.engine, indices, comps)
+                (scenarios, self.policy, self.engine, indices, comps)
             )
         from ..confsys.launcher import chunk_evenly
 
         jobs = [
-            (self.scenarios, self.policy, self.engine, indices, chunk)
+            (scenarios, self.policy, self.engine, indices, chunk)
             for chunk in chunk_evenly(comps, n_workers)
         ]
         results = self.launcher.launch(_evaluate_slice_chunk, jobs)
@@ -325,6 +348,15 @@ class OptimizationRunner:
             [cell for chunk_result in results for cell in chunk_result[j]]
             for j in range(len(indices))
         ]
+
+    def _fidelity_slice_factory(self, stack: "list[Scenario]"):
+        """Launcher-fanned slice evaluator bound to one fidelity stack."""
+        scenarios = tuple(stack)
+
+        def _slice(member_indices, comps):
+            return self._slice_eval(scenarios, member_indices, comps)
+
+        return _slice
 
     @property
     def n_simulations(self) -> int:
@@ -411,6 +443,10 @@ class OptimizationRunner:
                 # Resume must race the identical rung subsets; the spec
                 # string round-trips through RungSchedule.parse (§8).
                 metadata.setdefault("racing", racing.spec_string())
+            if self._fidelity is not None:
+                # The ladder decides which physics scored every trial —
+                # resume identity, like the racing spec (§11).
+                metadata.setdefault("fidelity", self._fidelity.spec_string())
             # Resume must replay the exact RNG draws of the original run.
             # Restored afterwards so a caller-supplied sampler keeps its
             # documented single-stream behaviour outside this run.
@@ -462,18 +498,46 @@ class OptimizationRunner:
                     "which trials are pruned, so resume must race the "
                     "identical schedule"
                 )
-        racer: "RacingEvaluator | None" = None
+            # Fidelity identity mirrors the racing check: the ladder
+            # decides which physics every trial value came from, so a
+            # resume under a different (or absent) ladder would mix
+            # incomparable objective values in one study.
+            persisted_fidelity = study.metadata.get("fidelity")
+            requested_fidelity = (
+                self._fidelity.spec_string() if self._fidelity is not None else None
+            )
+            if persisted_fidelity != requested_fidelity:
+                raise OptimizationError(
+                    f"study '{study.study_name}' was persisted with fidelity="
+                    f"{persisted_fidelity or '<none>'}, resumed with "
+                    f"{requested_fidelity or '<none>'}; the fidelity ladder "
+                    "decides which physics scored every trial, so resume must "
+                    "use the identical ladder"
+                )
+        racer: "RacingEvaluator | FidelityRacingEvaluator | None" = None
         racing_stats: "RacingStats | None" = None
         n_pruned = 0
         if racing is not None:
-            racer = RacingEvaluator(
-                self.scenarios,
-                schedule=racing,
-                aggregate=self.aggregate,
-                objectives=self.objectives,
-                policy=self.policy,
-                evaluate_slice=self._evaluate_slice,
-            )
+            if self._fidelity is not None:
+                racer = FidelityRacingEvaluator(
+                    self._base_scenarios,
+                    ladder=self._fidelity,
+                    schedule=racing,
+                    aggregate=self.aggregate,
+                    objectives=self.objectives,
+                    policy=self.policy,
+                    engine=self.engine,
+                    slice_factory=self._fidelity_slice_factory,
+                )
+            else:
+                racer = RacingEvaluator(
+                    self.scenarios,
+                    schedule=racing,
+                    aggregate=self.aggregate,
+                    objectives=self.objectives,
+                    policy=self.policy,
+                    evaluate_slice=self._evaluate_slice,
+                )
             racing_stats = RacingStats()
         seen: "list[AnyEvaluated]" = []
         before = self.n_simulations
@@ -542,7 +606,7 @@ class OptimizationRunner:
     def _race_generation(
         self,
         study: Study,
-        racer: RacingEvaluator,
+        racer: "RacingEvaluator | FidelityRacingEvaluator",
         racing_stats: RacingStats,
         trials: "list[Any]",
         comps: "list[MicrogridComposition]",
@@ -634,6 +698,8 @@ class OptimizationRunner:
                 metadata.setdefault("population", population)
             if racing is not None:
                 metadata.setdefault("racing", racing.spec_string())
+            if self._fidelity is not None:
+                metadata.setdefault("fidelity", self._fidelity.spec_string())
         study = create_study(
             directions=["minimize"] * len(self.objectives),
             sampler=sampler,
@@ -642,8 +708,13 @@ class OptimizationRunner:
             load_if_exists=load_if_exists,
             metadata=metadata,
         )
+        # Pipelined trials stream individually, so candidates are scored
+        # straight at the ladder-top physics (self.scenarios is already
+        # the full-sibling stack when a fidelity ladder is set); the
+        # cheap-level screening is a generation-batched feature of
+        # run_blackbox.  The ladder still persists as resume identity.
         objective = CompositionObjective(
-            self.scenario,
+            self.scenarios,
             space=self.space,
             objectives=self.objectives,
             policy=self.policy,
@@ -659,7 +730,14 @@ class OptimizationRunner:
             batch_size=batch,
         )
         before = self.n_simulations
-        dispatcher.optimize(objective, n_trials, racing=racing)
+        dispatcher.optimize(
+            objective,
+            n_trials,
+            racing=racing,
+            fidelity=(
+                self._fidelity.spec_string() if self._fidelity is not None else None
+            ),
+        )
         # Rebuild the evaluation record through the vectorized batch
         # evaluator (memoized) — COMPLETE trials only, exactly like a
         # resumed run_blackbox; a raced study's PRUNED trials were never
@@ -722,6 +800,7 @@ def run_blackbox_search(
     aggregate: str = "worst",
     racing: "RungSchedule | str | None" = None,
     engine: str = "auto",
+    fidelity: "FidelityLadder | str | None" = None,
 ) -> SearchResult:
     """Convenience: the paper's NSGA-II configuration.
 
@@ -730,9 +809,11 @@ def run_blackbox_search(
     batch evaluation across processes (DESIGN.md §4).  A scenario
     sequence plus ``aggregate`` gives robust multi-site search, and
     ``policy`` swaps the dispatch strategy (DESIGN.md §5).  ``racing``
-    races each generation over ensemble-member subsets (DESIGN.md §8).
-    The CLI's ``repro study run / resume`` verbs call straight through
-    here.
+    races each generation over ensemble-member subsets (DESIGN.md §8);
+    ``fidelity`` adds the model-fidelity ladder on the orthogonal axis
+    (DESIGN.md §11) — trials are scored at the ladder-top physics and
+    raced generations screen on the cheap levels first.  The CLI's
+    ``repro study run / resume`` verbs call straight through here.
     """
     runner = OptimizationRunner(
         scenario,
@@ -741,6 +822,7 @@ def run_blackbox_search(
         policy=policy,
         aggregate=aggregate,
         engine=engine,
+        fidelity=fidelity,
     )
     return runner.run_blackbox(
         n_trials=n_trials,
@@ -770,16 +852,18 @@ def run_pipelined_search(
     aggregate: str = "worst",
     racing: "RungSchedule | str | None" = None,
     engine: str = "auto",
+    fidelity: "FidelityLadder | str | None" = None,
 ) -> SearchResult:
     """Convenience: the paper's NSGA-II search, pipelined (DESIGN.md §10).
 
     Identical search semantics to :func:`run_blackbox_search` — same
-    sampler, storage/resume contract, and racing integration — but trials
-    stream through ``workers`` slots with no generation barrier, and
-    ``speculate=D`` breeds the first ``D`` candidates of each generation
-    one generation early to keep slots full.  ``speculate=0`` reproduces
-    the generation-batched front bit-for-bit.  The CLI's
-    ``repro study run --pipeline`` calls straight through here.
+    sampler, storage/resume contract, racing integration, and fidelity
+    identity — but trials stream through ``workers`` slots with no
+    generation barrier, and ``speculate=D`` breeds the first ``D``
+    candidates of each generation one generation early to keep slots
+    full.  ``speculate=0`` reproduces the generation-batched front
+    bit-for-bit.  The CLI's ``repro study run --pipeline`` calls
+    straight through here.
     """
     runner = OptimizationRunner(
         scenario,
@@ -787,6 +871,7 @@ def run_pipelined_search(
         policy=policy,
         aggregate=aggregate,
         engine=engine,
+        fidelity=fidelity,
     )
     return runner.run_pipelined(
         n_trials=n_trials,

@@ -8,11 +8,20 @@ the gap:
   normal (DNI) and diffuse horizontal (DHI) using the Erbs et al. (1982)
   clearness-index correlation;
 * **transposition** (:func:`poa_irradiance`) — project onto the module
-  plane with either the isotropic-sky (Liu–Jordan) or the HDKR
-  (Hay–Davies–Klucher–Reindl) anisotropic model.  SAM's PVWatts uses a
-  Perez-class anisotropic model; HDKR captures the same circumsolar
-  enhancement with far fewer empirical coefficients and is a standard
-  substitute (Duffie & Beckman §2.16).
+  plane with one of the :data:`TRANSPOSITION_MODELS`, ordered here from
+  cheapest/crudest to most faithful:
+
+  * ``"clearsky"`` — clear-sky components (Haurwitz GHI, Ineichen DNI)
+    transposed once and scaled by the measured clearness index.  Uses
+    only GHI and geometry, ignoring the measured DNI/DHI split; the
+    bottom rung of the model-fidelity ladder (DESIGN.md §11).
+  * ``"isotropic"`` — Liu–Jordan uniform sky dome.
+  * ``"haydavies"`` — Hay–Davies circumsolar anisotropy (HDKR without
+    the Reindl horizon-brightening term).
+  * ``"hdkr"`` — Hay–Davies–Klucher–Reindl, the PVWatts-class default.
+  * ``"perez"`` — the Perez et al. (1990) point-source model with the
+    ``allsitescomposite1990`` coefficient set; the top of the fidelity
+    ladder, matching what SAM's PVWatts actually runs.
 """
 
 from __future__ import annotations
@@ -26,6 +35,29 @@ from .geometry import SolarPosition
 
 #: Ground reflectance (albedo) default used by PVWatts.
 DEFAULT_ALBEDO = 0.2
+
+#: Supported sky-diffuse transposition models, cheapest first.
+TRANSPOSITION_MODELS = ("clearsky", "isotropic", "haydavies", "hdkr", "perez")
+
+#: Perez et al. (1990) ``allsitescomposite1990`` brightness coefficients,
+#: one row per sky-clearness (epsilon) bin.  Columns: F11 F12 F13 F21 F22
+#: F23; bins bounded by :data:`_PEREZ_EPS_BINS`.
+_PEREZ_COEFFS = np.array(
+    [
+        [-0.008, 0.588, -0.062, -0.060, 0.072, -0.022],
+        [0.130, 0.683, -0.151, -0.019, 0.066, -0.029],
+        [0.330, 0.487, -0.221, 0.055, -0.064, -0.026],
+        [0.568, 0.187, -0.295, 0.109, -0.152, -0.014],
+        [0.873, -0.392, -0.362, 0.226, -0.462, 0.001],
+        [1.132, -1.237, -0.412, 0.288, -0.823, 0.056],
+        [1.060, -1.600, -0.359, 0.264, -1.127, 0.131],
+        [0.678, -0.327, -0.250, 0.156, -1.377, 0.251],
+    ]
+)
+
+#: Upper epsilon edges of the first seven Perez clearness bins (the
+#: eighth bin is open-ended).
+_PEREZ_EPS_BINS = np.array([1.065, 1.23, 1.5, 1.95, 2.8, 4.5, 6.2])
 
 
 def erbs_decomposition(
@@ -116,11 +148,15 @@ def poa_irradiance(
     tilt_deg / azimuth_deg:
         Scalars for fixed racks, per-timestep arrays for trackers.
     model:
-        ``"isotropic"`` (Liu–Jordan) or ``"hdkr"`` (Hay–Davies–Klucher–
-        Reindl, PVWatts-class anisotropic default).
+        One of :data:`TRANSPOSITION_MODELS` (default ``"hdkr"``, the
+        PVWatts-class anisotropic model; ``"perez"`` is the faithful
+        SAM-grade top end, ``"clearsky"`` the fidelity-ladder bottom).
     """
-    if model not in ("isotropic", "hdkr"):
-        raise ConfigurationError(f"unknown transposition model '{model}'")
+    if model not in TRANSPOSITION_MODELS:
+        raise ConfigurationError(
+            f"unknown transposition model '{model}' "
+            f"(known: {', '.join(TRANSPOSITION_MODELS)})"
+        )
     if not np.all((np.asarray(tilt_deg) >= 0.0) & (np.asarray(tilt_deg) <= 90.0)):
         raise ConfigurationError(f"tilt must be in [0, 90] degrees, got {tilt_deg}")
     if not 0.0 <= albedo <= 1.0:
@@ -143,18 +179,68 @@ def poa_irradiance(
 
     if model == "isotropic":
         sky = dhi * f_sky
-    else:
-        # HDKR: anisotropy index Ai weights circumsolar diffuse as beam,
-        # horizon-brightening term f per Reindl.
+    elif model == "clearsky":
+        # Transpose the *clear-sky* beam/diffuse split once, then scale
+        # by the measured clearness index — the measured DNI/DHI split
+        # is ignored entirely, so this is the cheapest (and crudest)
+        # rung of the fidelity ladder.
+        from .clearsky import clearsky_dhi, haurwitz_ghi, ineichen_dni
+
+        ghi_cs = haurwitz_ghi(solar.zenith_deg)
+        dni_cs = ineichen_dni(solar.zenith_deg, solar.extraterrestrial_w_m2)
+        dhi_cs = clearsky_dhi(ghi_cs, dni_cs, solar.zenith_deg)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            kt = np.where(
+                ghi_cs > 1.0,
+                np.clip(ghi / np.maximum(ghi_cs, 1e-9), 0.0, 1.5),
+                0.0,
+            )
+        beam = kt * dni_cs * cos_aoi
+        sky = kt * dhi_cs * f_sky
+    elif model in ("hdkr", "haydavies"):
+        # Anisotropy index Ai weights circumsolar diffuse as beam;
+        # HDKR adds the Reindl horizon-brightening term on top of
+        # Hay–Davies.
         ext = np.maximum(solar.extraterrestrial_w_m2, 1.0)
         ai = np.clip(dni / ext, 0.0, 1.0)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            f_hb = np.sqrt(np.where(ghi > 0.0, beam_fraction(ghi, dni, cos_zen), 0.0))
         rb = np.where(cos_zen > 0.017, cos_aoi / np.maximum(cos_zen, 1e-9), 0.0)
         rb = np.clip(rb, 0.0, 10.0)  # cap horizon-grazing amplification
-        sky = dhi * (
-            ai * rb + (1.0 - ai) * f_sky * (1.0 + f_hb * np.sin(tilt_r / 2.0) ** 3)
-        )
+        if model == "haydavies":
+            sky = dhi * (ai * rb + (1.0 - ai) * f_sky)
+        else:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                f_hb = np.sqrt(
+                    np.where(ghi > 0.0, beam_fraction(ghi, dni, cos_zen), 0.0)
+                )
+            sky = dhi * (
+                ai * rb + (1.0 - ai) * f_sky * (1.0 + f_hb * np.sin(tilt_r / 2.0) ** 3)
+            )
+    else:  # perez
+        # Perez et al. (1990) point-source model: circumsolar (F1) and
+        # horizon (F2) brightening coefficients looked up per sky
+        # clearness bin, scaled by the brightness Δ.
+        from .clearsky import relative_airmass
+
+        ext = np.maximum(solar.extraterrestrial_w_m2, 1.0)
+        zen_r = np.radians(np.asarray(solar.zenith_deg, dtype=np.float64))
+        kappa_z3 = 1.041 * zen_r**3
+        with np.errstate(divide="ignore", invalid="ignore"):
+            eps = np.where(
+                dhi > 0.0,
+                ((dhi + dni) / np.maximum(dhi, 1e-9) + kappa_z3) / (1.0 + kappa_z3),
+                1.0,
+            )
+        f11, f12, f13, f21, f22, f23 = _PEREZ_COEFFS[
+            np.searchsorted(_PEREZ_EPS_BINS, eps, side="right")
+        ].T
+        delta = dhi * relative_airmass(solar.zenith_deg) / ext
+        f1 = np.maximum(f11 + f12 * delta + f13 * zen_r, 0.0)
+        f2 = f21 + f22 * delta + f23 * zen_r
+        # a/b: circumsolar view-factor ratio, with the solar disc held
+        # at 85° past the horizon (the Perez smoothing convention).
+        a = cos_aoi
+        b = np.maximum(np.cos(np.radians(85.0)), cos_zen)
+        sky = dhi * ((1.0 - f1) * f_sky + f1 * a / b + f2 * np.sin(tilt_r))
 
     return PoaComponents(beam=beam, sky_diffuse=np.maximum(sky, 0.0), ground_reflected=ground)
 

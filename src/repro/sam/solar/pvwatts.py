@@ -26,7 +26,7 @@ from ...exceptions import ConfigurationError
 from ...units import KW_PER_MW, W_PER_KW
 from .geometry import SolarPosition, solar_position
 from .inverter import InverterModel
-from .irradiance import poa_irradiance
+from .irradiance import TRANSPOSITION_MODELS, poa_irradiance
 from .losses import DEFAULT_LOSSES, SystemLosses
 from .temperature import (
     REFERENCE_CELL_TEMPERATURE_C,
@@ -82,6 +82,11 @@ class PVWattsParameters:
             raise ConfigurationError(f"dc_ac_ratio must be positive, got {self.dc_ac_ratio}")
         if self.temperature_model not in ("noct", "sapm"):
             raise ConfigurationError(f"unknown temperature model '{self.temperature_model}'")
+        if self.transposition_model not in TRANSPOSITION_MODELS:
+            raise ConfigurationError(
+                f"unknown transposition model '{self.transposition_model}' "
+                f"(known: {', '.join(TRANSPOSITION_MODELS)})"
+            )
         if self.array_type not in ("fixed", "single_axis"):
             raise ConfigurationError(f"unknown array type '{self.array_type}'")
         if not -0.02 <= self.gamma_pdc_per_c <= 0.0:

@@ -1,0 +1,321 @@
+"""Differential oracle for the fidelity ladder's calibrated envelopes
+(DESIGN.md §11).
+
+The screening proofs of :class:`FidelityRacingEvaluator` lean on one
+empirical claim: the per-(site, objective) error envelope calibrated on
+:data:`CALIBRATION_PROBES` genuinely bounds the signed full-vs-cheap
+member error of *every* candidate in the paper's design grid.  An
+unsound envelope silently corrupts the front — a cheap value shifted by
+a too-tight lower bound overstates a candidate's full-physics floor and
+can "prove" domination of a true front member.  This file is the
+property-fuzz harness that enforces the claim, mirroring
+``test_kernel_differential.py``:
+
+* seeded random draws — site, weather-year span, dunkelflaute
+  severities, and candidate sets sampled from the full design grid —
+  with a **hard failure** on any observed error outside the calibrated
+  envelope, at every cheap ladder level;
+* the downstream soundness property: the envelope-widened partial
+  bound (exactly the screening computation) never exceeds the exact
+  full-physics aggregate, for random member subsets under ``worst``,
+  ``mean``, and ``cvar:0.25``;
+* construction-level units on :func:`envelope_from_errors` (padding
+  arithmetic, per-site separation, degenerate ranges, shape checks)
+  and the :class:`FidelityLadder` spec grammar (round-trips and
+  rejections) — the resume-identity surface;
+* slow leave-one-probe-out cross-validations of the pad sizing, split
+  to the ``tier2`` tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.composition import MicrogridComposition
+from repro.core.ensemble import EnsembleSpec, build_ensemble
+from repro.core.fastsim import evaluate_member_slice
+from repro.core.fidelity import (
+    CALIBRATION_PROBES,
+    FIDELITY_LEVELS,
+    FidelityLadder,
+    calibrate_envelope,
+    envelope_from_errors,
+    sibling_stack,
+)
+from repro.core.metrics import aggregate_values
+from repro.core.racing import NONNEGATIVE_OBJECTIVES, partial_lower_bound
+from repro.exceptions import ConfigurationError
+
+#: the fade axis is the interesting one — lo/mid use the linear law,
+#: full uses rainflow — so it rides along with the paper's two.
+OBJECTIVES = ("operational", "embodied", "fade")
+
+SITES = ("houston", "berkeley")
+CHEAP_LEVELS = ("lo", "mid")
+
+
+# -- random problem generators ------------------------------------------------
+
+
+def random_ensemble(rng: np.random.Generator, n_hours: int = 24 * 7):
+    """A random (site, weather-span, severity-set) ensemble draw."""
+    site = str(rng.choice(SITES))
+    y0 = int(rng.integers(2020, 2023))
+    years = f"{y0}-{y0 + int(rng.integers(1, 3))}"
+    severities = rng.choice(
+        [1.0, 1.25, 1.5], size=int(rng.integers(1, 3)), replace=False
+    )
+    spec = EnsembleSpec.parse(
+        f"years={years},severity={':'.join(str(s) for s in severities)}",
+        sites=(site,),
+        n_hours=n_hours,
+    )
+    return build_ensemble(spec)
+
+
+def random_candidates(
+    rng: np.random.Generator, n: int
+) -> "list[MicrogridComposition]":
+    """``n`` distinct draws from the paper's full 1 089-point design grid."""
+    comps = {
+        MicrogridComposition(
+            n_turbines=int(rng.integers(0, 11)),
+            solar_kw=float(rng.integers(0, 11) * 4_000),
+            battery_units=int(rng.integers(0, 9)),
+        )
+        for _ in range(3 * n)
+    }
+    return sorted(comps)[:n]
+
+
+def observed_errors(ensemble, level: str, comps) -> "np.ndarray":
+    """Signed per-member error ``full − level``, shape (members, comps, k)."""
+    members = list(range(len(ensemble)))
+    full = evaluate_member_slice(sibling_stack(ensemble, "full"), members, comps)
+    cheap = evaluate_member_slice(sibling_stack(ensemble, level), members, comps)
+    return np.array(
+        [
+            [
+                np.subtract(f.objectives(OBJECTIVES), c.objectives(OBJECTIVES))
+                for f, c in zip(frow, crow)
+            ]
+            for frow, crow in zip(full, cheap)
+        ],
+        dtype=np.float64,
+    )
+
+
+# -- the envelope-soundness property ------------------------------------------
+
+
+class TestEnvelopeSoundness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_envelope_bounds_random_candidates(self, seed):
+        """Every observed full-vs-cheap member error of a random candidate
+        draw lies inside the calibrated envelope — at every cheap level.
+        A violation here is a *correctness* bug, not a flake: screening
+        proofs built on this envelope could prune a true front member."""
+        rng = np.random.default_rng(3_000 + seed)
+        ensemble = random_ensemble(rng)
+        comps = random_candidates(rng, 12)
+        for level in CHEAP_LEVELS:
+            env = calibrate_envelope(ensemble, level, objectives=OBJECTIVES)
+            errors = observed_errors(ensemble, level, comps)
+            for m, scenario in enumerate(ensemble):
+                site = scenario.location.name
+                for c, comp in enumerate(comps):
+                    assert env.contains(site, errors[m, c]), (
+                        f"seed={seed} level={level} member={m} {comp}: "
+                        f"error {errors[m, c]} escapes the calibrated "
+                        f"envelope [{env.lower[site]}, {env.upper[site]}] — "
+                        "screening proofs are unsound"
+                    )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_certified_bound_never_exceeds_full_aggregate(self, seed):
+        """The exact screening computation — cheap member values shifted by
+        the envelope's lower error bound, clipped, folded through
+        ``partial_lower_bound`` — is a true lower bound on the exact
+        full-physics aggregate, for random member subsets."""
+        rng = np.random.default_rng(5_000 + seed)
+        ensemble = random_ensemble(rng)
+        comps = random_candidates(rng, 8)
+        members = list(range(len(ensemble)))
+        full = evaluate_member_slice(sibling_stack(ensemble, "full"), members, comps)
+        for level in CHEAP_LEVELS:
+            env = calibrate_envelope(ensemble, level, objectives=OBJECTIVES)
+            cheap = evaluate_member_slice(
+                sibling_stack(ensemble, level), members, comps
+            )
+            n = len(ensemble)
+            subset = sorted(
+                rng.choice(n, size=int(rng.integers(1, n + 1)), replace=False)
+            )
+            for c in range(len(comps)):
+                exact = np.array(
+                    [full[m][c].objectives(OBJECTIVES) for m in members]
+                )
+                adjusted = np.array(
+                    [
+                        np.asarray(cheap[m][c].objectives(OBJECTIVES))
+                        + env.lower[ensemble[m].location.name]
+                        for m in subset
+                    ]
+                )
+                for k, name in enumerate(OBJECTIVES):
+                    column = adjusted[:, k]
+                    nonneg = name in NONNEGATIVE_OBJECTIVES
+                    if nonneg:
+                        column = np.clip(column, 0.0, None)
+                    for aggregate in ("worst", "mean", "cvar:0.25"):
+                        bound = partial_lower_bound(
+                            column, n, aggregate, nonnegative=nonneg
+                        )
+                        if bound is None:
+                            continue
+                        truth = aggregate_values(exact[:, k], aggregate)
+                        assert bound <= truth + 1e-12, (
+                            f"seed={seed} level={level} comp={comps[c]} "
+                            f"{name}/{aggregate}: certified bound {bound} "
+                            f"exceeds exact full aggregate {truth}"
+                        )
+
+
+# -- construction-level units --------------------------------------------------
+
+
+class TestEnvelopeConstruction:
+    def test_padding_arithmetic(self):
+        errors = np.zeros((2, 2, 1))
+        errors[:, :, 0] = [[1.0, 3.0], [2.0, 5.0]]
+        env = envelope_from_errors("lo", ("operational",), errors, ["a", "a"], margin=0.5)
+        pad = 0.5 * (5.0 - 1.0) + 0.25 * 5.0 + 1e-9
+        assert env.lower["a"][0] == pytest.approx(1.0 - pad)
+        assert env.upper["a"][0] == pytest.approx(5.0 + pad)
+
+    def test_per_site_separation(self):
+        errors = np.zeros((2, 1, 1))
+        errors[0, 0, 0] = 10.0
+        errors[1, 0, 0] = -10.0
+        env = envelope_from_errors("lo", ("operational",), errors, ["a", "b"])
+        assert env.upper["a"][0] > 10.0 and env.lower["a"][0] < 10.0
+        assert env.upper["b"][0] > -10.0 and env.lower["b"][0] < -10.0
+        assert env.upper["a"][0] > env.upper["b"][0]
+
+    def test_degenerate_constant_error_keeps_nonzero_width(self):
+        errors = np.full((1, 3, 2), 7.0)
+        env = envelope_from_errors("lo", ("operational", "embodied"), errors, ["a"])
+        assert np.all(env.upper["a"] > env.lower["a"])
+        assert env.contains("a", np.array([7.0, 7.0]))
+
+    def test_unknown_site_is_never_contained(self):
+        env = envelope_from_errors("lo", ("operational",), np.zeros((1, 1, 1)), ["a"])
+        assert not env.contains("nowhere", np.zeros(1))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            envelope_from_errors("lo", ("operational",), np.zeros((2, 3)), ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            envelope_from_errors("lo", ("operational",), np.zeros((3, 1, 1)), ["a", "b"])
+
+
+class TestLadderSpec:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "fidelity=lo,mid,full",
+            "fidelity=lo,full",
+            "fidelity=mid,full",
+            "fidelity=full",
+            "fidelity=lo,full,margin=0.75",
+            "fidelity=lo,mid,full,margin=0",
+        ],
+    )
+    def test_round_trip(self, spec):
+        ladder = FidelityLadder.parse(spec)
+        assert ladder.spec_string() == spec
+        assert FidelityLadder.parse(ladder.spec_string()) == ladder
+
+    def test_bare_tokens_are_implicit_levels(self):
+        assert FidelityLadder.parse("lo,full") == FidelityLadder.parse("fidelity=lo,full")
+
+    def test_default_margin_omitted_from_spec(self):
+        assert FidelityLadder.parse("fidelity=lo,full,margin=0.5").spec_string() == (
+            "fidelity=lo,full"
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "fidelity=turbo,full",  # unknown level
+            "fidelity=lo,mid",  # must end at full
+            "fidelity=full,lo",  # not strictly increasing
+            "fidelity=lo,lo,full",  # duplicate rung
+            "fidelity=lo,full,margin=-0.1",  # negative margin
+            "fidelity=lo,full,margin=",  # dangling key
+            "fidelity=lo,full,margin=0.5,mid",  # bare token after margin=
+            "fidelity=",  # empty ladder
+        ],
+    )
+    def test_malformed_specs_are_errors(self, bad):
+        with pytest.raises(ConfigurationError):
+            FidelityLadder.parse(bad)
+
+    def test_level_table_is_strictly_ordered(self):
+        """The named levels really are a ladder: each named model swap is
+        distinct and the canonical order ends at the full physics."""
+        assert set(FIDELITY_LEVELS) == {"lo", "mid", "full"}
+        assert FIDELITY_LEVELS["full"].transposition == "perez"
+        assert FIDELITY_LEVELS["full"].battery_degradation == "rainflow"
+        swaps = [
+            (lvl.transposition, lvl.temperature_model, lvl.battery_degradation)
+            for lvl in FIDELITY_LEVELS.values()
+        ]
+        assert len(set(swaps)) == len(swaps)
+
+
+# -- slow cross-validations (tier2) -------------------------------------------
+
+
+@pytest.mark.tier2
+class TestCalibrationCrossValidation:
+    """Pad-sizing stress tests: slow, split from the tier-1 gate."""
+
+    @pytest.mark.parametrize("site", SITES)
+    @pytest.mark.parametrize("level", CHEAP_LEVELS)
+    def test_leave_one_probe_out(self, site, level):
+        """An envelope calibrated *without* probe ``p`` must still contain
+        ``p``'s own observed error — the pad covers at least one probe's
+        worth of interpolation slack on both paper sites."""
+        spec = EnsembleSpec.parse("years=2022-2023", sites=(site,), n_hours=24 * 7)
+        ensemble = build_ensemble(spec)
+        probes = list(CALIBRATION_PROBES)
+        errors = observed_errors(ensemble, level, probes)
+        sites = [s.location.name for s in ensemble]
+        for p, probe in enumerate(probes):
+            rest = np.delete(errors, p, axis=1)
+            env = envelope_from_errors(level, OBJECTIVES, rest, sites)
+            for m in range(len(ensemble)):
+                assert env.contains(sites[m], errors[m, p]), (
+                    f"holding out probe {probe} breaks containment of its "
+                    f"own error on member {m} ({level}, {site})"
+                )
+
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_envelope_bounds_longer_horizons(self, seed):
+        """The soundness property again, on month-long members — seasonal
+        regimes the week-long tier-1 draws never see."""
+        rng = np.random.default_rng(9_000 + seed)
+        ensemble = random_ensemble(rng, n_hours=24 * 28)
+        comps = random_candidates(rng, 10)
+        for level in CHEAP_LEVELS:
+            env = calibrate_envelope(ensemble, level, objectives=OBJECTIVES)
+            errors = observed_errors(ensemble, level, comps)
+            for m, scenario in enumerate(ensemble):
+                site = scenario.location.name
+                for c, comp in enumerate(comps):
+                    assert env.contains(site, errors[m, c]), (
+                        f"seed={seed} level={level} member={m} {comp}: "
+                        f"month-long error {errors[m, c]} escapes the envelope"
+                    )

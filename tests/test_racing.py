@@ -44,6 +44,7 @@ from repro.core.racing import (
     partial_lower_bound,
     race_front,
 )
+from repro.core.fidelity import fidelity_race_front, sibling_stack
 from repro.core.study_runner import (
     RACING_RUNG_ATTR,
     CompositionObjective,
@@ -573,3 +574,260 @@ class TestParallelRungDispatch:
         total = sum(len(members) for _, members in calls)
         n_complete = sum(1 for t in study.trials if t.state == TrialState.COMPLETE)
         assert n_complete * n_members <= total < len(study.trials) * n_members
+
+
+# -- fidelity-ladder racing (DESIGN.md §11) -----------------------------------
+
+
+class TestFidelityRacedFrontExactness:
+    """The fidelity tentpole guarantee: a ladder-raced front is
+    bit-identical to evaluating every candidate at ladder-top (full)
+    physics — on both paper sites, for every aggregate, including
+    member-rung × fidelity-rung combined schedules."""
+
+    LADDER = "fidelity=lo,mid,full"
+
+    @pytest.mark.parametrize("site", ["houston", "berkeley"])
+    @pytest.mark.parametrize("aggregate", ["worst", "cvar:0.25", "mean"])
+    def test_front_identical_to_full_fidelity_evaluation(
+        self, site, aggregate, houston_ensemble, berkeley_ensemble
+    ):
+        ensemble = houston_ensemble if site == "houston" else berkeley_ensemble
+        comps = SMALL_SPACE.all_compositions()
+        full_front = pareto_front(
+            evaluate_ensemble(
+                sibling_stack(ensemble, "full"), comps, aggregate=aggregate
+            )
+        )
+        front, outcome = fidelity_race_front(
+            ensemble,
+            comps,
+            ladder=self.LADDER,
+            schedule="rungs=2,full",
+            aggregate=aggregate,
+        )
+        assert _front_key(full_front) == _front_key(front)
+        # everything returned as evaluated is genuinely full-physics and
+        # full-ensemble
+        assert all(
+            len(e.per_scenario) == len(ensemble)
+            for e in outcome.evaluated.values()
+        )
+        stats = outcome.stats
+        assert stats.pruned + len(outcome.evaluated) == stats.candidates
+        assert stats.low_fidelity_evals > 0, "cheap screening never ran"
+
+    @pytest.mark.parametrize(
+        "schedule",
+        ["rungs=full,order=seeded", "rungs=2,full", "rungs=2,3,full"],
+    )
+    def test_member_rungs_times_fidelity_rungs(self, schedule, houston_ensemble):
+        """The two racing axes compose: member rungs inside each fidelity
+        level, candidates climbing both — front still exact."""
+        comps = SMALL_SPACE.all_compositions()
+        full_front = pareto_front(
+            evaluate_ensemble(sibling_stack(houston_ensemble, "full"), comps)
+        )
+        front, outcome = fidelity_race_front(
+            houston_ensemble, comps, ladder=self.LADDER, schedule=schedule
+        )
+        assert _front_key(full_front) == _front_key(front)
+        assert outcome.stats.low_fidelity_evals > 0
+
+    def test_screening_proofs_fire(self, houston_ensemble):
+        """Non-vacuity: under ``worst`` some candidates are eliminated
+        entirely at cheap physics, paying zero full-physics evals."""
+        comps = SMALL_SPACE.all_compositions()
+        _, outcome = fidelity_race_front(
+            houston_ensemble, comps, ladder=self.LADDER, schedule="rungs=2,full"
+        )
+        assert outcome.stats.screened > 0
+        # every screened candidate is among pruned with a proof recorded
+        assert outcome.stats.screened <= outcome.stats.pruned
+
+    def test_race_front_fidelity_axis_delegates(self, houston_ensemble):
+        """``race_front(..., fidelity=...)`` is the fidelity engine."""
+        comps = SMALL_SPACE.all_compositions()
+        via_axis, _ = race_front(
+            houston_ensemble,
+            comps,
+            RungSchedule.parse("rungs=2,full"),
+            fidelity="fidelity=lo,full",
+        )
+        direct, _ = fidelity_race_front(
+            houston_ensemble, comps, ladder="fidelity=lo,full", schedule="rungs=2,full"
+        )
+        assert _front_key(via_axis) == _front_key(direct)
+
+    def test_two_level_ladder_is_also_exact(self, berkeley_ensemble):
+        comps = SMALL_SPACE.all_compositions()
+        full_front = pareto_front(
+            evaluate_ensemble(sibling_stack(berkeley_ensemble, "full"), comps)
+        )
+        front, _ = fidelity_race_front(
+            berkeley_ensemble, comps, ladder="fidelity=lo,full", schedule="rungs=2,full"
+        )
+        assert _front_key(full_front) == _front_key(front)
+
+
+class TestStudyFidelityRacing:
+    """The study drivers persist the ladder as resume identity."""
+
+    LADDER = "fidelity=lo,mid,full"
+
+    def _run(
+        self,
+        ensemble,
+        storage,
+        n_trials,
+        load=False,
+        racing="rungs=2,full",
+        fidelity="fidelity=lo,mid,full",
+    ):
+        return OptimizationRunner(
+            ensemble, space=SMALL_SPACE, fidelity=fidelity
+        ).run_blackbox(
+            n_trials=n_trials,
+            sampler=NSGA2Sampler(population_size=10, seed=42),
+            storage=storage,
+            study_name="laddered",
+            load_if_exists=load,
+            racing=racing,
+        )
+
+    def test_ladder_persisted_and_values_are_full_physics(
+        self, houston_ensemble, tmp_path
+    ):
+        result = self._run(houston_ensemble, str(tmp_path / "f.jsonl"), 30)
+        assert result.study.metadata["fidelity"] == self.LADDER
+        assert result.study.metadata["racing"] == "rungs=2,full"
+        # COMPLETE values are bit-identical to ladder-top evaluation
+        full_stack = tuple(sibling_stack(houston_ensemble, "full"))
+        objective = CompositionObjective(full_stack, space=SMALL_SPACE)
+        for trial in result.study.trials:
+            if trial.state == TrialState.COMPLETE:
+                assert tuple(objective(dict(trial.params))) == trial.values
+
+    def test_resume_reaches_identical_front(self, houston_ensemble, tmp_path):
+        full = self._run(houston_ensemble, str(tmp_path / "full.jsonl"), 40)
+        self._run(houston_ensemble, str(tmp_path / "cut.jsonl"), 15)
+        resumed = self._run(
+            houston_ensemble, str(tmp_path / "cut.jsonl"), 40, load=True
+        )
+        assert [
+            (t.params, t.values, t.state) for t in resumed.study.trials
+        ] == [(t.params, t.values, t.state) for t in full.study.trials]
+        assert _front_key(resumed.front()) == _front_key(full.front())
+
+    def test_resume_enforces_the_persisted_ladder(self, houston_ensemble, tmp_path):
+        """Resuming with another (or no) ladder would mix physics rungs
+        across generations while the metadata still claims the original
+        spec — hard error instead."""
+        from repro.exceptions import OptimizationError
+
+        path = str(tmp_path / "f.jsonl")
+        self._run(houston_ensemble, path, 15)
+        for wrong in (None, "fidelity=lo,full", "fidelity=lo,mid,full,margin=0.9"):
+            with pytest.raises(OptimizationError, match="fidelity"):
+                self._run(houston_ensemble, path, 40, load=True, fidelity=wrong)
+        # and a ladder cannot be *added* to a study that never had one
+        plain = str(tmp_path / "plain.jsonl")
+        self._run(houston_ensemble, plain, 15, fidelity=None)
+        with pytest.raises(OptimizationError, match="fidelity"):
+            self._run(houston_ensemble, plain, 40, load=True)
+
+
+KILL_CHILD_FIDELITY = textwrap.dedent(
+    """
+    import os, signal, sys
+
+    from repro.blackbox import JournalStorage, NSGA2Sampler, SQLiteStorage
+    from repro.core.ensemble import EnsembleSpec, build_ensemble
+    from repro.core.parameterspace import ParameterSpace
+    from repro.core.study_runner import OptimizationRunner
+
+    path, kill_after = sys.argv[1], int(sys.argv[2])
+    Base = JournalStorage if path.endswith(".jsonl") else SQLiteStorage
+
+    class KillingStorage(Base):
+        finishes = 0
+        def record_trial_finish(self, study_name, trial):
+            super().record_trial_finish(study_name, trial)
+            KillingStorage.finishes += 1
+            if KillingStorage.finishes >= kill_after:
+                os.kill(os.getpid(), signal.SIGKILL)  # the real thing
+
+    ensemble = build_ensemble(
+        EnsembleSpec.parse("years=2020-2024", sites=("houston",), n_hours=24 * 14)
+    )
+    space = ParameterSpace(max_turbines=4, max_solar_increments=4, max_battery_units=2)
+    OptimizationRunner(
+        ensemble, space=space, fidelity="fidelity=lo,mid,full"
+    ).run_blackbox(
+        n_trials=40,
+        sampler=NSGA2Sampler(population_size=10, seed=42),
+        storage=KillingStorage(path),
+        study_name="laddered",
+        racing="rungs=2,full",
+    )
+    """
+)
+
+
+class TestKillDashNineMidFidelityRung:
+    """A genuine ``kill -9`` while a fidelity-laddered raced generation
+    is being told: the persisted ladder spec plus the per-trial RNG
+    streams must carry the resumed study to the identical front an
+    uninterrupted run reaches — on the journal and SQLite backends
+    alike.  Resuming against the crashed store with a *different*
+    ladder is a hard error."""
+
+    @pytest.mark.parametrize("kind", ["journal", "sqlite"])
+    def test_sigkill_then_resume_identical_front(
+        self, tmp_path, kind, houston_ensemble
+    ):
+        from repro.blackbox import storage_from_url
+        from repro.exceptions import OptimizationError
+
+        path = tmp_path / ("laddered.jsonl" if kind == "journal" else "laddered.db")
+        script = tmp_path / "child.py"
+        script.write_text(KILL_CHILD_FIDELITY)
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, str(script), str(path), "17"],
+            env=env,
+            capture_output=True,
+            timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+
+        # the crashed store already carries the full resume identity
+        crashed = storage_from_url(str(path)).load_study("laddered")
+        assert crashed.metadata["fidelity"] == "fidelity=lo,mid,full"
+        assert crashed.metadata["racing"] == "rungs=2,full"
+
+        def run(storage, load=False, fidelity="fidelity=lo,mid,full"):
+            return OptimizationRunner(
+                houston_ensemble, space=SMALL_SPACE, fidelity=fidelity
+            ).run_blackbox(
+                n_trials=40,
+                sampler=NSGA2Sampler(population_size=10, seed=42),
+                storage=storage,
+                study_name="laddered",
+                load_if_exists=load,
+                racing="rungs=2,full",
+            )
+
+        with pytest.raises(OptimizationError, match="fidelity"):
+            run(str(path), load=True, fidelity="fidelity=lo,full")
+
+        resumed = run(str(path), load=True)
+        reference = run(
+            str(tmp_path / ("ref.jsonl" if kind == "journal" else "ref.db"))
+        )
+        assert [
+            (t.params, t.values, t.state) for t in resumed.study.trials
+        ] == [(t.params, t.values, t.state) for t in reference.study.trials]
+        assert _front_key(resumed.front()) == _front_key(reference.front())

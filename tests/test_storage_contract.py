@@ -498,3 +498,36 @@ class TestJournalStaleAppendHandle:
         stored = JournalStorage(path).load_study("s")
         assert stored.trials_by_number[0].values == (2.0,)
         assert stored.trials_by_number[1].values == (3.0,)
+
+
+class TestFidelityLadderContract:
+    """The fidelity ladder spec (DESIGN.md §11) is resume identity, like
+    the racing schedule: persisted in study metadata on every backend,
+    round-tripping bit-exactly, and enforced with a hard error when a
+    resume names a different (or no) ladder."""
+
+    def _run(self, scenario, storage, n_trials, load=False, fidelity="fidelity=lo,full"):
+        return OptimizationRunner(scenario, space=SMALL_SPACE, fidelity=fidelity).run_blackbox(
+            n_trials=n_trials,
+            sampler=NSGA2Sampler(population_size=10, seed=42),
+            storage=storage,
+            study_name="laddered",
+            load_if_exists=load,
+        )
+
+    def test_ladder_persists_and_mismatch_is_hard_error(self, houston_month, substrate):
+        self._run(houston_month, substrate.open(), 10)
+        if substrate.persistent:
+            stored = substrate.open().load_study("laddered")
+            assert stored.metadata["fidelity"] == "fidelity=lo,full"
+        for wrong in (None, "fidelity=lo,mid,full", "fidelity=lo,full,margin=0.9"):
+            with pytest.raises(OptimizationError, match="fidelity"):
+                self._run(houston_month, substrate.open(), 20, load=True, fidelity=wrong)
+        # the identical ladder resumes cleanly
+        resumed = self._run(houston_month, substrate.open(), 20, load=True)
+        assert len(resumed.study.trials) == 20
+
+    def test_ladder_cannot_be_added_on_resume(self, houston_month, substrate):
+        self._run(houston_month, substrate.open(), 10, fidelity=None)
+        with pytest.raises(OptimizationError, match="fidelity"):
+            self._run(houston_month, substrate.open(), 20, load=True)
