@@ -357,38 +357,27 @@ class ParallelStudyRunner:
                     self.study.storage.update_metadata(
                         self.study.study_name, self.study.metadata
                     )
-            if (
-                self.study.trials
-                and persisted_batch is not None
-                and int(persisted_batch) != self.batch_size
-            ):
-                raise OptimizationError(
-                    f"study '{self.study.study_name}' was run with batch "
-                    f"{int(persisted_batch)}, resumed with {self.batch_size}; "
-                    "generation boundaries cannot be aligned across batch sizes"
+            # Identity checks route through the one shared validator
+            # (DESIGN.md §12) — the same rules (and error text) as the
+            # serial driver: the batch size fixes generation
+            # boundaries, the rung schedule decides which trials get
+            # pruned, the ladder which physics scored them.
+            from ..core.study_spec import check_resume_identity
+
+            if self.study.trials:
+                check_resume_identity(
+                    self.study.study_name,
+                    self.study.metadata,
+                    {"batch": self.batch_size},
                 )
-            if self.study.storage is not None and persisted_racing != requested_racing:
-                # Same identity rule as the serial driver: the schedule
-                # decides which trials get pruned, so a resume that races
-                # differently (or not at all) silently diverges.
-                raise OptimizationError(
-                    f"study '{self.study.study_name}' was persisted with "
-                    f"racing={persisted_racing or '<none>'}, resumed with "
-                    f"{requested_racing or '<none>'}; resume must race the "
-                    "identical schedule"
-                )
-            if (
-                self.study.storage is not None
-                and persisted_fidelity != requested_fidelity
-            ):
-                # The ladder decides which physics scored every persisted
-                # trial value (DESIGN.md §11) — mixing ladders in one
-                # study would compare incomparable objective values.
-                raise OptimizationError(
-                    f"study '{self.study.study_name}' was persisted with "
-                    f"fidelity={persisted_fidelity or '<none>'}, resumed with "
-                    f"{requested_fidelity or '<none>'}; resume must use the "
-                    "identical fidelity ladder"
+            if self.study.storage is not None:
+                check_resume_identity(
+                    self.study.study_name,
+                    self.study.metadata,
+                    {
+                        "racing": requested_racing,
+                        "fidelity": requested_fidelity,
+                    },
                 )
             if len(self.study.trials) < n_trials:
                 self.study.drop_trailing_partial_batch(self.batch_size)
@@ -850,39 +839,26 @@ class PipelinedDispatcher:
                     dirty = True
             if dirty:
                 self.study.storage.update_metadata(self.study.study_name, md)
+        # Identity checks route through the one shared validator
+        # (DESIGN.md §12); the speculation depth joins batch/racing/
+        # fidelity as an identity key because it decides every trial's
+        # parent epoch.
+        from ..core.study_spec import check_resume_identity
+
         if self.study.trials:
-            persisted_batch = md.get("batch")
-            if persisted_batch is not None and int(persisted_batch) != self.batch_size:
-                raise OptimizationError(
-                    f"study '{self.study.study_name}' was run with batch "
-                    f"{int(persisted_batch)}, resumed with {self.batch_size}; "
-                    "generation boundaries cannot be aligned across batch sizes"
-                )
+            check_resume_identity(
+                self.study.study_name, md, {"batch": self.batch_size}
+            )
         if self.study.storage is not None:
-            persisted_pipeline = self.study.metadata.get("pipeline")
-            if persisted_pipeline != requested_pipeline:
-                raise OptimizationError(
-                    f"study '{self.study.study_name}' was persisted with "
-                    f"pipeline={persisted_pipeline or '<none>'}, resumed with "
-                    f"{requested_pipeline}; the speculation depth decides every "
-                    "trial's parent epoch, so resume must pipeline identically"
-                )
-            persisted_racing = self.study.metadata.get("racing")
-            if persisted_racing != requested_racing:
-                raise OptimizationError(
-                    f"study '{self.study.study_name}' was persisted with "
-                    f"racing={persisted_racing or '<none>'}, resumed with "
-                    f"{requested_racing or '<none>'}; resume must race the "
-                    "identical schedule"
-                )
-            persisted_fidelity = self.study.metadata.get("fidelity")
-            if persisted_fidelity != requested_fidelity:
-                raise OptimizationError(
-                    f"study '{self.study.study_name}' was persisted with "
-                    f"fidelity={persisted_fidelity or '<none>'}, resumed with "
-                    f"{requested_fidelity or '<none>'}; resume must use the "
-                    "identical fidelity ladder"
-                )
+            check_resume_identity(
+                self.study.study_name,
+                md,
+                {
+                    "pipeline": requested_pipeline,
+                    "racing": requested_racing,
+                    "fidelity": requested_fidelity,
+                },
+            )
 
     def _validate_resume_prefix(self, racing) -> None:
         """Audit reloaded trials against the recomputed epoch schedule.

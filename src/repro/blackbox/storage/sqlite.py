@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import threading
 from pathlib import Path
 from typing import Any
 
@@ -52,11 +53,20 @@ class SQLiteStorage(StudyStorage):
     writers (one connection per process) serialize through SQLite's
     file locking; ``busy_timeout`` retries instead of failing when two
     workers commit at once.
+
+    The instance is thread-safe: the service layer (DESIGN.md §12)
+    shares one backend between HTTP handler threads and queue workers,
+    so the single autocommit connection is opened with
+    ``check_same_thread=False`` and every operation serializes through
+    an internal lock (writes serialize behind SQLite's file lock
+    regardless; the lock just extends that guarantee to this
+    connection's cursor state).
     """
 
     def __init__(self, path: "str | os.PathLike[str]") -> None:
         self.path = Path(path)
         self._conn: sqlite3.Connection | None = None
+        self._lock = threading.RLock()
 
     # -- connection management --------------------------------------------
 
@@ -66,7 +76,12 @@ class SQLiteStorage(StudyStorage):
             # isolation_level=None puts the connection in autocommit:
             # each single-statement write below is its own transaction,
             # committed (and WAL-fsynced) before the call returns.
-            conn = sqlite3.connect(str(self.path), timeout=30.0, isolation_level=None)
+            conn = sqlite3.connect(
+                str(self.path),
+                timeout=30.0,
+                isolation_level=None,
+                check_same_thread=False,
+            )
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=FULL")
             conn.execute("PRAGMA busy_timeout=30000")
@@ -75,46 +90,52 @@ class SQLiteStorage(StudyStorage):
         return self._conn
 
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
 
     # -- StudyStorage interface -------------------------------------------
 
     def create_study(
         self, study_name: str, directions: list[str], metadata: dict[str, Any]
     ) -> None:
-        conn = self._connect()
-        try:
-            conn.execute(
-                "INSERT INTO studies (name, directions, metadata) VALUES (?, ?, ?)",
-                (
-                    study_name,
-                    json.dumps(list(directions)),
-                    json.dumps(_encode_value(dict(metadata))),
-                ),
-            )
-        except sqlite3.IntegrityError:
-            raise OptimizationError(
-                f"study '{study_name}' already exists in {self.path}"
-            ) from None
+        with self._lock:
+            conn = self._connect()
+            try:
+                conn.execute(
+                    "INSERT INTO studies (name, directions, metadata) VALUES (?, ?, ?)",
+                    (
+                        study_name,
+                        json.dumps(list(directions)),
+                        json.dumps(_encode_value(dict(metadata))),
+                    ),
+                )
+            except sqlite3.IntegrityError:
+                raise OptimizationError(
+                    f"study '{study_name}' already exists in {self.path}"
+                ) from None
 
     def update_metadata(self, study_name: str, metadata: dict[str, Any]) -> None:
-        conn = self._connect()
-        updated = conn.execute(
-            "UPDATE studies SET metadata = ? WHERE name = ?",
-            (json.dumps(_encode_value(dict(metadata))), study_name),
-        )
-        if updated.rowcount == 0:
-            raise OptimizationError(f"unknown study '{study_name}' in {self.path}")
+        with self._lock:
+            conn = self._connect()
+            updated = conn.execute(
+                "UPDATE studies SET metadata = ? WHERE name = ?",
+                (json.dumps(_encode_value(dict(metadata))), study_name),
+            )
+            if updated.rowcount == 0:
+                raise OptimizationError(
+                    f"unknown study '{study_name}' in {self.path}"
+                )
 
     def _upsert_trial(self, study_name: str, trial: FrozenTrial) -> None:
-        conn = self._connect()
-        conn.execute(
-            "INSERT INTO trials (study, number, record) VALUES (?, ?, ?) "
-            "ON CONFLICT (study, number) DO UPDATE SET record = excluded.record",
-            (study_name, int(trial.number), json.dumps(encode_trial(trial))),
-        )
+        with self._lock:
+            conn = self._connect()
+            conn.execute(
+                "INSERT INTO trials (study, number, record) VALUES (?, ?, ?) "
+                "ON CONFLICT (study, number) DO UPDATE SET record = excluded.record",
+                (study_name, int(trial.number), json.dumps(encode_trial(trial))),
+            )
 
     def record_trial_start(self, study_name: str, trial: FrozenTrial) -> None:
         self._upsert_trial(study_name, trial)
@@ -123,31 +144,35 @@ class SQLiteStorage(StudyStorage):
         self._upsert_trial(study_name, trial)
 
     def load_study(self, study_name: str) -> StoredStudy | None:
-        if self._conn is None and not self.path.exists():
-            return None  # don't create an empty database just to read
-        conn = self._connect()
-        row = conn.execute(
-            "SELECT directions, metadata FROM studies WHERE name = ?", (study_name,)
-        ).fetchone()
-        if row is None:
-            return None
-        stored = StoredStudy(
-            name=study_name,
-            directions=[str(d) for d in json.loads(row[0])],
-            metadata=_decode_value(json.loads(row[1])),
-        )
-        for (record,) in conn.execute(
-            "SELECT record FROM trials WHERE study = ? ORDER BY number", (study_name,)
-        ):
-            trial = decode_trial(json.loads(record))
-            stored.trials_by_number[trial.number] = trial
-        return stored
+        with self._lock:
+            if self._conn is None and not self.path.exists():
+                return None  # don't create an empty database just to read
+            conn = self._connect()
+            row = conn.execute(
+                "SELECT directions, metadata FROM studies WHERE name = ?",
+                (study_name,),
+            ).fetchone()
+            if row is None:
+                return None
+            stored = StoredStudy(
+                name=study_name,
+                directions=[str(d) for d in json.loads(row[0])],
+                metadata=_decode_value(json.loads(row[1])),
+            )
+            for (record,) in conn.execute(
+                "SELECT record FROM trials WHERE study = ? ORDER BY number",
+                (study_name,),
+            ):
+                trial = decode_trial(json.loads(record))
+                stored.trials_by_number[trial.number] = trial
+            return stored
 
     def load_all(self) -> dict[str, StoredStudy]:
-        if self._conn is None and not self.path.exists():
-            return {}
-        conn = self._connect()
-        names = [name for (name,) in conn.execute("SELECT name FROM studies")]
+        with self._lock:
+            if self._conn is None and not self.path.exists():
+                return {}
+            conn = self._connect()
+            names = [name for (name,) in conn.execute("SELECT name FROM studies")]
         out = {}
         for name in names:
             loaded = self.load_study(name)

@@ -57,6 +57,16 @@ resume`` continues to the identical final Pareto front (the scenario,
 ensemble, racing, and search configuration are persisted in the
 journal's study metadata, so ``resume`` needs only the journal path).
 
+Study-as-a-service (DESIGN.md §12) — the same studies behind a
+stdlib-only HTTP JSON API, with queue workers and persisted heartbeats::
+
+    python -m repro.cli serve --storage sqlite:///studies.db --workers 2
+    # POST /studies            GET /studies            GET /studies/{name}
+    # GET /studies/{name}/front.csv                    POST /studies/{name}/resume
+
+``study status --json`` prints the service's machine-readable status
+documents (the exact JSON ``GET /studies/{name}`` returns).
+
 Mirrors the Hydra-style entry point of the paper's implementation:
 every command accepts ``--set key=value`` overrides applied to the
 scenario config (e.g. ``--set scenario.mean_power_mw=3.0``).  With
@@ -109,13 +119,6 @@ def _scenario_from(cfg: Config):
         n_hours=cfg.scenario.n_hours,
         mean_power_w=cfg.scenario.mean_power_mw * 1e6,
     )
-
-
-def _scenarios_from(cfg: Config, sites: "list[str]"):
-    """One scenario per site, sharing the year/horizon/load config."""
-    return [
-        _scenario_from(cfg.updated("scenario.location", site)) for site in sites
-    ]
 
 
 def _parse_sites(args, cfg: Config) -> "list[str]":
@@ -214,14 +217,6 @@ def cmd_search(cfg: Config, args) -> int:
     return 0
 
 
-def _study_launcher(workers: int):
-    if workers and workers > 1:
-        from .confsys import MultiprocessingLauncher
-
-        return MultiprocessingLauncher(n_workers=workers)
-    return None
-
-
 def _aggregate_arg(value: str) -> str:
     """argparse type: validate --aggregate via the shared grammar."""
     from .core.metrics import parse_aggregate
@@ -254,26 +249,6 @@ def _fidelity_arg(value: str) -> str:
         return FidelityLadder.parse(value).spec_string()
     except ConfigurationError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
-
-
-def _study_scenarios(cfg: Config, sites: "list[str]", ensemble: "str | None", launcher):
-    """Scenario list for a study: an ensemble spec or plain per-site list.
-
-    Returns ``(scenarios, spec_string)`` where ``spec_string`` is the
-    round-trippable ensemble spec persisted in the journal metadata
-    (``None`` for plain multi-site studies).
-    """
-    if ensemble is None:
-        return _scenarios_from(cfg, sites), None
-    from .core.ensemble import EnsembleSpec, build_ensemble
-
-    spec = EnsembleSpec.parse(
-        ensemble,
-        sites=sites,
-        n_hours=cfg.scenario.n_hours,
-        mean_power_w=cfg.scenario.mean_power_mw * 1e6,
-    )
-    return build_ensemble(spec, launcher=launcher), spec.spec_string()
 
 
 def _store_spec(args) -> str:
@@ -320,127 +295,67 @@ def _interrupted(spec: str) -> int:
     return 130
 
 
+def _spec_from_args(cfg: Config, args, sites: "list[str]"):
+    """Build the :class:`~repro.core.study_spec.StudySpec` a ``study
+    run`` invocation describes — the CLI is a thin builder over the
+    spec seam (DESIGN.md §12), so the HTTP service and the CLI cannot
+    drift."""
+    from .core.study_spec import StudySpec
+
+    pipeline = None
+    if args.pipeline or args.speculate is not None:
+        from .blackbox.parallel import pipeline_spec_string
+
+        pipeline = pipeline_spec_string(args.speculate or 0)
+    return StudySpec(
+        sites=tuple(sites),
+        year=cfg.scenario.year,
+        n_hours=cfg.scenario.n_hours,
+        mean_power_mw=cfg.scenario.mean_power_mw,
+        policy=args.policy,
+        aggregate=args.aggregate,
+        n_trials=args.trials,
+        population=args.population,
+        seed=args.seed,
+        ensemble=args.ensemble,
+        racing=args.racing,
+        fidelity=args.fidelity,
+        pipeline=pipeline,
+        engine=args.engine,
+        shards=args.shards,
+    )
+
+
 def cmd_study_run(cfg: Config, args) -> int:
-    from .blackbox import NSGA2Sampler
-    from .core.dispatch import make_policy
+    from .exceptions import OptimizationError
 
     spec = _store_spec(args)
     sites = _parse_sites(args, cfg)
-    suffix = "-ensemble-blackbox" if args.ensemble else "-blackbox"
-    name = args.name or "-".join(sites) + suffix
+    try:
+        study_spec = _spec_from_args(cfg, args, sites)
+    except OptimizationError as exc:
+        raise SystemExit(str(exc)) from None
+    name = args.name or study_spec.default_name
     # Check for a pre-existing study before the (possibly multi-minute)
     # ensemble build, so the duplicate-run error path is near-instant.
     storage = _open_storage(args, shards=args.shards)
     if storage.load_study(name) is not None:
         print(
             f"study '{name}' already exists in {spec} — continue it with:\n"
-            f"  repro study resume --storage {spec}"
+            f"  repro study resume --storage {spec} --name {name}"
         )
         return 1
-    launcher = _study_launcher(args.workers)
-    scenarios, ensemble_spec = _study_scenarios(cfg, sites, args.ensemble, launcher)
-    metadata = {
-        "site": sites[0],
-        "sites": sites,
-        "policy": args.policy,
-        "aggregate": args.aggregate,
-        "year": cfg.scenario.year,
-        "n_hours": cfg.scenario.n_hours,
-        "mean_power_mw": cfg.scenario.mean_power_mw,
-        "n_trials": args.trials,
-        "population": args.population,
-        "seed": args.seed,
-    }
-    if args.shards and args.shards > 1:
-        metadata["shards"] = args.shards
-    if ensemble_spec:
-        metadata["ensemble"] = ensemble_spec
-    if args.racing:
-        metadata["racing"] = args.racing  # normalized by _racing_arg
-    if args.fidelity:
-        metadata["fidelity"] = args.fidelity  # normalized by _fidelity_arg
-    if args.engine != "auto":
-        # Informational only: every engine is bit-for-bit identical, so
-        # resume is free to pick a different one (unlike racing/batch).
-        metadata["engine"] = args.engine
-    pipelined = args.pipeline or args.speculate is not None
-    if pipelined:
-        from .blackbox.parallel import pipeline_spec_string
-
-        speculate = args.speculate or 0
-        # Identity key, like batch/racing: the speculation depth decides
-        # every trial's parent epoch, so resume must pipeline identically.
-        metadata["pipeline"] = pipeline_spec_string(speculate)
-    runner = OptimizationRunner(
-        scenarios,
-        launcher=launcher,
-        policy=make_policy(args.policy, scenarios),
-        aggregate=args.aggregate,
-        engine=args.engine,
-        fidelity=args.fidelity or None,
-    )
     try:
-        if pipelined:
-            result = runner.run_pipelined(
-                n_trials=args.trials,
-                sampler=NSGA2Sampler(
-                    population_size=args.population, seed=args.seed
-                ),
-                storage=storage,
-                study_name=name,
-                metadata=metadata,
-                racing=args.racing,
-                workers=args.workers,
-                executor="process" if args.workers > 1 else "thread",
-                speculate=speculate,
-            )
-        else:
-            result = runner.run_blackbox(
-                n_trials=args.trials,
-                sampler=NSGA2Sampler(population_size=args.population, seed=args.seed),
-                storage=storage,
-                study_name=name,
-                metadata=metadata,
-                racing=args.racing,
-            )
+        result = study_spec.execute(storage, name, workers=args.workers)
     except KeyboardInterrupt:
         return _interrupted(spec)
     _print_search_summary(result, spec, name)
     return 0
 
 
-#: metadata keys that define the search objective and sampler identity —
-#: resuming with a *guessed* value for any of them silently produces a
-#: different Pareto front than the original run, the exact failure mode
-#: the persisted-metadata contract exists to prevent
-_RESUME_REQUIRED_KEYS = (
-    "site", "year", "n_hours", "mean_power_mw",  # scenario identity
-    "policy", "aggregate",                       # objective identity
-    "population", "seed", "n_trials",            # sampler identity
-)
-
-
-def _require_resume_metadata(md: dict, spec: str, trials_override: bool) -> None:
-    """Fail loudly — naming every missing key — instead of defaulting."""
-    required = [
-        k
-        for k in _RESUME_REQUIRED_KEYS
-        if not (k == "n_trials" and trials_override)
-    ]
-    missing = [k for k in required if md.get(k) is None]
-    if missing:
-        raise SystemExit(
-            f"cannot resume from {spec}: study metadata is missing "
-            f"{', '.join(repr(k) for k in missing)}. Resuming with defaults "
-            "would silently produce a different Pareto front than the "
-            "original run.  The study predates the persisted-search-"
-            "parameter contract (or was written by a custom driver); "
-            "re-run it with current code to resume safely."
-        )
-
-
 def cmd_study_resume(cfg: Config, args) -> int:
-    from .blackbox import NSGA2Sampler
+    from .core.study_spec import StudySpec, check_resume_identity
+    from .exceptions import OptimizationError
 
     spec = _store_spec(args)
     storage = _open_storage(args)
@@ -459,114 +374,43 @@ def cmd_study_resume(cfg: Config, args) -> int:
         print(f"store holds several studies, pass --name (one of {sorted(studies)})")
         return 1
 
-    from .core.dispatch import make_policy
-
     md = studies[name].metadata
-    _require_resume_metadata(md, spec, trials_override=args.trials is not None)
-    # Racing identity: the persisted rung schedule is authoritative — a
-    # resume racing different subsets (or not racing at all) would tell
-    # different trial states than the original run and silently diverge.
-    # --racing on resume is accepted only as an explicit consistency check.
-    persisted_racing = md.get("racing")
-    if args.racing and str(persisted_racing or "") != args.racing:
-        raise SystemExit(
-            f"cannot resume from {spec} with --racing {args.racing}: the "
-            f"study was run with racing="
-            f"{persisted_racing if persisted_racing else '<none>'} and rung "
-            "schedules cannot change mid-study (drop --racing to use the "
-            "persisted schedule)"
-        )
-    # Fidelity identity mirrors racing: the persisted ladder is
-    # authoritative — it decided which physics scored every trial value.
-    persisted_fidelity = md.get("fidelity")
-    if args.fidelity and str(persisted_fidelity or "") != args.fidelity:
-        raise SystemExit(
-            f"cannot resume from {spec} with --fidelity {args.fidelity}: the "
-            f"study was run with fidelity="
-            f"{persisted_fidelity if persisted_fidelity else '<none>'} and "
-            "fidelity ladders cannot change mid-study (drop --fidelity to "
-            "use the persisted ladder)"
-        )
-    site_cfg = cfg.updated("scenario.location", md["site"])
-    for key in ("year", "n_hours", "mean_power_mw"):
-        site_cfg = site_cfg.updated(f"scenario.{key}", md[key])
-    sites = [str(s) for s in md.get("sites", [site_cfg.scenario.location])]
-    launcher = _study_launcher(args.workers)
-    # An ensemble study persists its round-trippable spec (DESIGN.md §6);
-    # rebuilding from it reproduces the identical member list and order.
-    scenarios, _ = _study_scenarios(site_cfg, sites, md.get("ensemble"), launcher)
-    runner = OptimizationRunner(
-        scenarios,
-        launcher=launcher,
-        policy=make_policy(str(md["policy"]), scenarios),
-        aggregate=str(md["aggregate"]),
-        engine=args.engine or str(md.get("engine") or "auto"),
-        fidelity=str(persisted_fidelity) if persisted_fidelity else None,
-    )
-    persisted_pipeline = md.get("pipeline")
     try:
-        if persisted_pipeline is not None:
-            # Pipelined studies resume through the pipelined dispatcher
-            # with the persisted speculation depth — the depth decides
-            # every trial's parent epoch, so it is authoritative, exactly
-            # like the racing schedule.
-            from .blackbox.parallel import parse_pipeline_spec
-
-            result = runner.run_pipelined(
-                n_trials=args.trials or int(md["n_trials"]),
-                sampler=NSGA2Sampler(
-                    population_size=int(md["population"]), seed=int(md["seed"])
-                ),
-                storage=storage,
-                study_name=name,
-                load_if_exists=True,
-                racing=str(persisted_racing) if persisted_racing else None,
-                workers=args.workers,
-                executor="process" if args.workers > 1 else "thread",
-                speculate=parse_pipeline_spec(str(persisted_pipeline)),
-            )
-        else:
-            result = runner.run_blackbox(
-                n_trials=args.trials or int(md["n_trials"]),
-                sampler=NSGA2Sampler(
-                    population_size=int(md["population"]), seed=int(md["seed"])
-                ),
-                storage=storage,
-                study_name=name,
-                load_if_exists=True,
-                racing=str(persisted_racing) if persisted_racing else None,
-            )
+        # The persisted identity is authoritative: rebuild the exact
+        # spec the study was run with (fails loudly, naming every
+        # missing key, for pre-contract stores).
+        study_spec = StudySpec.from_metadata(
+            md, source=spec, trials_override=args.trials
+        )
+        # --racing/--fidelity on resume are explicit consistency checks
+        # only — a mismatch against the persisted spec is a hard error,
+        # through the same validator every driver uses.
+        requested = {
+            key: value
+            for key, value in (("racing", args.racing), ("fidelity", args.fidelity))
+            if value
+        }
+        if requested:
+            check_resume_identity(name, md, requested)
+    except OptimizationError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.engine:
+        # Engines are bit-for-bit identical (DESIGN.md §9), so an
+        # override never changes the front — unlike every key above.
+        study_spec = study_spec.replaced(engine=args.engine)
+    try:
+        result = study_spec.execute(
+            storage, name, workers=args.workers, load_if_exists=True
+        )
     except KeyboardInterrupt:
         return _interrupted(spec)
     _print_search_summary(result, spec, name)
     return 0
 
 
-def _stored_front_size(stored) -> "int | None":
-    """Pareto-front size of a replayed study's completed trials.
-
-    Dedupes revisited genomes so the count matches the front size
-    ``study run``/``study resume`` print for the same store; ``None``
-    when nothing completed.
-    """
-    import numpy as np
-
-    from .blackbox.multiobjective import pareto_front_indices
-    from .blackbox.trial import TrialState
-
-    completed = [
-        t for t in stored.trials if t.state == TrialState.COMPLETE and t.values
-    ]
-    if not completed:
-        return None
-    unique = {tuple(sorted(t.params.items())): t.values for t in completed}
-    signs = np.array([1.0 if d == "minimize" else -1.0 for d in stored.directions])
-    values = np.array(list(unique.values())) * signs
-    return len(pareto_front_indices(values))
-
-
 def cmd_study_status(cfg: Config, args) -> int:
     from .blackbox.trial import TrialState
+    from .service import stored_front_size, study_status_document
 
     spec = _store_spec(args)
     storage = _open_storage(args)
@@ -574,6 +418,19 @@ def cmd_study_status(cfg: Config, args) -> int:
     if not studies:
         print(f"no studies found in {spec}")
         return 1
+    if getattr(args, "json", False):
+        # The service's status serializer, verbatim (DESIGN.md §12):
+        # scripts and GET /studies/{name} read the same document.
+        import json
+
+        print(
+            json.dumps(
+                [study_status_document(studies[n]) for n in sorted(studies)],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     for name in sorted(studies):
         stored = studies[name]
         trials = stored.trials
@@ -588,7 +445,7 @@ def cmd_study_status(cfg: Config, args) -> int:
             f"{counts['running']} in-flight, {counts['pruned']} pruned, "
             f"{counts['failed']} failed"
         )
-        front_size = _stored_front_size(stored)
+        front_size = stored_front_size(stored)
         if front_size is not None:
             line += f", front size {front_size}"
         sites = stored.metadata.get("sites") or (
@@ -628,6 +485,21 @@ def cmd_study_status(cfg: Config, args) -> int:
         timings = stored.metadata.get("batch_timings")
         if timings:
             print(f"  batches: {_starvation_stats(timings)}")
+        doc = study_status_document(stored)
+        service = doc.get("service")
+        heartbeat = doc.get("heartbeat")
+        if service or heartbeat:
+            line = f"  service: {(service or {}).get('state', 'unknown')}"
+            if heartbeat:
+                line += f", heartbeat {heartbeat['age_s']:.0f}s ago"
+                if heartbeat.get("trials_done") is not None and target:
+                    line += f" ({heartbeat['trials_done']}/{target} trials)"
+                if heartbeat["stale"]:
+                    line += (
+                        " — STALE: worker presumed dead; re-queue with "
+                        "`repro study resume`"
+                    )
+            print(line)
     return 0
 
 
@@ -706,11 +578,13 @@ def cmd_study_merge(cfg: Config, args) -> int:
     except Exception as exc:  # noqa: BLE001 - CLI boundary: report, don't trace
         print(f"merge failed: {exc}")
         return 1
+    from .service import stored_front_size
+
     line = (
         f"merged {len(args.sources)} stores into {args.into}: study "
         f"'{merged.name}', {len(merged.trials)} trials"
     )
-    front_size = _stored_front_size(merged)
+    front_size = stored_front_size(merged)
     if front_size is not None:
         line += f", front size {front_size}"
     print(line)
@@ -728,6 +602,17 @@ _STUDY_COMMANDS = {
 
 def cmd_study(cfg: Config, args) -> int:
     return _STUDY_COMMANDS[args.study_command](cfg, args)
+
+
+def cmd_serve(cfg: Config, args) -> int:
+    """Study-as-a-service (DESIGN.md §12): stdlib HTTP API + workers."""
+    from .service import StudyService
+    from .service.http import serve
+
+    service = StudyService(args.storage)
+    return serve(
+        service, host=args.host, port=args.port, workers=args.workers
+    )
 
 
 def cmd_report(cfg: Config, args) -> int:
@@ -937,6 +822,12 @@ def build_parser() -> argparse.ArgumentParser:
         "fidelity ladder (resume always uses the persisted ladder)",
     )
     p_stat = store_args(ssub.add_parser("status", help="summarize the studies in a store"))
+    p_stat.add_argument(
+        "--json",
+        action="store_true",
+        help="print the service's machine-readable status documents "
+        "(the same JSON GET /studies/{name} returns)",
+    )
     store_args(
         ssub.add_parser(
             "compact",
@@ -944,6 +835,27 @@ def build_parser() -> argparse.ArgumentParser:
             "(replay becomes O(live trials), not O(history))",
         )
     )
+    p_serve = sub.add_parser(
+        "serve",
+        help="study-as-a-service: stdlib HTTP API + queue workers "
+        "over one store (DESIGN.md §12)",
+    )
+    p_serve.add_argument(
+        "--storage",
+        required=True,
+        metavar="URL",
+        help="the store the service queues, runs, and serves studies from "
+        "(journal:///p.jsonl | sqlite:///p.db | bare path)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="queue-draining worker threads pulling submitted studies",
+    )
+
     p_merge = ssub.add_parser(
         "merge", help="fold shard stores into one store (renumbers trials)"
     )
@@ -973,6 +885,7 @@ COMMANDS = {
     "report": cmd_report,
     "all": cmd_all,
     "study": cmd_study,
+    "serve": cmd_serve,
 }
 
 

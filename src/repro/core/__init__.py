@@ -59,6 +59,7 @@ from .study_runner import (
     run_exhaustive_search,
     run_pipelined_search,
 )
+from .study_spec import StudySpec, check_resume_identity
 from .finance import (
     CostParameters,
     capex_usd,
@@ -125,6 +126,8 @@ __all__ = [
     "CumulativeProjection",
     "project_emissions",
     "OptimizationRunner",
+    "StudySpec",
+    "check_resume_identity",
     "run_exhaustive_search",
     "run_blackbox_search",
     "run_pipelined_search",

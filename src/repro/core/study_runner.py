@@ -62,6 +62,7 @@ from .parameterspace import PAPER_SPACE, ParameterSpace
 from .pareto import pareto_front, pareto_points
 from .racing import RacingEvaluator, RacingStats, RungSchedule
 from .scenario import Scenario
+from .study_spec import check_resume_identity
 
 #: Either a plain single-scenario evaluation or its multi-scenario wrapper —
 #: both expose ``composition`` and ``objectives(names)``.
@@ -482,38 +483,26 @@ class OptimizationRunner:
             metadata=metadata,
         )
         if storage is not None:
-            # Racing identity mirrors the batch-size check below: the
-            # schedule decides which trials get pruned, so resuming a
-            # raced study without it (or vice versa) silently breeds a
-            # different population than the original run while the
-            # metadata still claims the persisted schedule.  A fresh
-            # study always matches (run_blackbox just persisted it).
-            persisted_racing = study.metadata.get("racing")
-            requested_racing = racing.spec_string() if racing is not None else None
-            if persisted_racing != requested_racing:
-                raise OptimizationError(
-                    f"study '{study.study_name}' was persisted with racing="
-                    f"{persisted_racing or '<none>'}, resumed with "
-                    f"{requested_racing or '<none>'}; the rung schedule decides "
-                    "which trials are pruned, so resume must race the "
-                    "identical schedule"
-                )
-            # Fidelity identity mirrors the racing check: the ladder
-            # decides which physics every trial value came from, so a
-            # resume under a different (or absent) ladder would mix
-            # incomparable objective values in one study.
-            persisted_fidelity = study.metadata.get("fidelity")
-            requested_fidelity = (
-                self._fidelity.spec_string() if self._fidelity is not None else None
+            # Identity checks route through the one shared validator
+            # (DESIGN.md §12): the rung schedule decides which trials
+            # get pruned and the fidelity ladder which physics scored
+            # them, so resuming either differently silently breeds a
+            # different population than the original run.  A fresh
+            # study always matches (run_blackbox just persisted both).
+            check_resume_identity(
+                study.study_name,
+                study.metadata,
+                {
+                    "racing": (
+                        racing.spec_string() if racing is not None else None
+                    ),
+                    "fidelity": (
+                        self._fidelity.spec_string()
+                        if self._fidelity is not None
+                        else None
+                    ),
+                },
             )
-            if persisted_fidelity != requested_fidelity:
-                raise OptimizationError(
-                    f"study '{study.study_name}' was persisted with fidelity="
-                    f"{persisted_fidelity or '<none>'}, resumed with "
-                    f"{requested_fidelity or '<none>'}; the fidelity ladder "
-                    "decides which physics scored every trial, so resume must "
-                    "use the identical ladder"
-                )
         racer: "RacingEvaluator | FidelityRacingEvaluator | None" = None
         racing_stats: "RacingStats | None" = None
         n_pruned = 0
@@ -554,14 +543,7 @@ class OptimizationRunner:
             # trimming a pop-50 history at a resumed batch of 40 would
             # hand the sampler a history no uninterrupted run ever saw.
             # A mismatch cannot be aligned, so it is a hard error.
-            persisted_batch = study.metadata.get("batch")
-            if persisted_batch is not None and int(persisted_batch) != batch:
-                raise OptimizationError(
-                    f"study '{study.study_name}' was run with batch/population "
-                    f"{int(persisted_batch)}, resumed with {batch}; resume with "
-                    "the original value (generation boundaries cannot be aligned "
-                    "across different batch sizes)"
-                )
+            check_resume_identity(study.study_name, study.metadata, {"batch": batch})
             if len(study.trials) < n_trials:
                 study.drop_trailing_partial_batch(batch)
             # Rebuild the evaluation record for COMPLETE trials only: a

@@ -1,0 +1,51 @@
+"""Study-as-a-service (DESIGN.md §12): queue, workers, and HTTP API.
+
+Mounts the service verbs — submit / status / resume / results / front /
+cancel — on the storage contract (§7) and the :class:`~repro.core.
+study_spec.StudySpec` identity seam, so the HTTP API, the worker loop,
+and the CLI all drive the exact same code path:
+
+* :class:`StudyService` — the verbs plus a queue-draining worker loop
+  over any storage URL;
+* :class:`HeartbeatStorage` — delegating backend wrapper persisting
+  ``heartbeat_ts`` / ``trials_done`` liveness through
+  ``update_metadata``;
+* :func:`study_status_document` — the one machine-readable status
+  serializer (``repro study status --json`` and GET /studies/{name});
+* :mod:`repro.service.http` — the stdlib-only ``ThreadingHTTPServer``
+  JSON API behind ``repro serve``.
+"""
+
+from .service import (
+    HEARTBEAT_EVERY_S,
+    SERVICE_KEY,
+    STALE_AFTER_S,
+    HeartbeatStorage,
+    ServiceError,
+    StudyConflictError,
+    StudyService,
+    UnknownStudyError,
+    front_csv,
+    front_rows,
+    front_trials,
+    spec_from_document,
+    stored_front_size,
+    study_status_document,
+)
+
+__all__ = [
+    "HEARTBEAT_EVERY_S",
+    "SERVICE_KEY",
+    "STALE_AFTER_S",
+    "HeartbeatStorage",
+    "ServiceError",
+    "StudyConflictError",
+    "StudyService",
+    "UnknownStudyError",
+    "front_csv",
+    "front_rows",
+    "front_trials",
+    "spec_from_document",
+    "stored_front_size",
+    "study_status_document",
+]

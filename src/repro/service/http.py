@@ -1,0 +1,185 @@
+"""Stdlib-only HTTP front end for :class:`~repro.service.StudyService`.
+
+A deliberately small JSON API over ``http.server`` — no web framework,
+matching the repo's no-new-hard-deps precedent (numba is optional, the
+service is plain stdlib).  ``ThreadingHTTPServer`` gives one thread per
+request; the study work itself happens in the service's worker threads,
+so handlers only read/write study metadata and return quickly.
+
+Routes (DESIGN.md §12):
+
+==========================================  ====================================
+``POST /studies``                           submit a study — body is a JSON
+                                            document of StudySpec fields plus
+                                            optional ``name``/``trials``/
+                                            ``speculate`` (201, status doc)
+``GET /studies``                            every study's status doc (200)
+``GET /studies/{name}``                     one study's status doc (200)
+``GET /studies/{name}/front.csv``           current Pareto front as CSV (200)
+``POST /studies/{name}/resume``             re-queue for the next worker (202)
+``POST /studies/{name}/cancel``             drop a queued study (200)
+==========================================  ====================================
+
+Errors are JSON ``{"error": ...}`` with 400 (bad spec), 404 (unknown
+study), 409 (conflict: duplicate submit, live-heartbeat resume), or 405.
+
+``repro serve --storage URL --workers N`` (cli.py) builds the service,
+starts N daemon worker threads on :meth:`StudyService.worker_loop`, and
+blocks in ``serve_forever``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .service import (
+    ServiceError,
+    StudyConflictError,
+    StudyService,
+    UnknownStudyError,
+    spec_from_document,
+)
+
+
+class StudyServiceHandler(BaseHTTPRequestHandler):
+    """Request handler bound to one :class:`StudyService` via subclassing."""
+
+    service: StudyService  # injected by make_server()
+
+    # Silence the default stderr access log — the CLI prints one line
+    # per lifecycle event instead of one per poll.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    # -- response helpers -----------------------------------------------------
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode() + b"\n"
+        self._send(status, body, "application/json")
+
+    def _error(self, status: int, message: str) -> None:
+        self._json(status, {"error": message})
+
+    def _dispatch(self, handler) -> None:
+        try:
+            handler()
+        except UnknownStudyError as exc:
+            self._error(404, str(exc))
+        except StudyConflictError as exc:
+            self._error(409, str(exc))
+        except (ServiceError, ValueError) as exc:
+            self._error(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 - HTTP boundary: report, don't crash the server thread
+            self._error(500, str(exc))
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from None
+
+    # -- routes ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(self._get)
+
+    def _get(self) -> None:
+        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+        if parts == ["studies"]:
+            self._json(200, {"studies": self.service.list_studies()})
+        elif len(parts) == 2 and parts[0] == "studies":
+            self._json(200, self.service.status(parts[1]))
+        elif len(parts) == 3 and parts[0] == "studies" and parts[2] == "front.csv":
+            self._send(200, self.service.front(parts[1]).encode(), "text/csv")
+        else:
+            self._error(404, f"no route for GET {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(self._post)
+
+    def _post(self) -> None:
+        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+        if parts == ["studies"]:
+            document = self._read_json()
+            if not isinstance(document, dict):
+                raise ServiceError("POST /studies body must be a JSON object")
+            spec, name = spec_from_document(document)
+            self._json(201, self.service.submit(spec, name))
+        elif len(parts) == 3 and parts[0] == "studies" and parts[2] == "resume":
+            self._json(202, self.service.resume(parts[1]))
+        elif len(parts) == 3 and parts[0] == "studies" and parts[2] == "cancel":
+            self._json(200, self.service.cancel(parts[1]))
+        else:
+            self._error(404, f"no route for POST {self.path}")
+
+
+def make_server(
+    service: StudyService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A bound (not yet serving) HTTP server for ``service``.
+
+    ``port=0`` lets the OS pick a free port (``server.server_address``
+    has the real one) — what tests use to avoid collisions.
+    """
+    handler = type(
+        "BoundStudyServiceHandler", (StudyServiceHandler,), {"service": service}
+    )
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(
+    service: StudyService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    workers: int = 1,
+    stop_event: "threading.Event | None" = None,
+) -> int:
+    """Run the HTTP API plus ``workers`` queue-draining worker threads.
+
+    Blocks in ``serve_forever`` until interrupted (or ``stop_event`` is
+    set by another thread, which also stops the workers).  Returns 0 —
+    the CLI exit code.
+    """
+    stop = stop_event or threading.Event()
+    server = make_server(service, host, port)
+    threads = [
+        threading.Thread(
+            target=service.worker_loop,
+            kwargs={"stop_event": stop, "worker_id": f"worker-{i}"},
+            daemon=True,
+            name=f"study-worker-{i}",
+        )
+        for i in range(max(1, int(workers)))
+    ]
+    for thread in threads:
+        thread.start()
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"serving {service.storage_spec} on http://{bound_host}:{bound_port} "
+        f"({len(threads)} worker thread{'s' if len(threads) != 1 else ''})"
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+        server.server_close()
+        for thread in threads:
+            thread.join(timeout=5.0)
+    return 0
