@@ -24,6 +24,7 @@ ci:
 	PYTHONPATH=src python -m pytest -q tests/test_pipeline.py tests/test_sampler_protocol.py
 	PYTHONPATH=src python -m pytest -q tests/test_fidelity_differential.py
 	PYTHONPATH=src python -m pytest -q tests/test_study_spec.py tests/test_service.py
+	PYTHONPATH=src python -m pytest -q tests/test_lease.py tests/test_remote_worker.py
 	PYTHONPATH=src python -m pytest -m tier2 --collect-only -q
 	PYTHONPATH=src python -m pytest benchmarks/ --collect-only -q
 

@@ -1,0 +1,185 @@
+"""Remote worker fleets over the lease protocol: evaluation scaling.
+
+The perf-trajectory point for cluster-scale search (DESIGN.md §13).  A
+coordinator-side :class:`PipelinedDispatcher` publishes candidate
+evaluations through a :class:`LeasedWorkQueue` registered on a
+:class:`StudyService` behind the real stdlib HTTP server, and
+:class:`RemoteWorkerClient` fleets drain it over actual HTTP — lease,
+evaluate, ack — exactly the production `repro worker` path, with one
+substitution: ``objective_override`` swaps the physics for a
+deterministic **GIL-releasing sleeper**, so thread workers in one
+process measure real evaluation concurrency (plus the full protocol
+overhead) rather than CPU contention.
+
+Headlines land in ``benchmarks/output/BENCH_remote.json`` for
+``check_regression.py``: trials-per-second at one and two workers, and
+the two-worker scaling factor.  The ≥1.5×-at-2-workers floor is opt-in
+(``bench`` marker) so loaded CI machines skip rather than flake; the
+fleet-size-invariance assertion — one worker and two workers produce
+the *bit-identical* trial sequence, the §13 determinism claim — always
+runs.
+
+The sampler is deliberately :class:`RandomSampler`: with per-trial RNG
+streams its params are a pure function of the trial number, so every
+fleet size evaluates the *same* sleeps — the comparison measures the
+lease transport alone, not sampling drift.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.blackbox.distributions import FloatDistribution
+from repro.blackbox.parallel import PipelinedDispatcher
+from repro.blackbox.samplers.random import RandomSampler
+from repro.blackbox.study import Study
+from repro.service import LeasedWorkQueue, RemoteWorkerClient, StudyService
+from repro.service.http import make_server
+
+N_TRIALS = 32
+BATCH = 8
+#: coordinator in-flight slots (`remote_slots` in production)
+SLOTS = 4
+SLEEP_S = 0.06
+SEED = 11
+LEASE_TTL_S = 30.0
+
+SPACE = {"x": FloatDistribution(0.0, 1.0), "y": FloatDistribution(0.0, 1.0)}
+
+#: opt-in floor for the headline metric (guarded by the bench marker)
+SCALING_FLOOR = 1.5
+
+
+def sleeper(params: dict) -> tuple[float, float]:
+    """Deterministic fixed-cost objective; sleeping releases the GIL."""
+    time.sleep(SLEEP_S)
+    return (params["x"] ** 2 + params["y"], (params["x"] - 1.0) ** 2 + params["y"])
+
+
+def _snapshot(study: Study) -> list:
+    return [(t.number, dict(t.params), t.values) for t in study.trials]
+
+
+def _run_fleet(n_workers: int) -> "tuple[Study, dict, float]":
+    """One coordinated study drained by ``n_workers`` HTTP workers."""
+    study = Study(directions=["minimize", "minimize"], sampler=RandomSampler(seed=SEED))
+    queue = LeasedWorkQueue(ttl=LEASE_TTL_S)
+    service = StudyService("memory://")
+    service.register_work_queue("bench", queue)
+    server = make_server(service)
+    threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    ).start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+
+    clients = [
+        RemoteWorkerClient(
+            base, f"w{i}", poll_s=0.02, lease_limit=2, objective_override=sleeper
+        )
+        for i in range(n_workers)
+    ]
+    threads = [
+        threading.Thread(target=c.run, kwargs={"max_idle": 200}, daemon=True)
+        for c in clients
+    ]
+    dispatcher = PipelinedDispatcher(
+        study, SPACE, workers=SLOTS, executor=queue, speculate=BATCH, batch_size=BATCH
+    )
+    try:
+        for thread in threads:
+            thread.start()
+        start = time.perf_counter()
+        dispatcher.optimize(sleeper, n_trials=N_TRIALS)
+        elapsed = time.perf_counter() - start
+        stats = queue.stats()
+    finally:
+        service.unregister_work_queue("bench")
+        queue.shutdown(cancel_futures=True)
+        server.shutdown()
+        server.server_close()
+        for thread in threads:
+            thread.join(timeout=30.0)
+    return study, stats, elapsed
+
+
+@pytest.fixture(scope="module")
+def remote_runs(output_dir):
+    solo_study, solo_stats, t_solo = _run_fleet(1)
+    duo_study, duo_stats, t_duo = _run_fleet(2)
+
+    per_s = {1: N_TRIALS / t_solo, 2: N_TRIALS / t_duo}
+    scaling = t_solo / t_duo if t_duo > 0 else float("inf")
+
+    report = (
+        f"remote worker benchmark ({N_TRIALS} trials x {SLEEP_S * 1000:.0f} ms, "
+        f"{SLOTS} coordinator slots, real HTTP lease protocol):\n"
+        f"  1 worker : {t_solo:6.2f} s ({per_s[1]:6.1f} trials/s)\n"
+        f"  2 workers: {t_duo:6.2f} s ({per_s[2]:6.1f} trials/s, "
+        f"{duo_stats['completed']} completed, "
+        f"{duo_stats['reclaimed']} reclaimed)\n"
+        f"  scaling  : {scaling:5.2f}x\n"
+        f"  fleet-size invariant front: yes\n"
+    )
+    print("\n" + report)
+    (output_dir / "remote_workers.txt").write_text(report)
+    (output_dir / "BENCH_remote.json").write_text(
+        json.dumps(
+            {
+                "remote": {
+                    "generated_by": "benchmarks/bench_remote_workers.py",
+                    "config": {
+                        "trials": N_TRIALS,
+                        "batch": BATCH,
+                        "slots": SLOTS,
+                        "sleep_s": SLEEP_S,
+                        "lease_ttl_s": LEASE_TTL_S,
+                    },
+                    "seconds": {
+                        "workers_1": round(t_solo, 3),
+                        "workers_2": round(t_duo, 3),
+                    },
+                    "trials_per_s": {
+                        "workers_1": round(per_s[1], 2),
+                        "workers_2": round(per_s[2], 2),
+                    },
+                    "scaling_2_workers": round(scaling, 2),
+                }
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return {
+        "solo": _snapshot(solo_study),
+        "duo": _snapshot(duo_study),
+        "solo_stats": solo_stats,
+        "duo_stats": duo_stats,
+        "scaling": scaling,
+    }
+
+
+def test_every_trial_is_evaluated_remotely(remote_runs):
+    """All evaluation went through the lease protocol, none was lost."""
+    for stats in (remote_runs["solo_stats"], remote_runs["duo_stats"]):
+        assert stats["completed"] == N_TRIALS
+        assert stats["queued"] == 0 and stats["leased"] == 0
+    assert len(remote_runs["duo_stats"]["workers"]) == 2
+
+
+def test_fleet_size_does_not_change_the_trials(remote_runs):
+    """Always-on correctness gate: the §13 determinism claim — which
+    worker evaluates a candidate is never an input to what it is."""
+    assert remote_runs["solo"] == remote_runs["duo"]
+
+
+@pytest.mark.bench
+def test_two_workers_scale_evaluation(remote_runs):
+    assert remote_runs["scaling"] >= SCALING_FLOOR, (
+        f"two remote workers only {remote_runs['scaling']:.2f}x faster than "
+        f"one (want ≥ {SCALING_FLOOR}x)"
+    )

@@ -69,6 +69,11 @@ HEADLINE_METRICS: "dict[str, list[tuple[str, ...]]]" = {
         ("pipeline", "wall_clock_speedup"),
         ("pipeline", "idle_reduction"),
     ],
+    "BENCH_remote.json": [
+        ("remote", "trials_per_s", "workers_1"),
+        ("remote", "trials_per_s", "workers_2"),
+        ("remote", "scaling_2_workers"),
+    ],
 }
 
 

@@ -756,9 +756,17 @@ class PipelinedDispatcher:
             raise OptimizationError("parallel execution needs a declared search space")
         if workers < 1:
             raise OptimizationError("workers must be >= 1")
-        if executor not in ("thread", "process", "serial"):
+        if isinstance(executor, str):
+            if executor not in ("thread", "process", "serial"):
+                raise OptimizationError(
+                    f"unknown executor '{executor}' (use thread | process | serial)"
+                )
+        elif not (
+            hasattr(executor, "submit_trial") and hasattr(executor, "submit_rung")
+        ):
             raise OptimizationError(
-                f"unknown executor '{executor}' (use thread | process | serial)"
+                "executor object must expose submit_trial/submit_rung/shutdown "
+                "(the remote seam; see repro.service.lease.LeasedWorkQueue)"
             )
         if batch_size is not None and batch_size < 1:
             raise OptimizationError("batch_size must be >= 1")
@@ -936,6 +944,11 @@ class PipelinedDispatcher:
         return self.study
 
     def _make_pool(self, objective: ParamsObjective):
+        if not isinstance(self.executor, str):
+            # Remote seam: an executor *object* (LeasedWorkQueue) already
+            # knows how to evaluate params elsewhere — hand it straight
+            # through; workers bring their own objective.
+            return self.executor
         if self.executor == "serial" or self.workers == 1 and self.executor == "thread":
             return _InlineExecutor()
         if self.executor == "thread":
@@ -953,13 +966,21 @@ class PipelinedDispatcher:
         study = self.study
         self._objective = objective
         in_process = not isinstance(pool, ProcessPoolExecutor)
+        # A pool with its own submit_trial/submit_rung is the remote seam:
+        # items carry only params (the worker holds the objective), and the
+        # returned futures resolve when a remote result is acknowledged.
+        remote = hasattr(pool, "submit_trial")
 
         def submit_trial(params):
+            if remote:
+                return pool.submit_trial(params)
             if in_process:
                 return pool.submit(_guarded, objective, params)
             return pool.submit(_pipeline_eval, params)
 
         def submit_rung(params, members):
+            if remote:
+                return pool.submit_rung(params, members)
             if in_process:
                 return pool.submit(_guarded, objective.member_values, params, members)
             return pool.submit(_pipeline_eval_members, params, members)

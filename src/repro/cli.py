@@ -490,15 +490,35 @@ def cmd_study_status(cfg: Config, args) -> int:
         heartbeat = doc.get("heartbeat")
         if service or heartbeat:
             line = f"  service: {(service or {}).get('state', 'unknown')}"
+            reclaims = (service or {}).get("reclaims")
+            if reclaims:
+                line += f", reclaimed ×{reclaims}"
             if heartbeat:
                 line += f", heartbeat {heartbeat['age_s']:.0f}s ago"
                 if heartbeat.get("trials_done") is not None and target:
                     line += f" ({heartbeat['trials_done']}/{target} trials)"
                 if heartbeat["stale"]:
                     line += (
-                        " — STALE: worker presumed dead; re-queue with "
-                        "`repro study resume`"
+                        " — STALE: worker presumed dead; the next "
+                        "`repro serve` worker reclaims it automatically "
+                        "(or re-queue now with `repro study resume`)"
                     )
+            print(line)
+        leases = doc.get("leases")
+        if leases:
+            workers = leases.get("workers") or {}
+            line = (
+                f"  leases: {leases.get('queued', 0)} queued, "
+                f"{leases.get('leased', 0)} leased, "
+                f"{leases.get('completed', 0)} completed, "
+                f"{leases.get('reclaimed', 0)} reclaimed "
+                f"(ttl {leases.get('ttl_s')}s)"
+            )
+            if workers:
+                line += (
+                    ", workers: "
+                    + ", ".join(f"{w}×{n}" for w, n in sorted(workers.items()))
+                )
             print(line)
     return 0
 
@@ -612,6 +632,24 @@ def cmd_serve(cfg: Config, args) -> int:
     service = StudyService(args.storage)
     return serve(
         service, host=args.host, port=args.port, workers=args.workers
+    )
+
+
+def cmd_worker(cfg: Config, args) -> int:
+    """Remote evaluation worker (DESIGN.md §13): lease, evaluate, ack."""
+    import os
+    import socket
+
+    from .service.remote_worker import run_remote_worker
+
+    worker_id = args.id or f"{socket.gethostname()}-{os.getpid()}"
+    return run_remote_worker(
+        args.connect,
+        worker_id,
+        poll_s=args.poll,
+        lease_limit=args.lease_limit,
+        max_items=args.max_items,
+        max_idle=args.max_idle,
     )
 
 
@@ -856,6 +894,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="queue-draining worker threads pulling submitted studies",
     )
 
+    p_worker = sub.add_parser(
+        "worker",
+        help="remote evaluation worker: lease candidate batches from a "
+        "`repro serve` coordinator, evaluate, post results (DESIGN.md §13)",
+    )
+    p_worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="URL",
+        help="the serve process to lease work from, e.g. http://host:8765",
+    )
+    p_worker.add_argument(
+        "--id",
+        default=None,
+        help="worker id shown in lease stats (default: <hostname>-<pid>)",
+    )
+    p_worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="sleep between empty lease polls",
+    )
+    p_worker.add_argument(
+        "--lease-limit",
+        type=int,
+        default=1,
+        metavar="N",
+        help="max candidate evaluations leased per poll",
+    )
+    p_worker.add_argument(
+        "--max-items",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after evaluating N items (default: run until idle/killed)",
+    )
+    p_worker.add_argument(
+        "--max-idle",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N consecutive empty or unreachable polls "
+        "(default: poll forever)",
+    )
+
     p_merge = ssub.add_parser(
         "merge", help="fold shard stores into one store (renumbers trials)"
     )
@@ -886,6 +970,7 @@ COMMANDS = {
     "all": cmd_all,
     "study": cmd_study,
     "serve": cmd_serve,
+    "worker": cmd_worker,
 }
 
 

@@ -641,7 +641,7 @@ class OptimizationRunner:
         metadata: dict[str, Any] | None = None,
         racing: "RungSchedule | str | None" = None,
         workers: int = 1,
-        executor: str = "thread",
+        executor: "str | Any" = "thread",
         speculate: int = 0,
     ) -> SearchResult:
         """Generation-free search through the pipelined dispatcher.
@@ -659,6 +659,10 @@ class OptimizationRunner:
         ``workers``/``executor`` pick the slot pool (``thread`` |
         ``process`` | ``serial``) — per-slot futures, not the runner's
         chunked launcher, since streaming needs slot-level completion.
+        ``executor`` may also be an executor *object* exposing
+        ``submit_trial``/``submit_rung`` (the remote seam, DESIGN.md
+        §13): candidates then stream to remote workers instead of a
+        local pool, with ``workers`` capping the in-flight count.
         """
         from ..blackbox.parallel import PipelinedDispatcher, pipeline_spec_string
 

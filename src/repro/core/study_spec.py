@@ -183,6 +183,13 @@ class StudySpec:
     pipeline: "str | None" = None
     engine: str = "auto"
     shards: "int | None" = None
+    #: transport knobs (non-identity, like ``engine``): how many remote
+    #: worker slots the coordinator keeps in flight, and the lease TTL
+    #: its work items carry.  Neither changes which candidates are bred
+    #: — the epoch schedule is a pure function of the trial number — so
+    #: both may differ freely between a run and its resume.
+    remote_slots: "int | None" = None
+    lease_ttl: "float | None" = None
 
     def __post_init__(self) -> None:
         sites = self.sites
@@ -230,6 +237,19 @@ class StudySpec:
                 mean_power_w=self.mean_power_mw * 1e6,
             )
             object.__setattr__(self, "ensemble", spec.spec_string())
+        if self.remote_slots is not None:
+            object.__setattr__(self, "remote_slots", int(self.remote_slots))
+            if self.remote_slots < 1:
+                raise OptimizationError("remote_slots must be >= 1")
+            if self.pipeline is None:
+                # Remote dispatch rides the pipelined driver (it needs
+                # slot-granular futures); speculate=0 keeps the front
+                # bit-identical to the batched runner.
+                object.__setattr__(self, "pipeline", "speculate=0")
+        if self.lease_ttl is not None:
+            object.__setattr__(self, "lease_ttl", float(self.lease_ttl))
+            if self.lease_ttl <= 0:
+                raise OptimizationError("lease_ttl must be positive")
         if self.pipeline is not None:
             from ..blackbox.parallel import (
                 parse_pipeline_spec,
@@ -274,6 +294,16 @@ class StudySpec:
             # Informational only: every engine is bit-for-bit identical,
             # so resume is free to pick a different one (unlike racing).
             metadata["engine"] = self.engine
+        if self.remote_slots is not None or self.lease_ttl is not None:
+            # Transport envelope — informational like ``engine``: slots
+            # and TTLs shape scheduling, never the bred candidates, so
+            # they are excluded from every resume-identity check.
+            transport: dict[str, Any] = {}
+            if self.remote_slots is not None:
+                transport["slots"] = self.remote_slots
+            if self.lease_ttl is not None:
+                transport["lease_ttl_s"] = self.lease_ttl
+            metadata["transport"] = transport
         return metadata
 
     @classmethod
@@ -323,6 +353,8 @@ class StudySpec:
             pipeline=metadata.get("pipeline"),
             engine=str(metadata.get("engine") or "auto"),
             shards=metadata.get("shards"),
+            remote_slots=(metadata.get("transport") or {}).get("slots"),
+            lease_ttl=(metadata.get("transport") or {}).get("lease_ttl_s"),
         )
 
     def validate_resume(
@@ -399,6 +431,43 @@ class StudySpec:
         )
         return build_ensemble(spec, launcher=launcher)
 
+    def build_runner(self, launcher=None):
+        """The scenario stack + runner this identity evaluates through."""
+        from .dispatch import make_policy
+        from .study_runner import OptimizationRunner
+
+        scenarios = self.build_scenarios(launcher)
+        return OptimizationRunner(
+            scenarios,
+            launcher=launcher,
+            policy=make_policy(self.policy, scenarios),
+            aggregate=self.aggregate,
+            engine=self.engine,
+            fidelity=self.fidelity,
+        )
+
+    def build_objective(self):
+        """The exact params → objectives callable this identity scores with.
+
+        Remote workers rebuild it from the coordinator's persisted
+        metadata (``GET /studies/{name}/spec`` →
+        :meth:`from_metadata` → this), so a leased candidate evaluates
+        through the *same* scenario stack, policy, aggregate, and
+        physics as a local run — the reason a remote front is
+        bit-identical (DESIGN.md §13).
+        """
+        from .study_runner import CompositionObjective
+
+        runner = self.build_runner()
+        return CompositionObjective(
+            runner.scenarios,
+            space=runner.space,
+            objectives=runner.objectives,
+            policy=runner.policy,
+            aggregate=runner.aggregate,
+            engine=runner.engine,
+        )
+
     def execute(
         self,
         storage,
@@ -407,6 +476,7 @@ class StudySpec:
         workers: int = 1,
         load_if_exists: bool = False,
         launcher=None,
+        executor=None,
     ):
         """Run (or resume) this study and return the ``SearchResult``.
 
@@ -415,27 +485,35 @@ class StudySpec:
         the spec and picks the pipelined or batched driver by whether
         ``pipeline`` is set.  ``storage`` is a resolved backend or any
         URL spec the registry accepts.
+
+        ``executor`` is the remote seam: pass an executor *object* (a
+        :class:`~repro.service.lease.LeasedWorkQueue`) and the
+        pipelined driver streams candidates to it — up to
+        ``remote_slots`` in flight — instead of a local pool.
         """
         from ..blackbox.samplers.nsga2 import NSGA2Sampler
-        from .dispatch import make_policy
-        from .study_runner import OptimizationRunner
 
-        if launcher is None and workers and workers > 1:
+        if executor is None and launcher is None and workers and workers > 1:
             from ..confsys import MultiprocessingLauncher
 
             launcher = MultiprocessingLauncher(n_workers=workers)
-        scenarios = self.build_scenarios(launcher)
-        runner = OptimizationRunner(
-            scenarios,
-            launcher=launcher,
-            policy=make_policy(self.policy, scenarios),
-            aggregate=self.aggregate,
-            engine=self.engine,
-            fidelity=self.fidelity,
-        )
+        runner = self.build_runner(launcher)
         sampler = NSGA2Sampler(population_size=self.population, seed=self.seed)
         name = study_name or self.default_name
         metadata = self.to_metadata()
+        if executor is not None:
+            return runner.run_pipelined(
+                n_trials=self.n_trials,
+                sampler=sampler,
+                storage=storage,
+                study_name=name,
+                load_if_exists=load_if_exists,
+                metadata=metadata,
+                racing=self.racing,
+                workers=self.remote_slots or max(workers, 1),
+                executor=executor,
+                speculate=self.speculate or 0,
+            )
         if self.pipeline is not None:
             return runner.run_pipelined(
                 n_trials=self.n_trials,

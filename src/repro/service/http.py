@@ -3,29 +3,29 @@
 A deliberately small JSON API over ``http.server`` — no web framework,
 matching the repo's no-new-hard-deps precedent (numba is optional, the
 service is plain stdlib).  ``ThreadingHTTPServer`` gives one thread per
-request; the study work itself happens in the service's worker threads,
-so handlers only read/write study metadata and return quickly.
+request; whole-study work happens in the service's worker threads and
+remote evaluation in external worker processes, so handlers only
+read/write study metadata, grant leases, and return quickly.
 
-Routes (DESIGN.md §12):
+The full route set lives in :data:`ROUTES` — one declarative
+``(method, path template, handler)`` table that drives dispatch *and*
+is what the README's HTTP API reference is tested against
+(``tests/test_docs_consistency.py``), so the docs cannot drift from the
+registered routes.  The lease verbs (DESIGN.md §13) are the remote
+worker protocol: ``POST /lease`` grants a TTL-stamped candidate batch
+from any live coordinator, ``GET /studies/{name}/spec`` hands the
+worker the persisted identity to rebuild its objective from, and
+``POST /studies/{name}/results`` acknowledges evaluated batches
+(late results after a reclaim are acked as stale, never errors).
 
-==========================================  ====================================
-``POST /studies``                           submit a study — body is a JSON
-                                            document of StudySpec fields plus
-                                            optional ``name``/``trials``/
-                                            ``speculate`` (201, status doc)
-``GET /studies``                            every study's status doc (200)
-``GET /studies/{name}``                     one study's status doc (200)
-``GET /studies/{name}/front.csv``           current Pareto front as CSV (200)
-``POST /studies/{name}/resume``             re-queue for the next worker (202)
-``POST /studies/{name}/cancel``             drop a queued study (200)
-==========================================  ====================================
-
-Errors are JSON ``{"error": ...}`` with 400 (bad spec), 404 (unknown
-study), 409 (conflict: duplicate submit, live-heartbeat resume), or 405.
+Errors are JSON ``{"error": ...}`` with 400 (bad spec/body), 404
+(unknown study or route), 409 (conflict: duplicate submit,
+live-heartbeat resume), or 500.
 
 ``repro serve --storage URL --workers N`` (cli.py) builds the service,
 starts N daemon worker threads on :meth:`StudyService.worker_loop`, and
-blocks in ``serve_forever``.
+blocks in ``serve_forever``; ``repro worker --connect URL`` runs the
+remote side of the lease verbs.
 """
 
 from __future__ import annotations
@@ -42,6 +42,37 @@ from .service import (
     UnknownStudyError,
     spec_from_document,
 )
+
+#: the service API, as data: ``(method, path template, handler name)``.
+#: ``{name}`` segments capture into handler kwargs.  Dispatch iterates
+#: this table, and the docs-consistency suite pins the README endpoint
+#: reference to exactly these rows — extend the API here or nowhere.
+ROUTES: "tuple[tuple[str, str, str], ...]" = (
+    ("GET", "/studies", "list"),
+    ("POST", "/studies", "submit"),
+    ("GET", "/studies/{name}", "status"),
+    ("GET", "/studies/{name}/spec", "spec"),
+    ("GET", "/studies/{name}/front.csv", "front"),
+    ("POST", "/studies/{name}/resume", "resume"),
+    ("POST", "/studies/{name}/cancel", "cancel"),
+    ("POST", "/studies/{name}/results", "results"),
+    ("POST", "/lease", "lease"),
+)
+
+
+def match_route(template: str, path: str) -> "dict[str, str] | None":
+    """Match ``path`` against a ``/segment/{capture}`` template."""
+    t_parts = [p for p in template.split("/") if p]
+    p_parts = [p for p in path.split("/") if p]
+    if len(t_parts) != len(p_parts):
+        return None
+    captures: "dict[str, str]" = {}
+    for t, p in zip(t_parts, p_parts):
+        if t.startswith("{") and t.endswith("}"):
+            captures[t[1:-1]] = p
+        elif t != p:
+            return None
+    return captures
 
 
 class StudyServiceHandler(BaseHTTPRequestHandler):
@@ -70,18 +101,6 @@ class StudyServiceHandler(BaseHTTPRequestHandler):
     def _error(self, status: int, message: str) -> None:
         self._json(status, {"error": message})
 
-    def _dispatch(self, handler) -> None:
-        try:
-            handler()
-        except UnknownStudyError as exc:
-            self._error(404, str(exc))
-        except StudyConflictError as exc:
-            self._error(409, str(exc))
-        except (ServiceError, ValueError) as exc:
-            self._error(400, str(exc))
-        except Exception as exc:  # noqa: BLE001 - HTTP boundary: report, don't crash the server thread
-            self._error(500, str(exc))
-
     def _read_json(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
@@ -92,39 +111,83 @@ class StudyServiceHandler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise ServiceError(f"request body is not valid JSON: {exc}") from None
 
-    # -- routes ---------------------------------------------------------------
+    def _read_object(self, label: str) -> "dict[str, Any]":
+        document = self._read_json()
+        if not isinstance(document, dict):
+            raise ServiceError(f"{label} body must be a JSON object")
+        return document
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            path = self.path.split("?", 1)[0]
+            for route_method, template, name in ROUTES:
+                if route_method != method:
+                    continue
+                captures = match_route(template, path)
+                if captures is not None:
+                    getattr(self, f"_route_{name}")(**captures)
+                    return
+            self._error(404, f"no route for {method} {self.path}")
+        except UnknownStudyError as exc:
+            self._error(404, str(exc))
+        except StudyConflictError as exc:
+            self._error(409, str(exc))
+        except (ServiceError, ValueError) as exc:
+            self._error(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 - HTTP boundary: report, don't crash the server thread
+            self._error(500, str(exc))
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        self._dispatch(self._get)
-
-    def _get(self) -> None:
-        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
-        if parts == ["studies"]:
-            self._json(200, {"studies": self.service.list_studies()})
-        elif len(parts) == 2 and parts[0] == "studies":
-            self._json(200, self.service.status(parts[1]))
-        elif len(parts) == 3 and parts[0] == "studies" and parts[2] == "front.csv":
-            self._send(200, self.service.front(parts[1]).encode(), "text/csv")
-        else:
-            self._error(404, f"no route for GET {self.path}")
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        self._dispatch(self._post)
+        self._dispatch("POST")
 
-    def _post(self) -> None:
-        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
-        if parts == ["studies"]:
-            document = self._read_json()
-            if not isinstance(document, dict):
-                raise ServiceError("POST /studies body must be a JSON object")
-            spec, name = spec_from_document(document)
-            self._json(201, self.service.submit(spec, name))
-        elif len(parts) == 3 and parts[0] == "studies" and parts[2] == "resume":
-            self._json(202, self.service.resume(parts[1]))
-        elif len(parts) == 3 and parts[0] == "studies" and parts[2] == "cancel":
-            self._json(200, self.service.cancel(parts[1]))
-        else:
-            self._error(404, f"no route for POST {self.path}")
+    # -- routes ---------------------------------------------------------------
+
+    def _route_list(self) -> None:
+        self._json(200, {"studies": self.service.list_studies()})
+
+    def _route_submit(self) -> None:
+        spec, name = spec_from_document(self._read_object("POST /studies"))
+        self._json(201, self.service.submit(spec, name))
+
+    def _route_status(self, name: str) -> None:
+        self._json(200, self.service.status(name))
+
+    def _route_spec(self, name: str) -> None:
+        self._json(200, self.service.spec_document(name))
+
+    def _route_front(self, name: str) -> None:
+        self._send(200, self.service.front(name).encode(), "text/csv")
+
+    def _route_resume(self, name: str) -> None:
+        self._json(202, self.service.resume(name))
+
+    def _route_cancel(self, name: str) -> None:
+        self._json(200, self.service.cancel(name))
+
+    def _route_lease(self) -> None:
+        document = self._read_object("POST /lease")
+        worker = document.get("worker")
+        if not worker:
+            raise ServiceError("POST /lease needs a 'worker' id")
+        self._json(
+            200,
+            self.service.lease_work(str(worker), int(document.get("limit", 1))),
+        )
+
+    def _route_results(self, name: str) -> None:
+        document = self._read_object(f"POST /studies/{name}/results")
+        worker = document.get("worker")
+        results = document.get("results")
+        if not worker:
+            raise ServiceError("results need a 'worker' id")
+        if not isinstance(results, list):
+            raise ServiceError("'results' must be a list of outcome objects")
+        self._json(200, self.service.complete_work(name, str(worker), results))
 
 
 def make_server(

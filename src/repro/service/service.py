@@ -161,12 +161,17 @@ def study_status_document(
     doc["sites"] = [str(s) for s in sites]
     for key in (
         "policy", "aggregate", "seed", "population",
-        "ensemble", "racing", "fidelity", "pipeline", "engine",
+        "ensemble", "racing", "fidelity", "pipeline", "engine", "transport",
     ):
         doc[key] = md.get(key)
     service = md.get(SERVICE_KEY)
     if isinstance(service, Mapping):
         doc[SERVICE_KEY] = dict(service)
+    if isinstance(md.get("leases"), Mapping):
+        # Lease counters the coordinator folded into its liveness
+        # writes; the live queue's numbers (when this process hosts the
+        # coordinator) are overlaid by StudyService.status.
+        doc["leases"] = dict(md["leases"])
     heartbeat_ts = md.get("heartbeat_ts")
     if heartbeat_ts is not None:
         now = time.time() if now is None else now
@@ -224,6 +229,11 @@ class HeartbeatStorage(StudyStorage):
     write — last-write-wins on replay, exactly like the drivers' own
     metadata updates).  Driver-initiated metadata writes are merged
     with the current heartbeat so neither side clobbers the other.
+
+    ``extra`` (optional) is called on every liveness write and its dict
+    merged in — the coordinator rides it to persist lease counters
+    atomically with the heartbeat instead of racing a second metadata
+    writer against the drivers.
     """
 
     def __init__(
@@ -234,6 +244,7 @@ class HeartbeatStorage(StudyStorage):
         interval: float = HEARTBEAT_EVERY_S,
         clock=time.time,
         initial_trials_done: int = 0,
+        extra=None,
     ) -> None:
         self._inner = inner
         self._study_name = study_name
@@ -242,9 +253,16 @@ class HeartbeatStorage(StudyStorage):
         self._lock = threading.Lock()
         self._trials_done = int(initial_trials_done)
         self._last_beat = float("-inf")
+        self._extra = extra
 
     def _liveness(self) -> dict[str, Any]:
-        return {"heartbeat_ts": float(self._clock()), "trials_done": self._trials_done}
+        liveness: dict[str, Any] = {
+            "heartbeat_ts": float(self._clock()),
+            "trials_done": self._trials_done,
+        }
+        if self._extra is not None:
+            liveness.update(self._extra())
+        return liveness
 
     def beat(self) -> None:
         """Stamp liveness into the study metadata unconditionally."""
@@ -329,6 +347,10 @@ class StudyService:
         self.heartbeat_interval = float(heartbeat_interval)
         self._clock = clock
         self._claim_lock = threading.Lock()
+        self._work_lock = threading.Lock()
+        #: study name → live LeasedWorkQueue while this process hosts
+        #: that study's coordinator (the remote-dispatch run_study path)
+        self._work_queues: "dict[str, Any]" = {}
 
     # -- lookups -------------------------------------------------------------
 
@@ -376,9 +398,13 @@ class StudyService:
         return self.status(name)
 
     def status(self, name: str) -> dict[str, Any]:
-        return study_status_document(
+        doc = study_status_document(
             self._get(name), stale_after=self.stale_after, now=self._clock()
         )
+        queue = self.work_queue(name)
+        if queue is not None:
+            doc["leases"] = queue.stats()
+        return doc
 
     def list_studies(self) -> "list[dict[str, Any]]":
         now = self._clock()
@@ -431,26 +457,128 @@ class StudyService:
         self._set_state(stored, "cancelled", cancelled_ts=float(self._clock()))
         return self.status(name)
 
+    # -- trial-level work (the coordinator's remote dispatch) ------------------
+
+    def register_work_queue(self, name: str, queue: Any) -> None:
+        """Expose a coordinator's live work queue to the lease verbs."""
+        with self._work_lock:
+            self._work_queues[name] = queue
+
+    def unregister_work_queue(self, name: str) -> None:
+        with self._work_lock:
+            self._work_queues.pop(name, None)
+
+    def work_queue(self, name: str) -> "Any | None":
+        with self._work_lock:
+            return self._work_queues.get(name)
+
+    def spec_document(self, name: str) -> dict[str, Any]:
+        """The persisted identity a remote worker rebuilds its objective
+        from — exactly what ``StudySpec.from_metadata`` accepts, so the
+        worker-side physics cannot drift from the coordinator's."""
+        stored = self._get(name)
+        StudySpec.from_metadata(stored.metadata, source=self.storage_spec)
+        return {"name": name, "metadata": dict(stored.metadata)}
+
+    def lease_work(self, worker_id: str, limit: int = 1) -> dict[str, Any]:
+        """Grant up to ``limit`` candidate evaluations to a remote worker.
+
+        Scans every live coordinator queue (oldest registration first)
+        and returns the first non-empty grant; ``study`` is ``None``
+        when nothing is dispatchable — the worker's signal to idle-poll.
+        """
+        with self._work_lock:
+            queues = list(self._work_queues.items())
+        for name, queue in queues:
+            items = queue.lease(str(worker_id), limit)
+            if items:
+                return {"study": name, "ttl_s": queue.ttl, "items": items}
+        return {"study": None, "ttl_s": None, "items": []}
+
+    def complete_work(
+        self, name: str, worker_id: str, results: "list[Mapping[str, Any]]"
+    ) -> dict[str, Any]:
+        """Acknowledge a worker's evaluated batch against a live queue.
+
+        Results for a finished (or never-coordinated-here) study are
+        acknowledged as ``stale`` rather than erroring: a worker racing
+        a reclaim — or outliving its study — is normal operation, not a
+        fault.
+        """
+        queue = self.work_queue(name)
+        accepted = stale = 0
+        for result in results:
+            ok = queue is not None and queue.complete(
+                str(worker_id),
+                str(result["item"]),
+                str(result["tag"]),
+                result.get("value"),
+                float(result.get("seconds", 0.0)),
+            )
+            accepted += bool(ok)
+            stale += not ok
+        return {"study": name, "accepted": accepted, "stale": stale}
+
     # -- the worker loop ------------------------------------------------------
 
+    def _last_alive_ts(self, stored: StoredStudy) -> float:
+        """Newest liveness evidence for a claimed study (its lease clock)."""
+        envelope = stored.metadata.get(SERVICE_KEY) or {}
+        stamps = [
+            stored.metadata.get("heartbeat_ts"),
+            envelope.get("started_ts") if isinstance(envelope, Mapping) else None,
+        ]
+        return max((float(s) for s in stamps if s is not None), default=0.0)
+
     def claim_next(self, worker_id: "str | None" = None) -> "str | None":
-        """Atomically claim the oldest queued study (``None`` if idle)."""
+        """Atomically claim the oldest queued study (``None`` if idle).
+
+        Whole-study claims are leases (DESIGN.md §13): a *running*
+        study whose liveness evidence is older than ``stale_after`` has
+        an expired lease — its worker is presumed dead — and is
+        reclaimed here automatically, no explicit ``resume`` required.
+        Queued studies win over reclaims so fresh work is never starved
+        by a crash loop.
+        """
         with self._claim_lock:
-            queued = [
-                (float((s.metadata.get(SERVICE_KEY) or {}).get("submitted_ts", 0.0)), name)
-                for name, s in self.storage.load_all().items()
-                if self._service_state(s) == "queued"
-            ]
-            if not queued:
-                return None
-            _, name = min(queued)
-            self._set_state(
-                self._get(name),
-                "running",
-                started_ts=float(self._clock()),
-                worker=worker_id,
-            )
-            return name
+            now = float(self._clock())
+            queued: "list[tuple[float, str]]" = []
+            expired: "list[tuple[float, str, Any]]" = []
+            for name, s in self.storage.load_all().items():
+                state = self._service_state(s)
+                envelope = s.metadata.get(SERVICE_KEY) or {}
+                if state == "queued":
+                    queued.append(
+                        (float(envelope.get("submitted_ts", 0.0)), name)
+                    )
+                elif state == "running":
+                    last_alive = self._last_alive_ts(s)
+                    if now - last_alive > self.stale_after:
+                        expired.append((last_alive, name, envelope.get("worker")))
+            if queued:
+                _, name = min(queued)
+                self._set_state(
+                    self._get(name),
+                    "running",
+                    started_ts=now,
+                    worker=worker_id,
+                )
+                return name
+            if expired:
+                _, name, dead_worker = min(expired)
+                stored = self._get(name)
+                envelope = stored.metadata.get(SERVICE_KEY) or {}
+                self._set_state(
+                    stored,
+                    "running",
+                    started_ts=now,
+                    worker=worker_id,
+                    reclaims=int(envelope.get("reclaims", 0)) + 1,
+                    reclaimed_ts=now,
+                    reclaimed_from=dead_worker,
+                )
+                return name
+            return None
 
     def run_study(self, name: str) -> dict[str, Any]:
         """Drive one claimed study to completion through its spec.
@@ -460,19 +588,39 @@ class StudyService:
         :class:`HeartbeatStorage`, and lets ``spec.execute`` pick the
         batched or pipelined driver.  Success/failure lands back in the
         service envelope, so the queue state survives the process.
+
+        A spec with ``remote_slots`` set makes this process the study's
+        **coordinator**: it owns the sampler's ask/tell loop but
+        evaluates nothing itself — candidates stream through a
+        :class:`~repro.service.lease.LeasedWorkQueue` registered under
+        the study name, which remote workers drain via ``POST /lease``
+        and ``POST /studies/{name}/results``.  Lease counters ride the
+        heartbeat writes, so ``study status`` shows them even from
+        another process.
         """
         stored = self._get(name)
+        queue = None
         try:
             spec = StudySpec.from_metadata(stored.metadata, source=self.storage_spec)
+            extra = None
+            if spec.remote_slots is not None:
+                from .lease import DEFAULT_LEASE_TTL_S, LeasedWorkQueue
+
+                queue = LeasedWorkQueue(
+                    ttl=spec.lease_ttl or DEFAULT_LEASE_TTL_S, clock=self._clock
+                )
+                extra = lambda: {"leases": queue.stats()}  # noqa: E731
+                self.register_work_queue(name, queue)
             heartbeat = HeartbeatStorage(
                 self.storage,
                 name,
                 interval=self.heartbeat_interval,
                 clock=self._clock,
                 initial_trials_done=len(stored.finished_trials()),
+                extra=extra,
             )
             heartbeat.beat()
-            spec.execute(heartbeat, name, load_if_exists=True)
+            spec.execute(heartbeat, name, load_if_exists=True, executor=queue)
             heartbeat.beat()  # the throttle may have swallowed the tail
         except Exception as exc:
             self._set_state(
@@ -482,6 +630,10 @@ class StudyService:
                 error=str(exc),
             )
             raise
+        finally:
+            if queue is not None:
+                self.unregister_work_queue(name)
+                queue.shutdown(cancel_futures=True)
         self._set_state(
             self._get(name), "done", finished_ts=float(self._clock())
         )

@@ -3,13 +3,17 @@
 Three module docstrings cited a ``DESIGN.md`` that historically did not
 exist; this test pins the invariant the other way round: any mention of
 ``DESIGN.md §N`` or ``README.md`` anywhere under ``src/`` must resolve
-to the actual document (and section), and every relative markdown link
-inside the top-level documents must point at a real file.
+to the actual document (and section), every relative markdown link
+inside the documents must point at a real file, every ``repro ...``
+command shown in a fenced example must parse against the real argparse
+tree, and the README's HTTP API table must list exactly the routes the
+service registers.
 """
 
 from __future__ import annotations
 
 import re
+import shlex
 from pathlib import Path
 
 import pytest
@@ -17,13 +21,41 @@ import pytest
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 
+#: every prose document whose examples and links we pin
+DOCUMENTS = ["README.md", "DESIGN.md", "ROADMAP.md", "docs/OPERATIONS.md"]
+
 SECTION_REF = re.compile(r"DESIGN\.md\s*§(\d+)")
 HEADING = re.compile(r"^##\s*§(\d+)\b", re.MULTILINE)
 MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#]+)(?:#[^)]*)?\)")
+# Any fence opener (language tag or not) — restricting to ```bash would
+# desynchronize the pairing: an unmatched opener makes closing fences
+# look like openers and prose like code.
+FENCED = re.compile(r"^```[^\n]*\n(.*?)^```", re.MULTILINE | re.DOTALL)
 
 
 def _python_sources() -> list[Path]:
     return sorted(SRC.rglob("*.py"))
+
+
+def _example_commands(doc: Path) -> "list[str]":
+    """Every ``repro ...`` command line in ``doc``'s fenced code blocks,
+    with backslash continuations joined and comments/background ``&``
+    stripped — exactly what a reader would paste into a shell."""
+    commands = []
+    for block in FENCED.findall(doc.read_text(encoding="utf-8")):
+        logical, pending = [], ""
+        for line in block.splitlines():
+            pending += line.rstrip()
+            if pending.endswith("\\"):
+                pending = pending[:-1]
+                continue
+            logical.append(pending.strip())
+            pending = ""
+        for line in logical:
+            line = re.sub(r"\s+#.*$", "", line).rstrip("& ").strip()
+            if line.startswith(("repro ", "$ repro ")):
+                commands.append(line.lstrip("$ "))
+    return commands
 
 
 def test_design_and_readme_exist():
@@ -35,7 +67,7 @@ def test_every_design_section_reference_resolves():
     headings = set(HEADING.findall((REPO / "DESIGN.md").read_text(encoding="utf-8")))
     assert headings, "DESIGN.md defines no '## §N' section anchors"
     dangling = []
-    for path in _python_sources() + [REPO / "README.md"]:
+    for path in _python_sources() + [REPO / doc for doc in DOCUMENTS]:
         for section in SECTION_REF.findall(path.read_text(encoding="utf-8")):
             if section not in headings:
                 dangling.append(f"{path.relative_to(REPO)} → DESIGN.md §{section}")
@@ -52,14 +84,15 @@ def test_every_document_mention_resolves():
     assert not missing, f"docstrings reference missing documents: {missing}"
 
 
-@pytest.mark.parametrize("doc", ["README.md", "DESIGN.md"])
+@pytest.mark.parametrize("doc", DOCUMENTS)
 def test_markdown_links_resolve(doc):
-    text = (REPO / doc).read_text(encoding="utf-8")
+    path = REPO / doc
+    text = path.read_text(encoding="utf-8")
     broken = []
     for target in MD_LINK.findall(text):
         if target.startswith(("http://", "https://", "mailto:")):
             continue
-        if not (REPO / target).exists():
+        if not (path.parent / target).exists():
             broken.append(target)
     assert not broken, f"{doc} has broken relative links: {broken}"
 
@@ -67,6 +100,49 @@ def test_markdown_links_resolve(doc):
 def test_readme_documents_the_tier1_verify_command():
     text = (REPO / "README.md").read_text(encoding="utf-8")
     assert "PYTHONPATH=src python -m pytest -x -q" in text
+
+
+@pytest.mark.parametrize("doc", DOCUMENTS)
+def test_documented_cli_examples_parse(doc):
+    """Every ``repro ...`` line a reader could paste from a fenced
+    example must survive the real argparse tree — docs cannot show
+    flags the CLI does not have."""
+    from repro.cli import build_parser
+
+    commands = _example_commands(REPO / doc)
+    if doc in ("README.md", "docs/OPERATIONS.md"):
+        assert commands, f"{doc} shows no repro command examples"
+    parser = build_parser()
+    bad = []
+    for command in commands:
+        try:
+            parser.parse_args(shlex.split(command)[1:])
+        except SystemExit:
+            bad.append(command)
+    assert not bad, f"{doc} shows commands the CLI rejects: {bad}"
+
+
+ENDPOINT_ROW = re.compile(r"^\|\s*(GET|POST)\s*\|\s*`([^`]+)`\s*\|", re.MULTILINE)
+
+
+def test_readme_endpoint_table_matches_registered_routes():
+    """The README's HTTP API reference lists exactly the routes the
+    service registers (repro.service.http.ROUTES) — no drift either
+    way."""
+    from repro.service.http import ROUTES
+
+    text = (REPO / "README.md").read_text(encoding="utf-8")
+    documented = set(ENDPOINT_ROW.findall(text))
+    registered = {(method, path) for method, path, _ in ROUTES}
+    assert documented == registered, (
+        f"README table vs ROUTES — undocumented: {registered - documented}, "
+        f"stale rows: {documented - registered}"
+    )
+
+
+def test_readme_documents_the_json_status_flag():
+    text = (REPO / "README.md").read_text(encoding="utf-8")
+    assert "repro study status" in text and "--json" in text
 
 
 def test_readme_mentions_every_top_level_module():
